@@ -1,0 +1,161 @@
+package decorr
+
+import (
+	"decorr/internal/core"
+	"decorr/internal/engine"
+	"decorr/internal/exec"
+	"decorr/internal/parallel"
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+	"decorr/internal/tpcd"
+)
+
+// Core query-processing types.
+type (
+	// DB is an in-memory database: a catalog plus stored tables with
+	// optional hash indexes.
+	DB = storage.DB
+	// Row is one result or stored tuple.
+	Row = storage.Row
+	// Value is a SQL datum (NULL, integer, double, varchar, boolean).
+	Value = sqltypes.Value
+	// Engine prepares and executes SQL under a decorrelation strategy.
+	Engine = engine.Engine
+	// Prepared is a parsed, rewritten, validated query.
+	Prepared = engine.Prepared
+	// Strategy selects the decorrelation algorithm.
+	Strategy = engine.Strategy
+	// Stats are the machine-independent work counters of one execution.
+	Stats = exec.Stats
+	// RewriteOptions are the §4.4 decorrelation knobs.
+	RewriteOptions = core.Options
+	// Table is a table definition (columns plus candidate keys).
+	Table = schema.Table
+	// Column is one column of a table definition.
+	Column = schema.Column
+)
+
+// Decorrelation strategies (§5.1 of the paper).
+const (
+	// NI is tuple-at-a-time nested iteration (the System R baseline).
+	NI = engine.NI
+	// NIMemo is nested iteration with per-binding memoization.
+	NIMemo = engine.NIMemo
+	// Kim is Kim's method [Kim82] — COUNT bug included, faithfully.
+	Kim = engine.Kim
+	// Dayal is Dayal's outer-join method [Day87].
+	Dayal = engine.Dayal
+	// GanskiWong is the Ganski/Wong method [GW87].
+	GanskiWong = engine.GanskiWong
+	// Magic is magic decorrelation, the paper's contribution.
+	Magic = engine.Magic
+	// OptMagic adds the supplementary-table CSE elimination (OptMag).
+	OptMagic = engine.OptMagic
+	// Auto optimizes the query twice — as written and decorrelated —
+	// and keeps the plan with the lower estimated cost (§7).
+	Auto = engine.Auto
+)
+
+// Column type constants for NewTable.
+const (
+	TInt    = schema.TInt
+	TFloat  = schema.TFloat
+	TString = schema.TString
+	TBool   = schema.TBool
+)
+
+// Value constructors.
+var (
+	// Null is the SQL NULL value.
+	Null = sqltypes.Null
+	// Int builds an integer value.
+	Int = sqltypes.NewInt
+	// Float builds a double value.
+	Float = sqltypes.NewFloat
+	// String builds a varchar value.
+	String = sqltypes.NewString
+)
+
+// NewEngine creates an execution engine over db with the paper's default
+// knobs (full decorrelation, outer joins available). Optional behavior is
+// toggled on the returned engine: CoreOpts (the §4.4 decorrelation knobs),
+// MaterializeCSE (§5.3 ablation), and MagicSets ([MFPR90] join-binding
+// propagation).
+func NewEngine(db *DB) *Engine { return engine.New(db) }
+
+// NewDB creates an empty database.
+func NewDB() *DB { return storage.NewDB() }
+
+// NewTable builds a table definition; register it with DB.Create and
+// declare candidate keys with AddKey.
+func NewTable(name string, cols ...Column) *Table {
+	return schema.NewTable(name, cols...)
+}
+
+// EmpDept returns the paper's §2 running-example database, including the
+// COUNT-bug witness (a low-budget department in a building where nobody
+// works).
+func EmpDept() *DB { return tpcd.EmpDept() }
+
+// EmpDeptSized returns a synthetic EMP/DEPT database for scaling studies.
+func EmpDeptSized(nDept, nEmp, nBuildings int, seed int64) *DB {
+	return tpcd.EmpDeptSized(nDept, nEmp, nBuildings, seed)
+}
+
+// TPCD generates the TPC-D-style benchmark database of the paper's §5.2;
+// sf=1.0 reproduces Table 1's cardinalities exactly.
+func TPCD(sf float64, seed int64) *DB {
+	return tpcd.Generate(tpcd.Config{SF: sf, Seed: seed})
+}
+
+// The paper's workload queries.
+const (
+	// ExampleQuery is the §2 running example over EMP/DEPT.
+	ExampleQuery = tpcd.ExampleQuery
+	// Query1 is the §5.3 supplier/min-cost query (Figure 5).
+	Query1 = tpcd.Query1
+	// Query1b is its wide-predicate variant (Figure 6/7).
+	Query1b = tpcd.Query1b
+	// Query2 is the §5.3 average-quantity query (Figure 8).
+	Query2 = tpcd.Query2
+	// Query3 is the §5.3 non-linear UNION query (Figure 9).
+	Query3 = tpcd.Query3
+)
+
+// Shared-nothing simulation (§6).
+type (
+	// ParallelConfig parameterizes the shared-nothing simulator.
+	ParallelConfig = parallel.Config
+	// ParallelResult is the simulated answer plus cost metrics.
+	ParallelResult = parallel.Result
+	// ParallelMetrics are messages, shipped rows, fragments, work and
+	// makespan.
+	ParallelMetrics = parallel.Metrics
+)
+
+// Parallel placements.
+const (
+	// PartitionByPrimaryKey spreads tables by key (the general case).
+	PartitionByPrimaryKey = parallel.PartitionByPrimaryKey
+	// PartitionByCorrelation co-partitions on the correlation attribute.
+	PartitionByCorrelation = parallel.PartitionByCorrelation
+)
+
+// SimulateNestedIteration runs the §6.1 nested-iteration execution of the
+// example query over a partitioned EMP/DEPT database.
+func SimulateNestedIteration(db *DB, cfg ParallelConfig) (*ParallelResult, error) {
+	return parallel.RunNestedIteration(db, cfg)
+}
+
+// SimulateMagic runs the §6.2 decorrelated execution.
+func SimulateMagic(db *DB, cfg ParallelConfig) (*ParallelResult, error) {
+	return parallel.RunMagic(db, cfg)
+}
+
+// ParallelPlanCost estimates the shared-nothing execution cost (messages,
+// shipped rows, computation fragments) of any prepared plan — the §6
+// analysis generalized beyond the example query.
+func ParallelPlanCost(db *DB, p *Prepared, cfg ParallelConfig) ParallelMetrics {
+	return parallel.PlanCost(db, p.Graph, cfg)
+}

@@ -1,0 +1,249 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark has one sub-benchmark per strategy; strategies the
+// paper reports as inapplicable (Kim/Dayal on the non-linear Query 3) are
+// skipped, mirroring the missing bars in the published figures. The
+// work/op metric is the machine-independent row-operation count; shapes
+// should be compared against EXPERIMENTS.md.
+package decorr_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"decorr"
+	"decorr/internal/classic"
+	"decorr/internal/parallel"
+)
+
+// benchSF scales the benchmark database; -short quarters it.
+func benchSF() float64 {
+	if testing.Short() {
+		return 0.025
+	}
+	return 0.1
+}
+
+var tpcdOnce = sync.OnceValue(func() *decorr.DB {
+	return decorr.TPCD(benchSF(), 42)
+})
+
+var tpcdNoIndexOnce = sync.OnceValue(func() *decorr.DB {
+	db := decorr.TPCD(benchSF(), 42)
+	if err := db.MustTable("partsupp").DropIndex("ps_partkey"); err != nil {
+		panic(err)
+	}
+	return db
+})
+
+var figureStrategies = []decorr.Strategy{
+	decorr.NI, decorr.NIMemo, decorr.Kim, decorr.Dayal, decorr.Magic, decorr.OptMagic,
+}
+
+func benchFigure(b *testing.B, db *decorr.DB, sql string) {
+	e := decorr.NewEngine(db)
+	for _, s := range figureStrategies {
+		b.Run(s.String(), func(b *testing.B) {
+			p, err := e.Prepare(sql, s)
+			if errors.Is(err, classic.ErrNotApplicable) {
+				b.Skipf("%s: %v (matches the paper's missing bar)", s, err)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			var work, invocations int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := p.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				work = stats.Work()
+				invocations = stats.SubqueryInvocations
+			}
+			b.ReportMetric(float64(work), "work/op")
+			b.ReportMetric(float64(invocations), "subqinv/op")
+		})
+	}
+}
+
+// BenchmarkTable1 measures database generation and asserts the SF=1
+// cardinality contract indirectly through scaled counts.
+func BenchmarkTable1Generate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db := decorr.TPCD(0.01, int64(i))
+		if len(db.MustTable("lineitem").Rows) == 0 {
+			b.Fatal("empty lineitem")
+		}
+	}
+}
+
+// BenchmarkFigure5 — Query 1 with all indexes present.
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, tpcdOnce(), decorr.Query1) }
+
+// BenchmarkFigure6 — Query 1(b): no size predicate, two regions, thousands
+// of (heavily duplicated) correlation bindings.
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, tpcdOnce(), decorr.Query1b) }
+
+// BenchmarkFigure7 — Query 1(c): the index the subquery probes is dropped,
+// inflating per-invocation cost.
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, tpcdNoIndexOnce(), decorr.Query1b) }
+
+// BenchmarkFigure8 — Query 2: key correlation, cheap subquery;
+// decorrelation must not hurt.
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, tpcdOnce(), decorr.Query2) }
+
+// BenchmarkFigure9 — Query 3: non-linear UNION subquery, 5 distinct
+// bindings; Kim and Dayal are skipped (inapplicable).
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, tpcdOnce(), decorr.Query3) }
+
+// BenchmarkExampleQuery — the §2 running example under every strategy
+// (including Ganski/Wong, which applies to its single-table outer block).
+func BenchmarkExampleQuery(b *testing.B) {
+	e := decorr.NewEngine(decorr.EmpDept())
+	for _, s := range []decorr.Strategy{
+		decorr.NI, decorr.NIMemo, decorr.Kim, decorr.Dayal,
+		decorr.GanskiWong, decorr.Magic, decorr.OptMagic,
+	} {
+		b.Run(s.String(), func(b *testing.B) {
+			p, err := e.Prepare(decorr.ExampleQuery, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSection6 sweeps cluster sizes over the shared-nothing
+// simulator, reporting fragments and messages per configuration.
+func BenchmarkParallelSection6(b *testing.B) {
+	db := decorr.EmpDeptSized(800, 4000, 32, 7)
+	for _, nodes := range []int{2, 4, 8, 16, 32} {
+		cfg := parallel.Config{Nodes: nodes}
+		b.Run("NI/nodes="+itoa(nodes), func(b *testing.B) {
+			var m parallel.Metrics
+			for i := 0; i < b.N; i++ {
+				r, err := parallel.RunNestedIteration(db, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = r.Metrics
+			}
+			b.ReportMetric(float64(m.Fragments), "fragments/op")
+			b.ReportMetric(float64(m.Messages), "messages/op")
+			b.ReportMetric(float64(m.Makespan), "makespan/op")
+		})
+		b.Run("Magic/nodes="+itoa(nodes), func(b *testing.B) {
+			var m parallel.Metrics
+			for i := 0; i < b.N; i++ {
+				r, err := parallel.RunMagic(db, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = r.Metrics
+			}
+			b.ReportMetric(float64(m.Fragments), "fragments/op")
+			b.ReportMetric(float64(m.Messages), "messages/op")
+			b.ReportMetric(float64(m.Makespan), "makespan/op")
+		})
+	}
+}
+
+// BenchmarkAblationMaterializeCSE quantifies the §5.3 wish: materializing
+// the supplementary common subexpression instead of recomputing it.
+func BenchmarkAblationMaterializeCSE(b *testing.B) {
+	for _, mat := range []bool{false, true} {
+		name := "recompute"
+		if mat {
+			name = "materialize"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := decorr.NewEngine(tpcdOnce())
+			e.MaterializeCSE = mat
+			p, err := e.Prepare(decorr.Query1, decorr.Magic)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var work int64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := p.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				work = stats.Work()
+			}
+			b.ReportMetric(float64(work), "work/op")
+		})
+	}
+}
+
+// BenchmarkAblationExistentialKnob compares decorrelating an EXISTS
+// subquery against leaving it correlated (§4.4).
+func BenchmarkAblationExistentialKnob(b *testing.B) {
+	const existsQuery = `
+		select d.name from dept d
+		where d.budget < 10000 and exists
+		  (select * from emp e where e.building = d.building)`
+	db := decorr.EmpDeptSized(2000, 8000, 24, 5)
+	for _, on := range []bool{true, false} {
+		name := "decorrelate"
+		if !on {
+			name = "keep-correlated"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := decorr.NewEngine(db)
+			e.CoreOpts.DecorrelateExistential = on
+			p, err := e.Prepare(existsQuery, decorr.Magic)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var inv int64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := p.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				inv = stats.SubqueryInvocations
+			}
+			b.ReportMetric(float64(inv), "subqinv/op")
+		})
+	}
+}
+
+// BenchmarkRewriteOverhead isolates the cost of the magic decorrelation
+// rewrite itself (parse + bind + decorrelate + cleanup).
+func BenchmarkRewriteOverhead(b *testing.B) {
+	e := decorr.NewEngine(tpcdOnce())
+	for _, s := range []decorr.Strategy{decorr.NI, decorr.Magic} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Prepare(decorr.Query1, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,57 @@
+// Command benchfig regenerates the paper's tables and figures: it runs
+// each experiment of internal/bench and prints the measured rows next to
+// the paper's qualitative finding.
+//
+// Usage:
+//
+//	benchfig              # every experiment
+//	benchfig -fig fig8    # one experiment
+//	benchfig -sf 0.2 -repeats 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"decorr/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment id (table1, fig1, fig2-4, fig5..fig9, parallel, ablation) or all")
+	sf := flag.Float64("sf", 0.1, "TPC-D scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	repeats := flag.Int("repeats", 3, "timed repetitions per measurement (minimum reported)")
+	csv := flag.Bool("csv", false, "emit plot-ready CSV instead of formatted tables")
+	flag.Parse()
+
+	cfg := bench.Config{SF: *sf, Seed: *seed, Repeats: *repeats}
+	if *csv {
+		fmt.Println(bench.CSVHeader)
+	}
+	if *fig != "all" {
+		ex := bench.Find(*fig)
+		if ex == nil {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q\n", *fig)
+			os.Exit(1)
+		}
+		run(*ex, cfg, *csv)
+		return
+	}
+	for _, ex := range bench.Experiments {
+		run(ex, cfg, *csv)
+	}
+}
+
+func run(ex bench.Experiment, cfg bench.Config, csv bool) {
+	r, err := ex.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", ex.ID, err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(r.CSV())
+		return
+	}
+	fmt.Println(r)
+}

@@ -1,0 +1,188 @@
+// Command decorr parses, rewrites, explains and executes SQL against the
+// built-in datasets under any decorrelation strategy.
+//
+// Usage:
+//
+//	decorr [flags] [SQL]
+//
+// Examples:
+//
+//	decorr -query example -strategy magic -trace     # Figures 2–4 stages
+//	decorr -dataset tpcd -sf 0.1 -query q1 -compare  # one row per strategy
+//	decorr -dataset empdept "select count(*) from emp"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"decorr"
+	"decorr/internal/engine"
+	"decorr/internal/qgm"
+)
+
+var namedQueries = map[string]string{
+	"example": decorr.ExampleQuery,
+	"q1":      decorr.Query1,
+	"q1b":     decorr.Query1b,
+	"q2":      decorr.Query2,
+	"q3":      decorr.Query3,
+}
+
+var strategies = map[string]decorr.Strategy{
+	"ni": decorr.NI, "nimemo": decorr.NIMemo, "kim": decorr.Kim,
+	"dayal": decorr.Dayal, "gw": decorr.GanskiWong,
+	"magic": decorr.Magic, "optmagic": decorr.OptMagic,
+}
+
+func main() {
+	dataset := flag.String("dataset", "empdept", "dataset: empdept or tpcd")
+	sf := flag.Float64("sf", 0.1, "TPC-D scale factor (dataset=tpcd)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	strategy := flag.String("strategy", "ni", "ni | nimemo | kim | dayal | gw | magic | optmagic")
+	queryName := flag.String("query", "", "named query: example | q1 | q1b | q2 | q3")
+	explain := flag.Bool("explain", false, "print the (rewritten) QGM plan")
+	dot := flag.Bool("dot", false, "print the (rewritten) QGM as Graphviz DOT (paper Figure 1 style)")
+	analyze := flag.Bool("analyze", false, "run with per-box profiling and print the annotated plan")
+	trace := flag.Bool("trace", false, "print every rewrite stage (Figures 2-4)")
+	stats := flag.Bool("stats", false, "print work counters")
+	compare := flag.Bool("compare", false, "run the query under every strategy")
+	interactive := flag.Bool("i", false, "interactive REPL (statements end with ';')")
+	script := flag.String("f", "", "execute a file of semicolon-separated statements")
+	flag.Parse()
+
+	s0, ok := strategies[strings.ToLower(*strategy)]
+	if !ok {
+		fatalf("unknown strategy %q", *strategy)
+	}
+	if *interactive || *script != "" {
+		db := buildDB(*dataset, *sf, *seed)
+		eng := decorr.NewEngine(db)
+		if *script != "" {
+			f, err := os.Open(*script)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			if err := runScript(eng, f, s0); err != nil {
+				fatalf("%v", err)
+			}
+			return
+		}
+		repl(eng, s0)
+		return
+	}
+
+	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
+	if *queryName != "" {
+		q, ok := namedQueries[*queryName]
+		if !ok {
+			fatalf("unknown named query %q (want example|q1|q1b|q2|q3)", *queryName)
+		}
+		sql = q
+	}
+	if sql == "" || sql == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatalf("reading stdin: %v", err)
+		}
+		sql = strings.TrimSpace(string(b))
+	}
+	if sql == "" {
+		fatalf("no query: pass SQL as an argument, via -query, or on stdin")
+	}
+
+	db := buildDB(*dataset, *sf, *seed)
+	eng := decorr.NewEngine(db)
+
+	if *compare {
+		for _, s := range engine.Strategies {
+			runOne(eng, sql, s, false, false, true)
+		}
+		return
+	}
+	s := s0
+	if *trace {
+		p, err := eng.PrepareTraced(sql, s)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for i, st := range p.Trace.Steps {
+			fmt.Printf("--- stage %d: %s ---\n%s\n", i, st.Title, st.Plan)
+		}
+	}
+	if *dot {
+		p, err := eng.Prepare(sql, s)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(qgm.Dot(p.Graph))
+		return
+	}
+	if *analyze {
+		p, err := eng.Prepare(sql, s)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		out, err := p.ExplainAnalyze()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
+		return
+	}
+	runOne(eng, sql, s, *explain, *stats, false)
+}
+
+func runOne(eng *decorr.Engine, sql string, s decorr.Strategy, explain, stats, compact bool) {
+	p, err := eng.Prepare(sql, s)
+	if err != nil {
+		if compact {
+			fmt.Printf("%-8s %v\n", s, err)
+			return
+		}
+		fatalf("%s: %v", s, err)
+	}
+	if explain {
+		fmt.Println(p.Explain())
+	}
+	rows, st, err := p.Run()
+	if err != nil {
+		fatalf("%s: %v", s, err)
+	}
+	if compact {
+		fmt.Printf("%-8s rows=%-6d %s\n", s, len(rows), st.String())
+		return
+	}
+	fmt.Println(strings.Join(p.Columns, " | "))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows, strategy %s)\n", len(rows), s)
+	if stats {
+		fmt.Println(st.String())
+	}
+}
+
+func buildDB(dataset string, sf float64, seed int64) *decorr.DB {
+	switch dataset {
+	case "empdept":
+		return decorr.EmpDept()
+	case "tpcd":
+		return decorr.TPCD(sf, seed)
+	}
+	fatalf("unknown dataset %q (want empdept or tpcd)", dataset)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "decorr: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"decorr"
+)
+
+// repl reads semicolon-terminated statements interactively, executing each
+// under the session strategy. Meta commands: \strategy <name>, \explain,
+// \analyze, \timing, \quit.
+func repl(eng *decorr.Engine, s decorr.Strategy) {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	explain, analyze, timing := false, false, false
+	fmt.Println("decorr — Complex Query Decorrelation (ICDE 1996) reproduction")
+	fmt.Printf("strategy %s; end statements with ';', \\q quits, \\h for help\n", s)
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("decorr> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			switch {
+			case trimmed == "\\q" || trimmed == "\\quit":
+				return
+			case trimmed == "\\h" || trimmed == "\\help":
+				fmt.Println(`meta commands:
+  \strategy ni|nimemo|kim|dayal|gw|magic|optmagic|auto
+  \explain   toggle plan printing
+  \analyze   toggle per-box profiles
+  \timing    toggle wall-clock reporting
+  \q         quit`)
+			case strings.HasPrefix(trimmed, "\\strategy"):
+				name := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\strategy"))
+				if ns, ok := strategies[strings.ToLower(name)]; ok {
+					s = ns
+					fmt.Printf("strategy = %s\n", s)
+				} else {
+					fmt.Printf("unknown strategy %q\n", name)
+				}
+			case trimmed == "\\explain":
+				explain = !explain
+				fmt.Printf("explain = %v\n", explain)
+			case trimmed == "\\analyze":
+				analyze = !analyze
+				fmt.Printf("analyze = %v\n", analyze)
+			case trimmed == "\\timing":
+				timing = !timing
+				fmt.Printf("timing = %v\n", timing)
+			default:
+				fmt.Printf("unknown meta command %q (\\h for help)\n", trimmed)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		for {
+			stmt, rest, ok := splitStatement(buf.String())
+			if !ok {
+				break
+			}
+			buf.Reset()
+			buf.WriteString(rest)
+			if strings.TrimSpace(stmt) != "" {
+				execStatement(eng, stmt, s, explain, analyze, timing)
+			}
+		}
+		if strings.TrimSpace(buf.String()) == "" {
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// runScript executes a file of semicolon-separated statements.
+func runScript(eng *decorr.Engine, r io.Reader, s decorr.Strategy) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	src := string(data)
+	for {
+		stmt, rest, ok := splitStatement(src)
+		if !ok {
+			if strings.TrimSpace(src) != "" {
+				execStatement(eng, src, s, false, false, false)
+			}
+			return nil
+		}
+		if strings.TrimSpace(stmt) != "" {
+			execStatement(eng, stmt, s, false, false, false)
+		}
+		src = rest
+	}
+}
+
+func execStatement(eng *decorr.Engine, stmt string, s decorr.Strategy, explain, analyze, timing bool) {
+	lower := strings.ToLower(strings.TrimSpace(stmt))
+	if strings.HasPrefix(lower, "create view") {
+		if err := eng.CreateView(stmt); err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Println("view created")
+		return
+	}
+	p, err := eng.Prepare(stmt, s)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if explain {
+		fmt.Print(p.Explain())
+	}
+	if analyze {
+		out, err := p.ExplainAnalyze()
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Print(out)
+	}
+	start := time.Now()
+	rows, stats, err := p.Run()
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Println(strings.Join(p.Columns, " | "))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows, %s)\n", len(rows), s)
+	if timing {
+		fmt.Printf("time: %s  %s\n", time.Since(start).Round(10*time.Microsecond), stats)
+	}
+}
+
+// splitStatement returns the first semicolon-terminated statement and the
+// remainder; ok=false when no terminator is present outside quotes.
+func splitStatement(src string) (stmt, rest string, ok bool) {
+	inString := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '\'' {
+			// A doubled quote inside a string is an escape.
+			if inString && i+1 < len(src) && src[i+1] == '\'' {
+				i++
+				continue
+			}
+			inString = !inString
+			continue
+		}
+		if c == ';' && !inString {
+			return src[:i], src[i+1:], true
+		}
+	}
+	return "", src, false
+}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestSplitStatement(t *testing.T) {
+	cases := []struct {
+		src, stmt, rest string
+		ok              bool
+	}{
+		{"select 1; rest", "select 1", " rest", true},
+		{"select 1", "", "select 1", false},
+		{"select 'a;b'; x", "select 'a;b'", " x", true},
+		{"select 'it''s;fine'; x", "select 'it''s;fine'", " x", true},
+		{"; next", "", " next", true},
+		{"select 'open ;", "", "select 'open ;", false}, // ; inside unterminated string
+	}
+	for _, c := range cases {
+		stmt, rest, ok := splitStatement(c.src)
+		if ok != c.ok || stmt != c.stmt || rest != c.rest {
+			t.Errorf("splitStatement(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.src, stmt, rest, ok, c.stmt, c.rest, c.ok)
+		}
+	}
+}
+
+func TestStrategyFlagTable(t *testing.T) {
+	for name := range strategies {
+		if name == "" {
+			t.Error("empty strategy name")
+		}
+	}
+	for _, want := range []string{"ni", "nimemo", "kim", "dayal", "gw", "magic", "optmagic"} {
+		if _, ok := strategies[want]; !ok {
+			t.Errorf("strategy %q missing from the CLI table", want)
+		}
+	}
+}
+
+func TestNamedQueriesNonEmpty(t *testing.T) {
+	for name, sql := range namedQueries {
+		if len(sql) < 20 {
+			t.Errorf("named query %q suspiciously short", name)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// The paper's §1 motivation: "correlated queries are often created
+// 'automatically' by application generators that translate queries from
+// application domain-specific languages into SQL." This example is such a
+// generator: a tiny report DSL compiles each report column into a
+// correlated scalar subquery — the function-invocation idiom SQL
+// programmers reach for — producing exactly the kind of machine-made
+// correlation magic decorrelation exists to clean up.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"decorr"
+)
+
+// reportColumn is one derived metric of the report, phrased the way an
+// application generator would: an aggregate over a related table, matched
+// on a correlation column.
+type reportColumn struct {
+	title   string
+	agg     string // count | sum | min | max | avg
+	expr    string // aggregated expression ("*" for count)
+	table   string // related table
+	matchOn string // correlation equality: <table-col> = <driver-col>
+	filter  string // optional extra filter
+}
+
+// compile translates the report spec into SQL, one correlated scalar
+// subquery per column — no human would hand-write it this way, which is
+// the point.
+func compile(driver, driverAlias string, keyCols []string, cols []reportColumn) string {
+	var b strings.Builder
+	b.WriteString("select ")
+	b.WriteString(strings.Join(keyCols, ", "))
+	for _, c := range cols {
+		arg := c.expr
+		if c.agg == "count" && c.expr == "*" {
+			arg = "*"
+		}
+		fmt.Fprintf(&b, ",\n  (select %s(%s) from %s where %s", c.agg, arg, c.table, c.matchOn)
+		if c.filter != "" {
+			fmt.Fprintf(&b, " and %s", c.filter)
+		}
+		fmt.Fprintf(&b, ") as %s", strings.ReplaceAll(strings.ToLower(c.title), " ", "_"))
+	}
+	fmt.Fprintf(&b, "\nfrom %s %s\norder by %s", driver, driverAlias, keyCols[0])
+	return b.String()
+}
+
+func main() {
+	// A "supplier scorecard" report over the TPC-D data: three derived
+	// metrics per supplier, each its own correlated subquery.
+	sql := compile("suppliers", "s", []string{"s_name", "s_nation"}, []reportColumn{
+		{title: "Catalog Size", agg: "count", expr: "*",
+			table: "partsupp ps", matchOn: "ps.ps_suppkey = s.s_suppkey"},
+		{title: "Cheapest Offer", agg: "min", expr: "ps.ps_supplycost",
+			table: "partsupp ps", matchOn: "ps.ps_suppkey = s.s_suppkey"},
+		{title: "Compatriot Customers", agg: "count", expr: "*",
+			table: "customers c", matchOn: "c.c_nation = s.s_nation",
+			filter: "c.c_mktsegment = 'BUILDING'"},
+	})
+	fmt.Println("Generated SQL (three machine-made correlated subqueries):")
+	fmt.Println(sql)
+	fmt.Println()
+
+	db := decorr.TPCD(0.05, 42)
+	run := func(label string, eng *decorr.Engine, s decorr.Strategy) {
+		p, err := eng.Prepare(sql, s)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		rows, stats, err := p.Run()
+		if err != nil {
+			panic(err)
+		}
+		if s == decorr.Auto {
+			label += fmt.Sprintf(" (chose %v)", p.Chosen)
+		}
+		fmt.Printf("%-18s %4d rows in %8s  invocations=%d work=%d cse-recomputes=%d\n",
+			label, len(rows), time.Since(start).Round(10*time.Microsecond),
+			stats.SubqueryInvocations, stats.Work(), stats.CSERecomputes)
+	}
+	plain := decorr.NewEngine(db)
+	run("NI", plain, decorr.NI)
+	run("Mag", plain, decorr.Magic)
+	materializing := decorr.NewEngine(db)
+	materializing.MaterializeCSE = true
+	run("Mag+materialize", materializing, decorr.Magic)
+	run("Auto", plain, decorr.Auto)
+
+	fmt.Println()
+	fmt.Println("All three generated columns decorrelate into set-oriented grouped")
+	fmt.Println("joins over chained supplementary tables. With three subqueries the")
+	fmt.Println("chained SUPPs nest, so the recompute-CSE policy the paper's")
+	fmt.Println("Starburst used (§5.1) multiplies scans — materializing the common")
+	fmt.Println("subexpressions (§5.3's wished-for optimization) removes them, and")
+	fmt.Println("the Auto strategy (§7) picks the cheaper plan either way.")
+}

@@ -1,0 +1,48 @@
+// The COUNT bug, live: Kim's method silently loses the "archives"
+// department — it sits in a building with no employees, so the grouped
+// temp table has no row for it and the join drops it. Magic decorrelation
+// compensates with a left outer join plus COALESCE(count, 0) and keeps the
+// correct answer (paper §2, [Kie84]).
+package main
+
+import (
+	"fmt"
+
+	"decorr"
+)
+
+func main() {
+	db := decorr.EmpDept()
+	eng := decorr.NewEngine(db)
+
+	fmt.Println("Departments of low budget with more employees than work in")
+	fmt.Println("the department's building (paper §2). 'archives' is located")
+	fmt.Println("in building B9, where nobody works: COUNT(*) must be 0 and")
+	fmt.Println("archives (1 employee > 0) belongs in the answer.")
+	fmt.Println()
+
+	for _, s := range []decorr.Strategy{decorr.NI, decorr.Kim, decorr.Magic} {
+		rows, _, err := eng.Query(decorr.ExampleQuery, s)
+		if err != nil {
+			panic(err)
+		}
+		var names []string
+		for _, r := range rows {
+			names = append(names, r[0].String())
+		}
+		verdict := "CORRECT"
+		if len(names) != 2 {
+			verdict = "WRONG — the COUNT bug ate a row"
+		}
+		fmt.Printf("%-6s -> %v   %s\n", s, names, verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("Magic decorrelation avoids the bug with BugRemoval:")
+	fmt.Println("MAGIC LOJ Decorr_SubQuery, COALESCE(count, 0):")
+	p, err := eng.Prepare(decorr.ExampleQuery, decorr.Magic)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Explain())
+}

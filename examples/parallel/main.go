@@ -1,0 +1,52 @@
+// The paper's §6 argument, simulated: in a shared-nothing cluster whose
+// tables are not partitioned on the correlation attribute, nested
+// iteration broadcasts every binding to every node — O(n²) computation
+// fragments — while the magic-decorrelated plan repartitions each table
+// once and then runs co-partitioned local joins.
+package main
+
+import (
+	"fmt"
+
+	"decorr"
+)
+
+func main() {
+	db := decorr.EmpDeptSized(800, 4000, 32, 7)
+
+	fmt.Println("Example query over EMP/DEPT partitioned by primary key")
+	fmt.Println("(the general case: NOT partitioned on the correlation column).")
+	fmt.Println()
+	fmt.Printf("%-6s %-6s %10s %10s %10s %10s\n",
+		"nodes", "plan", "messages", "fragments", "work", "makespan")
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		cfg := decorr.ParallelConfig{Nodes: n}
+		ni, err := decorr.SimulateNestedIteration(db, cfg)
+		check(err)
+		mg, err := decorr.SimulateMagic(db, cfg)
+		check(err)
+		if fmt.Sprint(ni.Rows) != fmt.Sprint(mg.Rows) {
+			panic("simulated plans disagree on the answer")
+		}
+		fmt.Printf("%-6d %-6s %10d %10d %10d %10d\n", n, "NI",
+			ni.Metrics.Messages, ni.Metrics.Fragments, ni.Metrics.Work, ni.Metrics.Makespan)
+		fmt.Printf("%-6d %-6s %10d %10d %10d %10d\n", n, "Magic",
+			mg.Metrics.Messages, mg.Metrics.Fragments, mg.Metrics.Work, mg.Metrics.Makespan)
+	}
+
+	fmt.Println()
+	fmt.Println("§6.1 case 1 — tables co-partitioned on the correlation column:")
+	cfg := decorr.ParallelConfig{Nodes: 8, Placement: decorr.PartitionByCorrelation}
+	ni, err := decorr.SimulateNestedIteration(db, cfg)
+	check(err)
+	fmt.Printf("co-partitioned NI at 8 nodes: %d messages, %d fragments — \n",
+		ni.Metrics.Messages, ni.Metrics.Fragments)
+	fmt.Println("parallel nested iteration is only viable when the data already")
+	fmt.Println("lives where the bindings are; decorrelation makes that placement.")
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

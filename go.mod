@@ -1,0 +1,3 @@
+module decorr
+
+go 1.22

@@ -1,0 +1,369 @@
+// Package ast defines the abstract syntax tree produced by the SQL parser.
+// The grammar is the SQL-92 subset exercised by the paper: SELECT blocks
+// with correlated scalar, EXISTS/IN and quantified (ANY/ALL) subqueries,
+// derived tables, GROUP BY / HAVING, and UNION [ALL].
+package ast
+
+import "fmt"
+
+// Statement is a top-level SQL statement: a query expression or a view
+// definition.
+type Statement interface{ statement() }
+
+// QueryExpr is a full query expression: either a Select block or a set
+// operation combining two query expressions.
+type QueryExpr interface{ queryExpr() }
+
+// CreateView is "CREATE VIEW name [(cols)] AS query".
+type CreateView struct {
+	Name  string
+	Cols  []string
+	Query QueryExpr
+}
+
+func (*CreateView) statement() {}
+func (*Select) statement()     {}
+func (*SetOp) statement()      {}
+
+// Select is a single SELECT ... FROM ... WHERE ... GROUP BY ... HAVING
+// block with an optional ORDER BY (meaningful only at the top level).
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	// Limit caps the result cardinality; negative means no limit.
+	Limit int64
+}
+
+func (*Select) queryExpr() {}
+
+// SetOpKind enumerates set operations.
+type SetOpKind uint8
+
+const (
+	// Union is UNION [ALL].
+	Union SetOpKind = iota
+	// Intersect is INTERSECT [ALL].
+	Intersect
+	// Except is EXCEPT [ALL].
+	Except
+)
+
+// String returns the SQL keyword.
+func (k SetOpKind) String() string {
+	switch k {
+	case Intersect:
+		return "INTERSECT"
+	case Except:
+		return "EXCEPT"
+	}
+	return "UNION"
+}
+
+// SetOp combines two query expressions with UNION/INTERSECT/EXCEPT,
+// optionally ALL.
+type SetOp struct {
+	Op          SetOpKind
+	All         bool
+	Left, Right QueryExpr
+}
+
+func (*SetOp) queryExpr() {}
+
+// SelectItem is one element of the select list: an expression with an
+// optional alias, or a star (possibly qualified, as in "s.*").
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	Qualifier string // for "q.*"
+}
+
+// FromItem is a FROM-clause element: a base table reference, a derived
+// table (subquery), or a join clause; tables and subqueries carry an
+// optional alias and column aliases.
+type FromItem struct {
+	Table      string
+	Sub        QueryExpr
+	Join       *JoinClause
+	Alias      string
+	ColAliases []string
+}
+
+// JoinClause is "left [OUTER] JOIN right ON cond" (Outer true) or an
+// INNER JOIN (Outer false). The paper's transformed queries use the left
+// outer join directly ("From DEPT D LOJ EMP E On (...)", §2).
+type JoinClause struct {
+	Left, Right FromItem
+	On          Expr
+	Outer       bool
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is any scalar or predicate expression.
+type Expr interface{ expr() }
+
+// ColRef is a possibly qualified column reference.
+type ColRef struct {
+	Qualifier string // empty when unqualified
+	Name      string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+// StringLit is a single-quoted string literal.
+type StringLit struct{ V string }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// BinOp enumerates binary operators (arithmetic, comparison, boolean).
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	}
+	return fmt.Sprintf("BinOp(%d)", uint8(op))
+}
+
+// IsComparison reports whether the operator is a comparison.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// Neg is arithmetic negation.
+type Neg struct{ E Expr }
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Like is "expr [NOT] LIKE pattern".
+type Like struct {
+	E, Pattern Expr
+	Negate     bool
+}
+
+// Between is "expr [NOT] BETWEEN lo AND hi".
+type Between struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+// InList is "expr [NOT] IN (e1, e2, ...)".
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+// InSubquery is "expr [NOT] IN (subquery)".
+type InSubquery struct {
+	E      Expr
+	Sub    QueryExpr
+	Negate bool
+}
+
+// Exists is "[NOT] EXISTS (subquery)".
+type Exists struct {
+	Sub    QueryExpr
+	Negate bool
+}
+
+// QuantCmp is "expr op ANY (subquery)" or "expr op ALL (subquery)".
+type QuantCmp struct {
+	Op  BinOp // comparison operator
+	E   Expr
+	All bool // true: ALL, false: ANY/SOME
+	Sub QueryExpr
+}
+
+// ScalarSubquery is a parenthesized subquery used as a scalar value.
+type ScalarSubquery struct{ Sub QueryExpr }
+
+// WhenClause is one WHEN cond THEN result arm of a CASE expression.
+type WhenClause struct {
+	Cond, Result Expr
+}
+
+// CaseExpr is a searched CASE (the operand form is desugared by the
+// parser into equality conditions).
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr // nil means ELSE NULL
+}
+
+// FuncCall is an aggregate or scalar function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string // lower-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*ColRef) expr()         {}
+func (*IntLit) expr()         {}
+func (*FloatLit) expr()       {}
+func (*StringLit) expr()      {}
+func (*NullLit) expr()        {}
+func (*BoolLit) expr()        {}
+func (*Bin) expr()            {}
+func (*Not) expr()            {}
+func (*Neg) expr()            {}
+func (*IsNull) expr()         {}
+func (*Like) expr()           {}
+func (*Between) expr()        {}
+func (*InList) expr()         {}
+func (*InSubquery) expr()     {}
+func (*Exists) expr()         {}
+func (*QuantCmp) expr()       {}
+func (*ScalarSubquery) expr() {}
+func (*CaseExpr) expr()       {}
+func (*FuncCall) expr()       {}
+
+// AggFuncs lists the aggregate function names recognized by the binder.
+var AggFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// IsAggregate reports whether e is an aggregate function call (shallow).
+func IsAggregate(e Expr) bool {
+	f, ok := e.(*FuncCall)
+	return ok && AggFuncs[f.Name]
+}
+
+// ContainsAggregate reports whether any aggregate function call occurs in
+// e, without descending into subqueries (their aggregates belong to them).
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ScalarSubquery, *Exists, *InSubquery, *QuantCmp:
+			if _, isQ := x.(*QuantCmp); isQ {
+				// still visit the comparison's left expression
+				return true
+			}
+			return false
+		}
+		if IsAggregate(x) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// WalkExpr visits e and its sub-expressions in prefix order. If f returns
+// false the walk does not descend into the node's children. Subquery bodies
+// are never visited (only the scalar parts of subquery-bearing nodes are).
+func WalkExpr(e Expr, f func(Expr) bool) {
+	if e == nil {
+		return
+	}
+	if !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Bin:
+		WalkExpr(x.L, f)
+		WalkExpr(x.R, f)
+	case *Not:
+		WalkExpr(x.E, f)
+	case *Neg:
+		WalkExpr(x.E, f)
+	case *IsNull:
+		WalkExpr(x.E, f)
+	case *Like:
+		WalkExpr(x.E, f)
+		WalkExpr(x.Pattern, f)
+	case *Between:
+		WalkExpr(x.E, f)
+		WalkExpr(x.Lo, f)
+		WalkExpr(x.Hi, f)
+	case *InList:
+		WalkExpr(x.E, f)
+		for _, it := range x.List {
+			WalkExpr(it, f)
+		}
+	case *InSubquery:
+		WalkExpr(x.E, f)
+	case *QuantCmp:
+		WalkExpr(x.E, f)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, f)
+			WalkExpr(w.Result, f)
+		}
+		WalkExpr(x.Else, f)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, f)
+		}
+	}
+}

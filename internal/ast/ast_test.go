@@ -1,0 +1,94 @@
+package ast
+
+import "testing"
+
+func TestContainsAggregate(t *testing.T) {
+	agg := &FuncCall{Name: "count", Star: true}
+	plain := &FuncCall{Name: "coalesce", Args: []Expr{&ColRef{Name: "a"}}}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{agg, true},
+		{plain, false},
+		{&Bin{Op: OpAdd, L: &IntLit{V: 1}, R: agg}, true},
+		{&Not{E: &Bin{Op: OpGt, L: agg, R: &IntLit{V: 0}}}, true},
+		{&ColRef{Name: "x"}, false},
+		// Aggregates inside subqueries belong to the subquery, not to the
+		// enclosing expression.
+		{&ScalarSubquery{Sub: &Select{}}, false},
+		{&InSubquery{E: &ColRef{Name: "x"}, Sub: &Select{}}, false},
+		{&QuantCmp{Op: OpGt, E: agg, Sub: &Select{}}, true}, // lhs still counts
+		{&CaseExpr{Whens: []WhenClause{{Cond: &BoolLit{V: true}, Result: agg}}}, true},
+	}
+	for i, c := range cases {
+		if got := ContainsAggregate(c.e); got != c.want {
+			t.Errorf("case %d: ContainsAggregate = %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestWalkExprVisitsEverything(t *testing.T) {
+	e := &Bin{Op: OpAnd,
+		L: &Between{E: &ColRef{Name: "a"}, Lo: &IntLit{V: 1}, Hi: &IntLit{V: 2}},
+		R: &Like{E: &ColRef{Name: "b"}, Pattern: &StringLit{V: "%x"}},
+	}
+	var colRefs, lits int
+	WalkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ColRef:
+			colRefs++
+		case *IntLit, *StringLit:
+			lits++
+		}
+		return true
+	})
+	if colRefs != 2 || lits != 3 {
+		t.Errorf("visited %d col refs, %d literals", colRefs, lits)
+	}
+	// Early cut-off: returning false stops descent.
+	visited := 0
+	WalkExpr(e, func(x Expr) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Errorf("cut-off walk visited %d nodes", visited)
+	}
+}
+
+func TestBinOpHelpers(t *testing.T) {
+	if !OpEq.IsComparison() || !OpGe.IsComparison() || OpAnd.IsComparison() || OpMul.IsComparison() {
+		t.Error("IsComparison misclassifies")
+	}
+	for op, want := range map[BinOp]string{
+		OpAdd: "+", OpNe: "<>", OpAnd: "AND", OpLe: "<=",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestSetOpKindString(t *testing.T) {
+	if Union.String() != "UNION" || Intersect.String() != "INTERSECT" || Except.String() != "EXCEPT" {
+		t.Error("set-op names broken")
+	}
+}
+
+func TestFormatExprStableShapes(t *testing.T) {
+	cases := map[string]Expr{
+		"(a + 3)":         &Bin{Op: OpAdd, L: &ColRef{Name: "a"}, R: &IntLit{V: 3}},
+		"t.a":             &ColRef{Qualifier: "t", Name: "a"},
+		"NULL":            &NullLit{},
+		"TRUE":            &BoolLit{V: true},
+		"'it''s'":         &StringLit{V: "it's"},
+		"count(*)":        &FuncCall{Name: "count", Star: true},
+		"sum(DISTINCT a)": &FuncCall{Name: "sum", Distinct: true, Args: []Expr{&ColRef{Name: "a"}}},
+	}
+	for want, e := range cases {
+		if got := FormatExpr(e); got != want {
+			t.Errorf("FormatExpr = %q want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatQuery renders a query expression back to SQL in this repository's
+// dialect. The output re-parses to a structurally identical AST (the
+// roundtrip property tested in internal/parser); it is used by tooling to
+// display normalized queries and stored view definitions.
+func FormatQuery(q QueryExpr) string {
+	var b strings.Builder
+	formatQuery(&b, q)
+	return b.String()
+}
+
+func formatQuery(b *strings.Builder, q QueryExpr) {
+	switch x := q.(type) {
+	case *Select:
+		formatSelect(b, x)
+	case *SetOp:
+		b.WriteString("(")
+		formatQuery(b, x.Left)
+		b.WriteString(") ")
+		b.WriteString(x.Op.String())
+		if x.All {
+			b.WriteString(" ALL")
+		}
+		b.WriteString(" (")
+		formatQuery(b, x.Right)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "/* unknown query %T */", q)
+	}
+}
+
+func formatSelect(b *strings.Builder, s *Select) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Qualifier != "":
+			b.WriteString(it.Qualifier + ".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(FormatExpr(it.Expr))
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, fi := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		formatFromItem(b, fi)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + FormatExpr(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(FormatExpr(e))
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + FormatExpr(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(FormatExpr(o.Expr))
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(b, " LIMIT %d", s.Limit)
+	}
+}
+
+func formatFromItem(b *strings.Builder, fi FromItem) {
+	if fi.Join != nil {
+		formatFromItem(b, fi.Join.Left)
+		if fi.Join.Outer {
+			b.WriteString(" LEFT OUTER JOIN ")
+		} else {
+			b.WriteString(" INNER JOIN ")
+		}
+		formatFromItem(b, fi.Join.Right)
+		b.WriteString(" ON " + FormatExpr(fi.Join.On))
+		return
+	}
+	if fi.Table != "" {
+		b.WriteString(fi.Table)
+	} else {
+		b.WriteString("(")
+		formatQuery(b, fi.Sub)
+		b.WriteString(")")
+	}
+	if fi.Alias != "" {
+		b.WriteString(" AS " + fi.Alias)
+		if len(fi.ColAliases) > 0 {
+			b.WriteString("(" + strings.Join(fi.ColAliases, ", ") + ")")
+		}
+	}
+}
+
+// FormatExpr renders an expression, fully parenthesized so precedence
+// never needs reconstructing.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Qualifier != "" {
+			return x.Qualifier + "." + x.Name
+		}
+		return x.Name
+	case *IntLit:
+		return strconv.FormatInt(x.V, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.V, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	case *StringLit:
+		return "'" + strings.ReplaceAll(x.V, "'", "''") + "'"
+	case *NullLit:
+		return "NULL"
+	case *BoolLit:
+		if x.V {
+			return "TRUE"
+		}
+		return "FALSE"
+	case *Bin:
+		return "(" + FormatExpr(x.L) + " " + x.Op.String() + " " + FormatExpr(x.R) + ")"
+	case *Not:
+		return "(NOT " + FormatExpr(x.E) + ")"
+	case *Neg:
+		return "(- " + FormatExpr(x.E) + ")"
+	case *IsNull:
+		if x.Negate {
+			return "(" + FormatExpr(x.E) + " IS NOT NULL)"
+		}
+		return "(" + FormatExpr(x.E) + " IS NULL)"
+	case *Like:
+		op := " LIKE "
+		if x.Negate {
+			op = " NOT LIKE "
+		}
+		return "(" + FormatExpr(x.E) + op + FormatExpr(x.Pattern) + ")"
+	case *Between:
+		op := " BETWEEN "
+		if x.Negate {
+			op = " NOT BETWEEN "
+		}
+		return "(" + FormatExpr(x.E) + op + FormatExpr(x.Lo) + " AND " + FormatExpr(x.Hi) + ")"
+	case *InList:
+		op := " IN ("
+		if x.Negate {
+			op = " NOT IN ("
+		}
+		items := make([]string, len(x.List))
+		for i, it := range x.List {
+			items[i] = FormatExpr(it)
+		}
+		return "(" + FormatExpr(x.E) + op + strings.Join(items, ", ") + "))"
+	case *InSubquery:
+		op := " IN ("
+		if x.Negate {
+			op = " NOT IN ("
+		}
+		return "(" + FormatExpr(x.E) + op + FormatQuery(x.Sub) + "))"
+	case *Exists:
+		prefix := "EXISTS ("
+		if x.Negate {
+			prefix = "NOT EXISTS ("
+		}
+		return "(" + prefix + FormatQuery(x.Sub) + "))"
+	case *QuantCmp:
+		quant := "ANY"
+		if x.All {
+			quant = "ALL"
+		}
+		return "(" + FormatExpr(x.E) + " " + x.Op.String() + " " + quant + " (" + FormatQuery(x.Sub) + "))"
+	case *ScalarSubquery:
+		return "(" + FormatQuery(x.Sub) + ")"
+	case *CaseExpr:
+		var b strings.Builder
+		b.WriteString("CASE")
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN " + FormatExpr(w.Cond) + " THEN " + FormatExpr(w.Result))
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE " + FormatExpr(x.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		d := ""
+		if x.Distinct {
+			d = "DISTINCT "
+		}
+		return x.Name + "(" + d + strings.Join(args, ", ") + ")"
+	}
+	return fmt.Sprintf("/* unknown expr %T */", e)
+}

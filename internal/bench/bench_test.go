@@ -1,0 +1,94 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"decorr/internal/bench"
+)
+
+// Every experiment must run at a small scale and produce a report whose
+// shape matches its artifact.
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := bench.Config{SF: 0.02, Seed: 42, Repeats: 1}
+	for _, ex := range bench.Experiments {
+		t.Run(ex.ID, func(t *testing.T) {
+			r, err := ex.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", ex.ID, err)
+			}
+			out := r.String()
+			if !strings.Contains(out, ex.ID) {
+				t.Errorf("report does not name its experiment:\n%s", out)
+			}
+			if len(r.Lines) == 0 && len(r.Extra) == 0 {
+				t.Error("empty report")
+			}
+		})
+	}
+}
+
+func TestFindExperiments(t *testing.T) {
+	if bench.Find("fig8") == nil || bench.Find("table1") == nil || bench.Find("parallel") == nil {
+		t.Error("known experiments not found")
+	}
+	if bench.Find("fig99") != nil {
+		t.Error("unknown experiment found")
+	}
+}
+
+// Shape assertions for the headline findings, on the benchmark scale used
+// in EXPERIMENTS.md. These are the regression tests for the reproduction
+// itself: if a change breaks a figure's shape, they fail.
+func TestFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shapes need the full benchmark scale")
+	}
+	cfg := bench.Config{SF: 0.1, Seed: 42, Repeats: 1}
+
+	get := func(r *bench.Report, strategy string) bench.Line {
+		for _, l := range r.Lines {
+			if l.Strategy == strategy {
+				return l
+			}
+		}
+		t.Fatalf("%s: no line for %s", r.ID, strategy)
+		return bench.Line{}
+	}
+
+	// Figure 7: NI must collapse without the subquery index; Mag must not.
+	fig7, err := bench.Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, mag := get(fig7, "NI"), get(fig7, "Mag")
+	if ni.Stats.Work() < 20*mag.Stats.Work() {
+		t.Errorf("fig7: NI work %d should dwarf Mag %d", ni.Stats.Work(), mag.Stats.Work())
+	}
+
+	// Figure 8: Kim and Dayal must be an order of magnitude worse than NI.
+	fig8, err := bench.Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni8, kim8, dayal8, opt8 := get(fig8, "NI"), get(fig8, "Kim"), get(fig8, "Dayal"), get(fig8, "OptMag")
+	if kim8.Stats.Work() < 10*ni8.Stats.Work() || dayal8.Stats.Work() < 10*ni8.Stats.Work() {
+		t.Errorf("fig8: Kim/Dayal (%d/%d) should be ≫ NI (%d)",
+			kim8.Stats.Work(), dayal8.Stats.Work(), ni8.Stats.Work())
+	}
+	if opt8.Stats.Work() > 4*ni8.Stats.Work() {
+		t.Errorf("fig8: OptMag (%d) should stay near NI (%d)", opt8.Stats.Work(), ni8.Stats.Work())
+	}
+
+	// Figure 9: Kim and Dayal inapplicable; Mag beats NI.
+	fig9, err := bench.Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if get(fig9, "Kim").Note == "" || get(fig9, "Dayal").Note == "" {
+		t.Error("fig9: Kim/Dayal should be flagged not applicable")
+	}
+	if get(fig9, "Mag").Stats.Work() >= get(fig9, "NI").Stats.Work() {
+		t.Error("fig9: Mag should do less work than NI")
+	}
+}

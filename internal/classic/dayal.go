@@ -1,0 +1,247 @@
+package classic
+
+import (
+	"fmt"
+
+	"decorr/internal/qgm"
+)
+
+// ApplyDayal rewrites the query with Dayal's method [Day87]: the outer
+// block and the correlated aggregate subquery merge into a single left
+// outer join, grouped by a key of the outer relations, with the aggregate
+// recomputed per outer row. COUNT(*) becomes COUNT(inner witness) so that
+// unmatched outer rows count zero — Dayal's fix for the COUNT bug.
+//
+// The method's limitations are enforced as the paper states them: it works
+// "only for linearly structured queries with SELECT and GROUPBY
+// constructs", and it needs declared keys on the outer relations. Its
+// performance problems also fall out structurally: the join of all
+// relations happens before any aggregation, and duplicate correlation
+// values cause repeated aggregate computation.
+func ApplyDayal(g *qgm.Graph) error {
+	// Locate the (single) SELECT block that owns a correlated scalar
+	// subquery; in an aggregate query like the paper's Query 2 that block
+	// sits below the outer GROUP BY.
+	var outer *qgm.Box
+	var scalar *qgm.Quantifier
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Kind != qgm.BoxSelect {
+			continue
+		}
+		for _, q := range b.Quants {
+			if q.Kind == qgm.QScalar && qgm.CorrelatedTo(q.Input, b) {
+				if scalar != nil {
+					return fmt.Errorf("%w: Dayal's method handles a single correlated subquery", ErrNotApplicable)
+				}
+				outer, scalar = b, q
+			}
+		}
+	}
+	if scalar == nil {
+		if remainingCorrelation(g) {
+			return fmt.Errorf("%w: correlation is not a scalar aggregate subquery of a SELECT block", ErrNotApplicable)
+		}
+		return nil
+	}
+	for _, q := range outer.Quants {
+		if q == scalar {
+			continue
+		}
+		if q.Kind != qgm.QForEach {
+			return fmt.Errorf("%w: outer block has a quantified predicate", ErrNotApplicable)
+		}
+		if qgm.IsCorrelated(q.Input) {
+			return fmt.Errorf("%w: outer FROM item is itself correlated", ErrNotApplicable)
+		}
+	}
+	p, err := findAggPattern(outer, scalar)
+	if err != nil {
+		return err
+	}
+	if err := p.decompose(); err != nil {
+		return err
+	}
+	if len(p.outerRefs) == 0 {
+		return fmt.Errorf("%w: no correlated predicate found", ErrNotApplicable)
+	}
+
+	// L: the outer block's own computation (its FROM items and the
+	// predicates that do not involve the subquery value).
+	l := g.NewBox(qgm.BoxSelect, "Dayal-L")
+	for _, q := range append([]*qgm.Quantifier(nil), outer.Quants...) {
+		if q == scalar {
+			continue
+		}
+		outer.RemoveQuant(q)
+		q.Owner = l
+		l.Quants = append(l.Quants, q)
+	}
+	var keepPreds []qgm.Expr
+	for _, pred := range outer.Preds {
+		if qgm.RefsQuant(pred, scalar) {
+			keepPreds = append(keepPreds, pred)
+		} else {
+			l.Preds = append(l.Preds, pred)
+		}
+	}
+	outer.Preds = nil
+
+	// L outputs: every outer column referenced anywhere (outputs, the
+	// kept predicates, the correlation) plus a declared key of each outer
+	// relation — the GROUP BY key that preserves duplicate semantics.
+	lpos := map[qgm.RefKey]int{}
+	addL := func(q *qgm.Quantifier, col int) int {
+		k := qgm.RefKey{Q: q, Col: col}
+		if p, ok := lpos[k]; ok {
+			return p
+		}
+		name := fmt.Sprintf("l%d", len(l.Cols))
+		if col < len(q.Input.Cols) && q.Input.Cols[col].Name != "" {
+			name = q.Input.Cols[col].Name
+		}
+		lpos[k] = len(l.Cols)
+		l.Cols = append(l.Cols, qgm.OutCol{Name: name, Expr: qgm.Ref(q, col)})
+		return lpos[k]
+	}
+	for _, q := range l.Quants {
+		if q.Kind != qgm.QForEach {
+			continue
+		}
+		in := q.Input
+		if in.Kind != qgm.BoxBase || len(in.Table.Keys) == 0 {
+			return fmt.Errorf("%w: outer relation %q has no declared key for Dayal's GROUP BY", ErrNotApplicable, in.Label)
+		}
+		for _, kc := range in.Table.Keys[0] {
+			addL(q, kc)
+		}
+	}
+	collect := func(e qgm.Expr) {
+		for _, r := range qgm.Refs(e) {
+			if r.Q.Owner == l {
+				addL(r.Q, r.Col)
+			}
+		}
+	}
+	for _, c := range outer.Cols {
+		collect(c.Expr)
+	}
+	for _, pred := range keepPreds {
+		collect(pred)
+	}
+	for _, ref := range p.outerRefs {
+		collect(ref)
+	}
+
+	// R: the subquery body, exposing its aggregate arguments and the inner
+	// correlation expressions (the join columns, doubling as non-NULL
+	// witnesses for COUNT).
+	r := p.body
+	r.Label = "Dayal-R"
+	rInnerBase := len(r.Cols)
+	for i, e := range p.innerExprs {
+		r.Cols = append(r.Cols, qgm.OutCol{Name: fmt.Sprintf("k%d", i), Expr: e})
+	}
+
+	// J: L LOJ R on the former correlation predicates.
+	j := g.NewBox(qgm.BoxLeftJoin, "Dayal-LOJ")
+	ql := g.AddQuant(j, qgm.QForEach, l)
+	qr := g.AddQuant(j, qgm.QForEach, r)
+	for i, ref := range p.outerRefs {
+		j.Preds = append(j.Preds, qgm.NewEq(
+			qgm.Ref(ql, lpos[qgm.RefKey{Q: ref.Q, Col: ref.Col}]),
+			qgm.Ref(qr, rInnerBase+i)))
+	}
+	for i, c := range l.Cols {
+		j.Cols = append(j.Cols, qgm.OutCol{Name: c.Name, Expr: qgm.Ref(ql, i)})
+	}
+	for i, c := range r.Cols {
+		j.Cols = append(j.Cols, qgm.OutCol{Name: c.Name, Expr: qgm.Ref(qr, i)})
+	}
+
+	// G: group the join by all L columns (they include the keys).
+	grp := g.NewBox(qgm.BoxGroup, "Dayal-G")
+	qj := g.AddQuant(grp, qgm.QForEach, j)
+	for i, c := range l.Cols {
+		grp.GroupBy = append(grp.GroupBy, qgm.Ref(qj, i))
+		grp.Cols = append(grp.Cols, qgm.OutCol{Name: c.Name, Expr: qgm.Ref(qj, i)})
+	}
+	aggBase := len(grp.Cols)
+	for i, c := range p.group.Cols {
+		agg, ok := c.Expr.(*qgm.Agg)
+		if !ok {
+			return fmt.Errorf("%w: aggregate box output %q is not a plain aggregate", ErrNotApplicable, c.Name)
+		}
+		na := &qgm.Agg{Op: agg.Op, Distinct: agg.Distinct}
+		if agg.Op == qgm.AggCountStar {
+			// COUNT(*) over the outer join would count the NULL-extended
+			// row; count the witness column instead.
+			na.Op = qgm.AggCount
+			na.Arg = qgm.Ref(qj, len(l.Cols)+rInnerBase)
+		} else if agg.Arg != nil {
+			ar, ok := agg.Arg.(*qgm.ColRef)
+			if !ok {
+				return fmt.Errorf("%w: aggregate argument too complex", ErrNotApplicable)
+			}
+			na.Arg = qgm.Ref(qj, len(l.Cols)+ar.Col)
+		}
+		grp.Cols = append(grp.Cols, qgm.OutCol{Name: fmt.Sprintf("a%d", i), Expr: na})
+	}
+
+	// Rebuild the outer block on top of G: its outputs and the predicates
+	// that used the subquery value, with the value recomposed through the
+	// subquery's wrapper chain.
+	qg := g.AddQuant(outer, qgm.QForEach, grp)
+	outer.RemoveQuant(scalar)
+	valueExpr := composeWrapperValue(p, qg, aggBase)
+	rewriteMap := func(e qgm.Expr) qgm.Expr {
+		return qgm.Rewrite(e, func(x qgm.Expr) qgm.Expr {
+			if r, ok := x.(*qgm.ColRef); ok {
+				if r.Q == scalar {
+					if r.Col >= len(valueExpr) {
+						return x
+					}
+					return qgm.CloneExpr(valueExpr[r.Col])
+				}
+				if r.Q.Owner == l {
+					return qgm.Ref(qg, lpos[qgm.RefKey{Q: r.Q, Col: r.Col}])
+				}
+			}
+			return x
+		})
+	}
+	for i := range outer.Cols {
+		outer.Cols[i].Expr = rewriteMap(outer.Cols[i].Expr)
+	}
+	for _, pred := range keepPreds {
+		outer.Preds = append(outer.Preds, rewriteMap(pred))
+	}
+	return nil
+}
+
+// composeWrapperValue rebuilds, for each output column of the subquery's
+// top box, an expression over the new group box: the wrapper chain's
+// projections are inlined over the aggregate outputs.
+func composeWrapperValue(p *aggPattern, qg *qgm.Quantifier, aggBase int) []qgm.Expr {
+	// Start at the group box: column i of the original group box lives at
+	// aggBase+i in the new one.
+	cur := make([]qgm.Expr, len(p.group.Cols))
+	for i := range p.group.Cols {
+		cur[i] = qgm.Ref(qg, aggBase+i)
+	}
+	for i := len(p.chain) - 1; i >= 0; i-- {
+		w := p.chain[i]
+		next := make([]qgm.Expr, len(w.Cols))
+		for ci, c := range w.Cols {
+			next[ci] = qgm.Rewrite(c.Expr, func(x qgm.Expr) qgm.Expr {
+				if r, ok := x.(*qgm.ColRef); ok && r.Q == w.Quants[0] {
+					if r.Col < len(cur) {
+						return qgm.CloneExpr(cur[r.Col])
+					}
+				}
+				return x
+			})
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,55 @@
+package classic
+
+import (
+	"fmt"
+
+	"decorr/internal/core"
+	"decorr/internal/qgm"
+)
+
+// ApplyGanskiWong applies the Ganski/Wong method [GW87]. As §2 and §7 of
+// the paper explain, it is the single-table special case of magic
+// decorrelation: a temporary table of distinct correlation values is
+// projected from the (single) outer relation and joined into the subquery
+// through an outer join. The paper's criticisms are enforced as
+// applicability limits: the outer block must consist of exactly one base
+// relation plus the correlated aggregate subquery (no supplementary table
+// is ever built), and the query must be linear.
+func ApplyGanskiWong(g *qgm.Graph, order core.Orderer) error {
+	outer := g.Root
+	if outer.Kind != qgm.BoxSelect {
+		return fmt.Errorf("%w: Ganski/Wong needs a SELECT outer block", ErrNotApplicable)
+	}
+	var scalar *qgm.Quantifier
+	tables := 0
+	for _, q := range outer.Quants {
+		switch {
+		case q.Kind == qgm.QScalar && qgm.CorrelatedTo(q.Input, outer):
+			if scalar != nil {
+				return fmt.Errorf("%w: Ganski/Wong handles a single correlated subquery", ErrNotApplicable)
+			}
+			scalar = q
+		case q.Kind == qgm.QForEach && q.Input.Kind == qgm.BoxBase:
+			tables++
+		default:
+			return fmt.Errorf("%w: outer block is more than one base relation", ErrNotApplicable)
+		}
+	}
+	if scalar == nil {
+		if remainingCorrelation(g) {
+			return fmt.Errorf("%w: correlation is not a scalar subquery of the outer block", ErrNotApplicable)
+		}
+		return nil
+	}
+	if tables != 1 {
+		return fmt.Errorf("%w: Ganski/Wong requires exactly one outer relation, found %d", ErrNotApplicable, tables)
+	}
+	// Shape-check the subquery the way the original method could handle.
+	if _, err := findAggPattern(outer, scalar); err != nil {
+		return err
+	}
+	// The mechanics coincide with magic decorrelation restricted to this
+	// shape; the "supplementary table" degenerates to the single relation.
+	opts := core.Options{UseOuterJoin: true, Order: order}
+	return core.Decorrelate(g, opts, nil)
+}

@@ -1,0 +1,95 @@
+package classic
+
+import (
+	"fmt"
+
+	"decorr/internal/qgm"
+)
+
+// ApplyKim rewrites every correlated scalar aggregate subquery with Kim's
+// method [Kim82]: the subquery becomes an unrestricted grouped table
+// expression keyed on the (inner side of the) correlation columns, and the
+// correlation predicate moves to the outer block as an ordinary join.
+//
+// Two properties of the original algorithm are reproduced deliberately:
+//
+//   - the aggregate is computed for every group in the inner table, not
+//     just the bindings the outer block needs (the paper's performance
+//     criticism), and
+//
+//   - groups absent from the inner table produce no row at all, so a
+//     COUNT(*) that should have been 0 silently disappears — the COUNT bug
+//     [Kie84]. TestCountBug asserts this historically faithful wrongness.
+func ApplyKim(g *qgm.Graph) error {
+	for _, outer := range qgm.Boxes(g.Root) {
+		if outer.Kind != qgm.BoxSelect {
+			continue
+		}
+		for _, q := range append([]*qgm.Quantifier(nil), outer.Quants...) {
+			if q.Kind != qgm.QScalar || !qgm.CorrelatedTo(q.Input, outer) {
+				continue
+			}
+			if err := kimOne(g, outer, q); err != nil {
+				return err
+			}
+		}
+	}
+	if remainingCorrelation(g) {
+		return fmt.Errorf("%w: Kim's method left correlation behind (non-linear or non-aggregate subquery)", ErrNotApplicable)
+	}
+	return nil
+}
+
+func kimOne(g *qgm.Graph, outer *qgm.Box, q *qgm.Quantifier) error {
+	p, err := findAggPattern(outer, q)
+	if err != nil {
+		return err
+	}
+	if err := p.decompose(); err != nil {
+		return err
+	}
+	if len(p.outerRefs) == 0 {
+		return fmt.Errorf("%w: no correlated predicate found", ErrNotApplicable)
+	}
+
+	// The inner correlation expressions become extra body outputs...
+	bodyBase := len(p.body.Cols)
+	for i, e := range p.innerExprs {
+		p.body.Cols = append(p.body.Cols, qgm.OutCol{
+			Name: fmt.Sprintf("k%d", i), Expr: e,
+		})
+	}
+	// ...the group box groups by them and passes them through...
+	gq := p.group.Quants[0]
+	groupBase := len(p.group.Cols)
+	for i := range p.innerExprs {
+		ref := qgm.Ref(gq, bodyBase+i)
+		p.group.GroupBy = append(p.group.GroupBy, ref)
+		p.group.Cols = append(p.group.Cols, qgm.OutCol{
+			Name: fmt.Sprintf("k%d", i), Expr: qgm.Ref(gq, bodyBase+i),
+		})
+	}
+	// ...and each SELECT wrapper passes them through as well (walking from
+	// the innermost wrapper outward).
+	prev := groupBase
+	for i := len(p.chain) - 1; i >= 0; i-- {
+		w := p.chain[i]
+		wq := w.Quants[0]
+		base := len(w.Cols)
+		for j := range p.innerExprs {
+			w.Cols = append(w.Cols, qgm.OutCol{
+				Name: fmt.Sprintf("k%d", j), Expr: qgm.Ref(wq, prev+j),
+			})
+		}
+		prev = base
+	}
+	// The outer block joins the grouped table expression on the former
+	// correlation columns.
+	for i, ref := range p.outerRefs {
+		outer.Preds = append(outer.Preds, qgm.NewEq(
+			&qgm.ColRef{Q: ref.Q, Col: ref.Col}, qgm.Ref(q, prev+i)))
+	}
+	q.Kind = qgm.QForEach
+	q.Input.Label = "Temp(Kim)"
+	return nil
+}

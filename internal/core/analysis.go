@@ -1,0 +1,213 @@
+package core
+
+import (
+	"decorr/internal/qgm"
+	"decorr/internal/sqltypes"
+)
+
+// guaranteesRow reports whether a box produces at least one row on every
+// evaluation, regardless of the data it sees. An ungrouped aggregate is the
+// canonical case: COUNT(*) over an empty scan still yields one row — the
+// property behind the COUNT bug, because a grouped rewrite loses that row.
+func guaranteesRow(b *qgm.Box) bool {
+	switch b.Kind {
+	case qgm.BoxGroup:
+		return len(b.GroupBy) == 0
+	case qgm.BoxSelect:
+		if len(b.Preds) > 0 {
+			return false
+		}
+		for _, q := range b.Quants {
+			switch q.Kind {
+			case qgm.QScalar:
+				// Scalar quantifiers always contribute one row (all-NULL
+				// when the subquery is empty).
+			case qgm.QForEach:
+				if !guaranteesRow(q.Input) {
+					return false
+				}
+			default:
+				return false // existential/universal quantifiers filter
+			}
+		}
+		return true
+	case qgm.BoxUnion:
+		for _, q := range b.Quants {
+			if guaranteesRow(q.Input) {
+				return true
+			}
+		}
+		return false
+	case qgm.BoxLeftJoin:
+		return guaranteesRow(b.Quants[0].Input)
+	}
+	return false
+}
+
+// emptyRowValues computes, symbolically, the single row a row-guaranteeing
+// subquery returns when the correlated binding matches no data: COUNT
+// aggregates yield 0, other aggregates NULL, and wrapper projections fold
+// constants over those. ok=false when the shape is too complex to analyze
+// (the caller then declines to decorrelate rather than risk a wrong
+// compensation).
+func emptyRowValues(b *qgm.Box) ([]sqltypes.Value, bool) {
+	switch b.Kind {
+	case qgm.BoxGroup:
+		if len(b.GroupBy) != 0 {
+			return nil, false
+		}
+		out := make([]sqltypes.Value, len(b.Cols))
+		for i, c := range b.Cols {
+			v, ok := foldEmpty(c.Expr, nil, nil)
+			if !ok {
+				return nil, false
+			}
+			out[i] = v
+		}
+		return out, true
+	case qgm.BoxSelect:
+		if len(b.Preds) > 0 || len(b.Quants) != 1 || b.Quants[0].Kind != qgm.QForEach {
+			return nil, false
+		}
+		inner, ok := emptyRowValues(b.Quants[0].Input)
+		if !ok {
+			return nil, false
+		}
+		out := make([]sqltypes.Value, len(b.Cols))
+		for i, c := range b.Cols {
+			v, ok := foldEmpty(c.Expr, b.Quants[0], inner)
+			if !ok {
+				return nil, false
+			}
+			out[i] = v
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// foldEmpty evaluates an expression in the empty-group environment:
+// aggregates become their empty value, references to quantifier q take the
+// supplied inner row, any other reference is NULL (it ranged over the empty
+// input).
+func foldEmpty(e qgm.Expr, q *qgm.Quantifier, inner []sqltypes.Value) (sqltypes.Value, bool) {
+	switch x := e.(type) {
+	case *qgm.Agg:
+		if x.Op.NeverNullOnEmpty() {
+			return sqltypes.NewInt(0), true
+		}
+		return sqltypes.Null, true
+	case *qgm.Const:
+		return x.V, true
+	case *qgm.ColRef:
+		if q != nil && x.Q == q && x.Col < len(inner) {
+			return inner[x.Col], true
+		}
+		return sqltypes.Null, true
+	case *qgm.Bin:
+		switch x.Op {
+		case qgm.OpAdd, qgm.OpSub, qgm.OpMul, qgm.OpDiv:
+			l, ok := foldEmpty(x.L, q, inner)
+			if !ok {
+				return sqltypes.Null, false
+			}
+			r, ok := foldEmpty(x.R, q, inner)
+			if !ok {
+				return sqltypes.Null, false
+			}
+			v, err := sqltypes.Arith(arithOp(x.Op), l, r)
+			if err != nil {
+				return sqltypes.Null, false
+			}
+			return v, true
+		}
+		return sqltypes.Null, false
+	case *qgm.Func:
+		if x.Name == "coalesce" {
+			vals := make([]sqltypes.Value, len(x.Args))
+			for i, a := range x.Args {
+				v, ok := foldEmpty(a, q, inner)
+				if !ok {
+					return sqltypes.Null, false
+				}
+				vals[i] = v
+			}
+			return sqltypes.Coalesce(vals...), true
+		}
+	}
+	return sqltypes.Null, false
+}
+
+func arithOp(op qgm.Op) sqltypes.ArithOp {
+	switch op {
+	case qgm.OpAdd:
+		return sqltypes.OpAdd
+	case qgm.OpSub:
+		return sqltypes.OpSub
+	case qgm.OpMul:
+		return sqltypes.OpMul
+	}
+	return sqltypes.OpDiv
+}
+
+// refsNullRejecting reports whether every use of quantifier q in box b is
+// inside a null-rejecting predicate: a NULL (or missing) subquery value
+// then guarantees the outer row is filtered, so an inner join is equivalent
+// to the compensating outer join. The check is conservative: any use in an
+// output column, or inside IS NULL / COALESCE / OR, defeats it.
+func refsNullRejecting(b *qgm.Box, q *qgm.Quantifier) bool {
+	for _, c := range b.Cols {
+		if qgm.RefsQuant(c.Expr, q) {
+			return false
+		}
+	}
+	for _, ge := range b.GroupBy {
+		if qgm.RefsQuant(ge, q) {
+			return false
+		}
+	}
+	for _, p := range b.Preds {
+		if !qgm.RefsQuant(p, q) {
+			continue
+		}
+		rejecting := true
+		qgm.Walk(p, func(e qgm.Expr) bool {
+			switch x := e.(type) {
+			case *qgm.IsNull, *qgm.Func, *qgm.Case:
+				rejecting = false
+			case *qgm.Bin:
+				if x.Op == qgm.OpOr {
+					rejecting = false
+				}
+			}
+			return rejecting
+		})
+		if !rejecting {
+			return false
+		}
+	}
+	return true
+}
+
+// absorbable reports whether the magic table can be pushed into box b: the
+// spine from b down to the correlated SPJ boxes must consist of SELECT,
+// GROUP BY, and UNION boxes only.
+func absorbable(b *qgm.Box) bool {
+	switch b.Kind {
+	case qgm.BoxSelect:
+		return true
+	case qgm.BoxGroup:
+		return absorbable(b.Quants[0].Input)
+	case qgm.BoxUnion, qgm.BoxIntersect, qgm.BoxExcept:
+		// Tagging every branch row with the magic binding commutes with
+		// union, intersection and difference: the bindings partition the
+		// rows, so per-binding set operations equal the global ones.
+		for _, q := range b.Quants {
+			if !absorbable(q.Input) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

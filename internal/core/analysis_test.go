@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"decorr/internal/parser"
+	"decorr/internal/qgm"
+	"decorr/internal/semant"
+	"decorr/internal/sqltypes"
+	"decorr/internal/tpcd"
+)
+
+// bindRoot binds sql against the TPC-D catalog and returns the graph.
+func bindRoot(t *testing.T, sql string) *qgm.Graph {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tpcd.Generate(tpcd.Config{SF: 0.01, Seed: 1})
+	g, err := semant.Bind(q, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGuaranteesRow(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want bool
+	}{
+		{"select count(*) from parts", true},                               // ungrouped aggregate
+		{"select sum(p_size) from parts", true},                            // ditto
+		{"select count(*) from parts group by p_brand", false},             // grouped
+		{"select p_size from parts", false},                                // plain scan
+		{"select p_size from parts where p_size = 1", false},               // filtered
+		{"select count(*) from parts union all select 1 from parts", true}, // union keeps rows
+	}
+	for _, c := range cases {
+		g := bindRoot(t, c.sql)
+		if got := guaranteesRow(g.Root); got != c.want {
+			t.Errorf("guaranteesRow(%q) = %v want %v", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestEmptyRowValues(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want []string // rendered values; nil means "not analyzable"
+	}{
+		{"select count(*) from parts", []string{"0"}},
+		{"select count(*), min(p_size) from parts", []string{"0", "NULL"}},
+		{"select sum(p_size), avg(p_size) from parts", []string{"NULL", "NULL"}},
+		{"select 0.2 * avg(p_size) from parts", []string{"NULL"}},
+		{"select count(*) + 1 from parts", []string{"1"}},
+		{"select coalesce(sum(p_size), 0) from parts", []string{"0"}},
+		{"select count(*) from parts group by p_brand", nil},
+	}
+	for _, c := range cases {
+		g := bindRoot(t, c.sql)
+		vals, ok := emptyRowValues(g.Root)
+		if c.want == nil {
+			if ok {
+				t.Errorf("emptyRowValues(%q) unexpectedly analyzable: %v", c.sql, vals)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("emptyRowValues(%q) not analyzable", c.sql)
+			continue
+		}
+		if len(vals) != len(c.want) {
+			t.Errorf("emptyRowValues(%q) = %v", c.sql, vals)
+			continue
+		}
+		for i, v := range vals {
+			if v.String() != c.want[i] {
+				t.Errorf("emptyRowValues(%q)[%d] = %s want %s", c.sql, i, v, c.want[i])
+			}
+		}
+	}
+}
+
+func TestKeyWithin(t *testing.T) {
+	// parts: key p_partkey (output 0 below).
+	g := bindRoot(t, "select p_partkey, p_brand from parts where p_size = 3")
+	if !qgm.KeyWithin(g.Root, map[int]bool{0: true}) {
+		t.Error("p_partkey is a key of the filtered parts scan")
+	}
+	if qgm.KeyWithin(g.Root, map[int]bool{1: true}) {
+		t.Error("p_brand is not a key")
+	}
+	// Join: needs keys from both sides.
+	g = bindRoot(t, `select p.p_partkey, ps.ps_partkey, ps.ps_suppkey
+	                 from parts p, partsupp ps where p.p_partkey = ps.ps_partkey`)
+	if !qgm.KeyWithin(g.Root, map[int]bool{0: true, 1: true, 2: true}) {
+		t.Error("part key + partsupp key identify the join")
+	}
+	if qgm.KeyWithin(g.Root, map[int]bool{0: true}) {
+		t.Error("part key alone does not identify the join")
+	}
+	// DISTINCT over all chosen outputs is a key.
+	g = bindRoot(t, "select distinct p_brand from parts")
+	if !qgm.KeyWithin(g.Root, map[int]bool{0: true}) {
+		t.Error("all columns of a DISTINCT projection form a key")
+	}
+	// Grouped: group columns are the key.
+	g = bindRoot(t, "select p_brand, count(*) from parts group by p_brand")
+	// Root here is the projection wrapper; locate the group box.
+	var grp *qgm.Box
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Kind == qgm.BoxGroup {
+			grp = b
+		}
+	}
+	if grp == nil {
+		t.Fatal("no group box")
+	}
+	if !qgm.KeyWithin(grp, map[int]bool{0: true}) {
+		t.Error("grouping column is a key of the group box")
+	}
+	if qgm.KeyWithin(grp, map[int]bool{1: true}) {
+		t.Error("the aggregate output is not a key")
+	}
+}
+
+func TestRefsNullRejecting(t *testing.T) {
+	g := qgm.NewGraph()
+	base := g.NewBaseBox(tpcd.EmpDept().Catalog.Lookup("dept"))
+	b := g.NewBox(qgm.BoxSelect, "b")
+	q := g.AddQuant(b, qgm.QForEach, base)
+	sub := g.NewBaseBox(tpcd.EmpDept().Catalog.Lookup("emp"))
+	qs := g.AddQuant(b, qgm.QForEach, sub)
+	b.Cols = []qgm.OutCol{{Name: "n", Expr: qgm.Ref(q, 0)}}
+
+	set := func(p qgm.Expr) { b.Preds = []qgm.Expr{p} }
+
+	set(&qgm.Bin{Op: qgm.OpGt, L: qgm.Ref(q, 1), R: qgm.Ref(qs, 0)})
+	if !refsNullRejecting(b, qs) {
+		t.Error("comparison is null-rejecting")
+	}
+	set(&qgm.IsNull{E: qgm.Ref(qs, 0)})
+	if refsNullRejecting(b, qs) {
+		t.Error("IS NULL is not null-rejecting")
+	}
+	set(&qgm.Bin{Op: qgm.OpOr,
+		L: &qgm.Bin{Op: qgm.OpEq, L: qgm.Ref(qs, 0), R: qgm.ConstInt(1)},
+		R: &qgm.Bin{Op: qgm.OpEq, L: qgm.Ref(q, 1), R: qgm.ConstInt(1)}})
+	if refsNullRejecting(b, qs) {
+		t.Error("OR is not null-rejecting")
+	}
+	set(&qgm.Bin{Op: qgm.OpEq,
+		L: &qgm.Func{Name: "coalesce", Args: []qgm.Expr{qgm.Ref(qs, 0), qgm.ConstInt(0)}},
+		R: qgm.ConstInt(0)})
+	if refsNullRejecting(b, qs) {
+		t.Error("COALESCE is not null-rejecting")
+	}
+	// Output use defeats the analysis.
+	b.Preds = nil
+	b.Cols = append(b.Cols, qgm.OutCol{Name: "v", Expr: qgm.Ref(qs, 0)})
+	if refsNullRejecting(b, qs) {
+		t.Error("output use is not null-rejecting")
+	}
+}
+
+func TestFoldEmptyArithNullPropagation(t *testing.T) {
+	v, ok := foldEmpty(&qgm.Bin{Op: qgm.OpMul,
+		L: &qgm.Const{V: sqltypes.NewFloat(0.2)},
+		R: &qgm.Agg{Op: qgm.AggAvg, Arg: qgm.ConstInt(1)}}, nil, nil)
+	if !ok || !v.IsNull() {
+		t.Errorf("0.2 * AVG over empty = %v (ok=%v), want NULL", v, ok)
+	}
+	v, ok = foldEmpty(&qgm.Bin{Op: qgm.OpAdd,
+		L: &qgm.Agg{Op: qgm.AggCountStar},
+		R: &qgm.Const{V: sqltypes.NewInt(5)}}, nil, nil)
+	if !ok || v.I != 5 {
+		t.Errorf("COUNT(*)+5 over empty = %v, want 5", v)
+	}
+}
+
+func TestAbsorbable(t *testing.T) {
+	g := bindRoot(t, "select count(*) from parts group by p_brand")
+	if !absorbable(g.Root) {
+		t.Error("select-over-group chain is absorbable")
+	}
+	base := qgm.NewGraph().NewBaseBox(tpcd.EmpDept().Catalog.Lookup("emp"))
+	if absorbable(base) {
+		t.Error("a base table cannot absorb a magic table")
+	}
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"decorr/internal/qgm"
+	"decorr/internal/sqltypes"
+)
+
+// Decorrelate rewrites the graph in place, eliminating (as far as the
+// options allow) all correlations. The caller should run the cleanup
+// rewrite rules afterwards to merge the helper boxes the algorithm
+// introduces, and Validate the graph.
+func Decorrelate(g *qgm.Graph, opts Options, tr *Trace) error {
+	d := &decorrelator{
+		g:    g,
+		opts: opts,
+		tr:   tr,
+		fed:  map[*qgm.Quantifier]bool{},
+		done: map[*qgm.Box]bool{},
+	}
+	d.snap("initial correlated QGM (Fig 2a)")
+	if err := d.process(g.Root); err != nil {
+		return err
+	}
+	if err := qgm.Validate(g); err != nil {
+		return fmt.Errorf("core: decorrelation left inconsistent graph: %w", err)
+	}
+	d.snap("final decorrelated QGM")
+	return nil
+}
+
+type decorrelator struct {
+	g    *qgm.Graph
+	opts Options
+	tr   *Trace
+	fed  map[*qgm.Quantifier]bool
+	done map[*qgm.Box]bool
+}
+
+// process walks the graph top-down. At each SELECT box it feeds every
+// correlated child; absorbed children may expose new correlations one
+// level down, handled when recursion reaches them — this is the paper's
+// level-by-level propagation of correlation bindings.
+func (d *decorrelator) process(b *qgm.Box) error {
+	if d.done[b] {
+		return nil
+	}
+	d.done[b] = true
+	if b.Kind == qgm.BoxSelect {
+		for {
+			fed := false
+			for _, q := range append([]*qgm.Quantifier(nil), b.Quants...) {
+				if d.fed[q] || !qgm.CorrelatedTo(q.Input, b) {
+					continue
+				}
+				d.fed[q] = true
+				if !d.canDecorrelate(b, q) {
+					continue
+				}
+				if err := d.feed(b, q); err != nil {
+					return err
+				}
+				fed = true
+				break
+			}
+			if !fed {
+				break
+			}
+		}
+	}
+	for _, q := range append([]*qgm.Quantifier(nil), b.Quants...) {
+		if err := d.process(q.Input); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canDecorrelate is the "deciding to decorrelate" step (§4.1): it checks
+// the child's shape, the knobs, and the feasibility of COUNT-bug
+// compensation.
+func (d *decorrelator) canDecorrelate(b *qgm.Box, q *qgm.Quantifier) bool {
+	child := q.Input
+	if !absorbable(child) {
+		return false
+	}
+	if q.Kind.IsSubquery() && !d.opts.DecorrelateExistential {
+		return false
+	}
+	if q.Kind == qgm.QAll {
+		// A universal quantifier's tie predicates are conditions every
+		// row must meet; the magic-equality tie would have to act as a
+		// restriction instead. The box encapsulator therefore declines,
+		// exactly the situation §4.4 describes for ALL subqueries.
+		return false
+	}
+	// Shared children (common subexpressions) are left alone; the paper
+	// assumes hierarchical queries for the rewrite.
+	refs := 0
+	for _, box := range qgm.Boxes(d.g.Root) {
+		for _, bq := range box.Quants {
+			if bq.Input == child {
+				refs++
+			}
+		}
+	}
+	if refs > 1 {
+		return false
+	}
+	// Correlation must come from row-contributing quantifiers of b.
+	for _, r := range qgm.FreeRefs(child) {
+		if r.Q.Owner == b && r.Q.Kind.IsSubquery() {
+			return false
+		}
+	}
+	comp := d.compensationPlan(b, q)
+	if comp.need && (!d.opts.UseOuterJoin || !comp.ok) {
+		return false
+	}
+	return true
+}
+
+// compPlan captures the COUNT-bug analysis for one fed subquery.
+type compPlan struct {
+	need      bool             // a compensating outer join is required
+	ok        bool             // the analysis succeeded
+	emptyVals []sqltypes.Value // per-column value for unmatched bindings
+}
+
+func (d *decorrelator) compensationPlan(b *qgm.Box, q *qgm.Quantifier) compPlan {
+	child := q.Input
+	if q.Kind.IsSubquery() {
+		// EXISTS/ANY/ALL quantifier semantics over the decorrelated view
+		// are preserved by the tie predicates alone (an absent binding is
+		// an empty set, which is what nested iteration saw too).
+		return compPlan{ok: true}
+	}
+	if guaranteesRow(child) {
+		vals, ok := emptyRowValues(child)
+		if !ok {
+			return compPlan{need: true}
+		}
+		allNull := true
+		for _, v := range vals {
+			if !v.IsNull() {
+				allNull = false
+				break
+			}
+		}
+		if allNull && q.Kind == qgm.QScalar && refsNullRejecting(b, q) {
+			// NI would produce NULLs that null-rejecting predicates
+			// filter; the inner join drops the same rows (§5.2: "none of
+			// the queries required the use of an outer-join").
+			return compPlan{ok: true}
+		}
+		return compPlan{need: true, ok: true, emptyVals: vals}
+	}
+	if q.Kind == qgm.QScalar && !refsNullRejecting(b, q) {
+		nulls := make([]sqltypes.Value, len(child.Cols))
+		return compPlan{need: true, ok: true, emptyVals: nulls}
+	}
+	return compPlan{ok: true}
+}
+
+// orderOf returns the NI binding order of b's quantifiers.
+func (d *decorrelator) orderOf(b *qgm.Box) []*qgm.Quantifier {
+	if d.opts.Order != nil {
+		return d.opts.Order(b)
+	}
+	// Fallback: declared order, respecting lateral dependencies among
+	// ForEach quantifiers, with late quantifiers (scalar/existential) at
+	// their earliest dependency position.
+	own := map[*qgm.Quantifier]bool{}
+	for _, q := range b.Quants {
+		own[q] = true
+	}
+	type entry struct {
+		q    *qgm.Quantifier
+		row  bool // ForEach quantifiers join rows; others are "late"
+		deps map[*qgm.Quantifier]bool
+	}
+	var entries []entry
+	for _, q := range b.Quants {
+		deps := map[*qgm.Quantifier]bool{}
+		for _, r := range qgm.FreeRefs(q.Input) {
+			if own[r.Q] && !r.Q.Kind.IsSubquery() {
+				deps[r.Q] = true
+			}
+		}
+		if q.Kind != qgm.QForEach {
+			for _, p := range b.Preds {
+				if qgm.RefsQuant(p, q) {
+					for x := range qgm.QuantSet(p) {
+						if own[x] && !x.Kind.IsSubquery() {
+							deps[x] = true
+						}
+					}
+				}
+			}
+		}
+		entries = append(entries, entry{q: q, row: q.Kind == qgm.QForEach, deps: deps})
+	}
+	var out []*qgm.Quantifier
+	boundSet := map[*qgm.Quantifier]bool{}
+	ready := func(e entry) bool {
+		for x := range e.deps {
+			if !boundSet[x] {
+				return false
+			}
+		}
+		return true
+	}
+	emit := func(i int) {
+		out = append(out, entries[i].q)
+		boundSet[entries[i].q] = true
+		entries = append(entries[:i], entries[i+1:]...)
+	}
+	for len(entries) > 0 {
+		progressed := false
+		// Late quantifiers first (earliest placement), then the first
+		// ready row quantifier in declared order.
+		for i := 0; i < len(entries); i++ {
+			if !entries[i].row && ready(entries[i]) {
+				emit(i)
+				progressed = true
+				break
+			}
+		}
+		if progressed {
+			continue
+		}
+		for i := 0; i < len(entries); i++ {
+			if entries[i].row && ready(entries[i]) {
+				emit(i)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			// Dependency cycle: emit in declared order to terminate.
+			emit(0)
+		}
+	}
+	return out
+}
+
+// feed runs the FEED stage for child quantifier q of cur, then absorbs the
+// magic table into the child and ties the decorrelated view back to the
+// outer block (the paper's Figures 2–4 in one pass, with the CI merge
+// fused in).
+func (d *decorrelator) feed(cur *qgm.Box, q *qgm.Quantifier) error {
+	child := q.Input
+
+	// 1. NI order and the supplementary split: everything bound before the
+	// subquery goes into SUPP.
+	order := d.orderOf(cur)
+	pos := -1
+	for i, oq := range order {
+		if oq == q {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("core: quantifier %s missing from join order", q.Name())
+	}
+	suppSet := map[*qgm.Quantifier]bool{}
+	for _, oq := range order[:pos] {
+		suppSet[oq] = true
+	}
+	// Every quantifier the child's correlation references must be in SUPP.
+	for _, r := range qgm.FreeRefs(child) {
+		if r.Q.Owner == cur && !suppSet[r.Q] {
+			return fmt.Errorf("core: correlation source %s ordered after the subquery", r.Q.Name())
+		}
+	}
+	if len(suppSet) == 0 {
+		return fmt.Errorf("core: empty supplementary for %s", q.Name())
+	}
+
+	// 2. Build the SUPP box: move the quantifiers and the predicates fully
+	// contained in them.
+	supp := d.g.NewBox(qgm.BoxSelect, "SUPP")
+	for _, sq := range append([]*qgm.Quantifier(nil), cur.Quants...) {
+		if suppSet[sq] {
+			cur.RemoveQuant(sq)
+			sq.Owner = supp
+			supp.Quants = append(supp.Quants, sq)
+		}
+	}
+	var keep []qgm.Expr
+	for _, p := range cur.Preds {
+		inSupp := true
+		for x := range qgm.QuantSet(p) {
+			if x.Owner == cur { // still owned by cur -> references a remaining quant
+				inSupp = false
+				break
+			}
+		}
+		if inSupp {
+			supp.Preds = append(supp.Preds, p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	cur.Preds = keep
+
+	// 3. SUPP outputs: every column of the moved quantifiers referenced
+	// from outside SUPP (by cur itself or by any remaining child subtree).
+	outside := []*qgm.Box{cur}
+	for _, rq := range cur.Quants {
+		outside = append(outside, qgm.Boxes(rq.Input)...)
+	}
+	needed := map[qgm.RefKey]bool{}
+	var orderedKeys []qgm.RefKey
+	for _, box := range outside {
+		box.ExprSlots(func(slot *qgm.Expr) {
+			for _, r := range qgm.Refs(*slot) {
+				k := qgm.RefKey{Q: r.Q, Col: r.Col}
+				if suppSet[r.Q] && !needed[k] {
+					needed[k] = true
+					orderedKeys = append(orderedKeys, k)
+				}
+			}
+		})
+	}
+	sort.Slice(orderedKeys, func(i, j int) bool {
+		if orderedKeys[i].Q.ID != orderedKeys[j].Q.ID {
+			return orderedKeys[i].Q.ID < orderedKeys[j].Q.ID
+		}
+		return orderedKeys[i].Col < orderedKeys[j].Col
+	})
+	outPos := map[qgm.RefKey]int{}
+	for _, k := range orderedKeys {
+		name := fmt.Sprintf("c%d", len(supp.Cols))
+		if k.Col < len(k.Q.Input.Cols) && k.Q.Input.Cols[k.Col].Name != "" {
+			name = k.Q.Input.Cols[k.Col].Name
+		}
+		outPos[k] = len(supp.Cols)
+		supp.Cols = append(supp.Cols, qgm.OutCol{Name: name, Expr: qgm.Ref(k.Q, k.Col)})
+	}
+	qsupp := d.g.AddQuant(cur, qgm.QForEach, supp)
+	// Redirect all outside references to the supplementary outputs.
+	mapping := map[qgm.RefKey]qgm.Expr{}
+	for k, p := range outPos {
+		mapping[k] = qgm.Ref(qsupp, p)
+	}
+	for _, box := range outside {
+		box.ExprSlots(func(slot *qgm.Expr) {
+			*slot = qgm.Rewrite(*slot, func(e qgm.Expr) qgm.Expr {
+				if r, ok := e.(*qgm.ColRef); ok {
+					if repl, ok := mapping[qgm.RefKey{Q: r.Q, Col: r.Col}]; ok {
+						return qgm.CloneExpr(repl)
+					}
+				}
+				return e
+			})
+		})
+	}
+	d.snap(fmt.Sprintf("FEED: supplementary table SUPP collected for %s (Fig 2b)", q.Name()))
+
+	// 4. Correlation columns: the SUPP outputs the child actually uses.
+	corrSet := map[int]bool{}
+	for _, r := range qgm.FreeRefs(child) {
+		if r.Q == qsupp {
+			corrSet[r.Col] = true
+		}
+	}
+	var corrCols []int
+	for c := range corrSet {
+		corrCols = append(corrCols, c)
+	}
+	sort.Ints(corrCols)
+	if len(corrCols) == 0 {
+		return fmt.Errorf("core: no correlation columns survived the supplementary split for %s", q.Name())
+	}
+
+	comp := d.compensationPlan(cur, q)
+
+	// 5. OptMag: when the correlation attributes form a key of SUPP and no
+	// compensation is needed, use SUPP itself as the magic table and drop
+	// the duplicate reference entirely.
+	if d.opts.EliminateSupplementary && !comp.need && qgm.KeyWithin(supp, corrSet) {
+		return d.optFeed(cur, q, qsupp, supp, corrCols)
+	}
+
+	// 6. The MAGIC box: distinct projection of the correlation bindings.
+	magic := d.g.NewBox(qgm.BoxSelect, "MAGIC")
+	magic.Distinct = true
+	qm := d.g.AddQuant(magic, qgm.QForEach, supp)
+	refMap := map[qgm.RefKey]int{}
+	for j, c := range corrCols {
+		magic.Cols = append(magic.Cols, qgm.OutCol{Name: supp.Cols[c].Name, Expr: qgm.Ref(qm, c)})
+		refMap[qgm.RefKey{Q: qsupp, Col: c}] = j
+	}
+	d.snap(fmt.Sprintf("FEED: magic table projected for %s (Fig 2c)", q.Name()))
+
+	// 7. ABSORB: push the magic table into the child.
+	w := len(child.Cols)
+	magicPos, err := d.absorb(child, magic, refMap)
+	if err != nil {
+		return err
+	}
+	d.snap(fmt.Sprintf("ABSORB: %s absorbed the magic table (Fig 3c/4c)", q.Name()))
+
+	// 8. COUNT-bug compensation: left outer join the magic table with the
+	// decorrelated subquery, coalescing lost zero counts (Fig 3d, §2.1's
+	// BugRemoval view).
+	if comp.need {
+		bug := d.g.NewBox(qgm.BoxLeftJoin, "BUGFIX")
+		qbm := d.g.AddQuant(bug, qgm.QForEach, magic)
+		qbr := d.g.AddQuant(bug, qgm.QForEach, child)
+		for j := range corrCols {
+			bug.Preds = append(bug.Preds, qgm.NewEq(qgm.Ref(qbm, j), qgm.Ref(qbr, magicPos[j])))
+		}
+		for i := 0; i < w; i++ {
+			var e qgm.Expr = qgm.Ref(qbr, i)
+			if i < len(comp.emptyVals) && !comp.emptyVals[i].IsNull() {
+				e = &qgm.Func{Name: "coalesce", Args: []qgm.Expr{e, &qgm.Const{V: comp.emptyVals[i]}}}
+			}
+			bug.Cols = append(bug.Cols, qgm.OutCol{Name: child.Cols[i].Name, Expr: e})
+		}
+		for j := range corrCols {
+			bug.Cols = append(bug.Cols, qgm.OutCol{Name: magic.Cols[j].Name, Expr: qgm.Ref(qbm, j)})
+		}
+		q.Input = bug
+		d.snap(fmt.Sprintf("COUNT-bug removal: MAGIC LOJ decorrelated %s with COALESCE (Fig 3d)", q.Name()))
+	}
+
+	// 9. Tie the decorrelated view to the outer block: the correlating
+	// equality predicates (the merged CI box of Fig 2d/§4.2). The magic
+	// columns sit at magicPos within the absorbed child, and at w+j within
+	// the compensation join's outputs.
+	for j, c := range corrCols {
+		tiePos := magicPos[j]
+		if comp.need {
+			tiePos = w + j
+		}
+		cur.Preds = append(cur.Preds, qgm.NewEq(qgm.Ref(qsupp, c), qgm.Ref(q, tiePos)))
+	}
+	if q.Kind == qgm.QScalar {
+		q.Kind = qgm.QForEach
+	}
+	d.snap(fmt.Sprintf("decorrelated view of %s tied to outer block (Fig 4d)", q.Name()))
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package core implements magic decorrelation — the paper's contribution —
+// as a rewrite over the Query Graph Model. The algorithm processes boxes
+// top-down; at each SELECT box it runs the FEED stage for every child
+// subtree correlated to it (collecting the computation ahead of the
+// subquery into a supplementary table, projecting the distinct correlation
+// bindings into a magic table) and the ABSORB stage inside the child
+// (pushing the magic table down through GROUP BY and UNION boxes to the
+// SPJ boxes that hold the correlated predicates). COUNT-bug compensation
+// introduces a left outer join with COALESCE, exactly as in §2.1/§4.3.
+//
+// The implementation fuses the paper's CI-box merge (performed in
+// Starburst by pre-existing rewrite rules) into the FEED stage: the
+// correlated predicate that would live in a Correlated Input box is
+// emitted directly as an equi-join predicate in the parent. The DCO box
+// similarly disappears once the child absorbs the magic table; the
+// intermediate states are still observable through the Trace.
+package core
+
+import (
+	"decorr/internal/qgm"
+)
+
+// Orderer supplies the nested-iteration join order of a select box's
+// quantifiers; magic decorrelation splits the supplementary table at the
+// fed subquery's position in this order (§7: "the magic decorrelation
+// algorithm uses the join order of the nested iteration strategy").
+type Orderer func(b *qgm.Box) []*qgm.Quantifier
+
+// Options are the paper's §4.4 knobs: which boxes accept magic tables and
+// how aggressively to decorrelate.
+type Options struct {
+	// DecorrelateExistential feeds magic tables to EXISTS/IN/ANY/ALL
+	// subqueries too. When false they stay correlated (the paper notes
+	// systems without temp-table indexes may prefer that; parallel
+	// systems decidedly do not).
+	DecorrelateExistential bool
+	// UseOuterJoin permits the COUNT-bug compensation join. When false,
+	// aggregate subqueries that would need compensation are left
+	// correlated (partial decorrelation).
+	UseOuterJoin bool
+	// EliminateSupplementary enables the OptMag optimization: when the
+	// correlation attributes form a key of the supplementary table, the
+	// supplementary common subexpression is eliminated (§5.1).
+	EliminateSupplementary bool
+	// Order overrides the join-order oracle; nil uses declared order with
+	// subqueries placed at their earliest dependency point.
+	Order Orderer
+}
+
+// DefaultOptions enables full decorrelation.
+func DefaultOptions() Options {
+	return Options{DecorrelateExistential: true, UseOuterJoin: true}
+}
+
+// Step is one captured rewrite stage.
+type Step struct {
+	Title string
+	Plan  string
+}
+
+// Trace records the intermediate QGM states of the rewrite, the textual
+// analogue of the paper's Figures 2–4.
+type Trace struct {
+	Steps []Step
+}
+
+func (d *decorrelator) snap(title string) {
+	if d.tr == nil {
+		return
+	}
+	d.tr.Steps = append(d.tr.Steps, Step{Title: title, Plan: qgm.Format(d.g)})
+}

@@ -1,0 +1,74 @@
+package engine_test
+
+import (
+	"testing"
+
+	"decorr/internal/engine"
+	"decorr/internal/tpcd"
+)
+
+// The §7 plan choice: Auto optimizes twice and keeps the cheaper plan.
+func TestAutoChoosesPerQuery(t *testing.T) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.1, Seed: 42})
+	e := engine.New(db)
+
+	// Query 2: cheap indexed subquery, key correlation — nested iteration
+	// should win (Figure 8's "decorrelation unnecessary" case).
+	p2, err := e.Prepare(tpcd.Query2, engine.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Chosen != engine.NI {
+		t.Errorf("Query 2: Auto chose %s (cost %.0f), expected NI", p2.Chosen, p2.EstimatedCost)
+	}
+
+	// Query 1(c): the index the subquery probes is gone; each invocation
+	// is a full scan and decorrelation must win (Figure 7).
+	noIdx := tpcd.Generate(tpcd.Config{SF: 0.1, Seed: 42})
+	if err := noIdx.MustTable("partsupp").DropIndex("ps_partkey"); err != nil {
+		t.Fatal(err)
+	}
+	e2 := engine.New(noIdx)
+	p7, err := e2.Prepare(tpcd.Query1b, engine.Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p7.Chosen != engine.OptMagic {
+		t.Errorf("Query 1(c): Auto chose %s (cost %.0f), expected OptMagic", p7.Chosen, p7.EstimatedCost)
+	}
+}
+
+func TestAutoAlwaysCorrect(t *testing.T) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.05, Seed: 11})
+	e := engine.New(db)
+	for _, sql := range []string{tpcd.Query1, tpcd.Query1b, tpcd.Query2, tpcd.Query3, tpcd.ExampleQuery} {
+		if sql == tpcd.ExampleQuery {
+			e = engine.New(tpcd.EmpDept())
+		}
+		want, _ := query(t, e, sql, engine.NI)
+		got, _ := query(t, e, sql, engine.Auto)
+		sameRows(t, "Auto vs NI on "+sql[:30], got, want)
+	}
+}
+
+func TestAutoCostOrderingMatchesReality(t *testing.T) {
+	// On the index-dropped workload, the estimated NI cost must exceed
+	// the estimated decorrelated cost by a wide margin — the estimator
+	// needs to see the full-scan-per-invocation blowup.
+	db := tpcd.Generate(tpcd.Config{SF: 0.1, Seed: 42})
+	if err := db.MustTable("partsupp").DropIndex("ps_partkey"); err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(db)
+	ni, err := e.Prepare(tpcd.Query1b, engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := e.Prepare(tpcd.Query1b, engine.Magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.EstimatedCost < 10*mag.EstimatedCost {
+		t.Errorf("estimator missed the blowup: NI=%.0f Magic=%.0f", ni.EstimatedCost, mag.EstimatedCost)
+	}
+}

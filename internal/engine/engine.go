@@ -1,0 +1,312 @@
+// Package engine is the facade tying the stack together: SQL text is
+// parsed, bound to a QGM, rewritten according to the chosen decorrelation
+// strategy, cleaned up, and executed. The benchmark harness and the public
+// API both sit on top of this package.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"decorr/internal/ast"
+	"decorr/internal/classic"
+	"decorr/internal/core"
+	"decorr/internal/exec"
+	"decorr/internal/parser"
+	"decorr/internal/qgm"
+	"decorr/internal/rewrite"
+	"decorr/internal/semant"
+	"decorr/internal/storage"
+)
+
+// Strategy selects how (whether) a correlated query is decorrelated before
+// execution — the five algorithms of the paper's §5.1 plus the memoized
+// nested-iteration baseline.
+type Strategy int
+
+const (
+	// NI executes the query as written: correlated subqueries are invoked
+	// per outer tuple (System R nested iteration).
+	NI Strategy = iota
+	// NIMemo is nested iteration with a per-binding result cache.
+	NIMemo
+	// Kim applies Kim's method [Kim82]. It faithfully reproduces the
+	// historical COUNT bug.
+	Kim
+	// Dayal applies Dayal's method [Day87]: merge via left outer join,
+	// group by a key of the outer relations.
+	Dayal
+	// GanskiWong applies the Ganski/Wong method [GW87], the single-table
+	// special case of magic decorrelation.
+	GanskiWong
+	// Magic applies magic decorrelation (the paper's algorithm).
+	Magic
+	// OptMagic is magic decorrelation with the supplementary-table
+	// common-subexpression elimination (OptMag in §5.1).
+	OptMagic
+	// Auto optimizes the query twice — once as written, once magic
+	// decorrelated — estimates both plans, and keeps the cheaper (§7:
+	// "The better of the two optimized plans is chosen").
+	Auto
+)
+
+// String names the strategy as in the paper's figures.
+func (s Strategy) String() string {
+	switch s {
+	case NI:
+		return "NI"
+	case NIMemo:
+		return "NIMemo"
+	case Kim:
+		return "Kim"
+	case Dayal:
+		return "Dayal"
+	case GanskiWong:
+		return "GW"
+	case Magic:
+		return "Mag"
+	case OptMagic:
+		return "OptMag"
+	case Auto:
+		return "Auto"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists all strategies in presentation order.
+var Strategies = []Strategy{NI, NIMemo, Kim, Dayal, GanskiWong, Magic, OptMagic, Auto}
+
+// Engine prepares and runs queries against one database.
+type Engine struct {
+	DB *storage.DB
+	// MaterializeCSE lets the executor cache shared uncorrelated boxes —
+	// the optimizer improvement the paper wishes for in §5.3 (ablation
+	// knob; Starburst recomputed).
+	MaterializeCSE bool
+	// CoreOpts tunes magic decorrelation (§4.4 knobs). The Order field is
+	// always overridden with the executor's nested-iteration join order.
+	CoreOpts core.Options
+	// MagicSets additionally applies classical magic-sets rewriting
+	// ([MFPR90], the paper's §7 sibling transformation): derived tables
+	// equi-joined into a block are restricted to the distinct join
+	// bindings before they aggregate.
+	MagicSets bool
+
+	views semant.Views
+}
+
+// New creates an engine with the paper's default knobs.
+func New(db *storage.DB) *Engine {
+	return &Engine{DB: db, CoreOpts: core.DefaultOptions(), views: semant.Views{}}
+}
+
+// CreateView registers a named view from a "CREATE VIEW name [(cols)] AS
+// query" statement. Views are expanded at bind time (the paper's §2.1
+// presents the decorrelated plan as exactly such a view stack).
+func (e *Engine) CreateView(sql string) error {
+	stmt, err := parser.ParseStatement(sql)
+	if err != nil {
+		return err
+	}
+	cv, ok := stmt.(*ast.CreateView)
+	if !ok {
+		return fmt.Errorf("engine: not a CREATE VIEW statement")
+	}
+	name := strings.ToLower(cv.Name)
+	if e.DB.Catalog.Lookup(name) != nil {
+		return fmt.Errorf("engine: view %q collides with a base table", name)
+	}
+	if e.views == nil {
+		e.views = semant.Views{}
+	}
+	e.views[name] = &semant.ViewDef{Cols: cv.Cols, Query: cv.Query}
+	// Validate eagerly: the definition must bind (it may reference
+	// earlier views but not itself).
+	if _, err := semant.BindWithViews(cv.Query, e.DB.Catalog, e.views); err != nil {
+		delete(e.views, name)
+		return err
+	}
+	return nil
+}
+
+// DropView removes a view if present.
+func (e *Engine) DropView(name string) {
+	delete(e.views, strings.ToLower(name))
+}
+
+// Exec runs one statement: CREATE VIEW definitions return (nil, nil, nil);
+// queries behave like Query.
+func (e *Engine) Exec(sql string, s Strategy) ([]storage.Row, *exec.Stats, error) {
+	stmt, err := parser.ParseStatement(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := stmt.(*ast.CreateView); ok {
+		return nil, nil, e.CreateView(sql)
+	}
+	return e.Query(sql, s)
+}
+
+// Prepared is a parsed, rewritten, validated query ready to run.
+type Prepared struct {
+	Graph    *qgm.Graph
+	Strategy Strategy
+	Trace    *core.Trace
+	Columns  []string
+	// Chosen reports which alternative the Auto strategy selected
+	// (NI or OptMagic); it equals Strategy otherwise.
+	Chosen Strategy
+	// EstimatedCost is the optimizer's abstract cost of the chosen plan.
+	EstimatedCost float64
+	engine        *Engine
+}
+
+// Prepare parses sql and applies the strategy's rewrite.
+func (e *Engine) Prepare(sql string, s Strategy) (*Prepared, error) {
+	return e.prepare(sql, s, false)
+}
+
+// PrepareTraced is Prepare with rewrite tracing enabled (for Magic and
+// OptMagic the trace holds the Figure 2–4 stage snapshots).
+func (e *Engine) PrepareTraced(sql string, s Strategy) (*Prepared, error) {
+	return e.prepare(sql, s, true)
+}
+
+func (e *Engine) prepare(sql string, s Strategy, traced bool) (*Prepared, error) {
+	if s == Auto {
+		return e.prepareAuto(sql, traced)
+	}
+	q, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	g, err := semant.BindWithViews(q, e.DB.Catalog, e.views)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{Graph: g, Strategy: s, engine: e}
+	if traced {
+		p.Trace = &core.Trace{}
+	}
+	// Normalize before the strategy rewrite: the paper applied "all
+	// Starburst query transformations that were unrelated to
+	// decorrelation ... to all queries" (§5.1). Merging trivial wrapper
+	// boxes here also lets the FEED stage see aggregate subqueries
+	// directly instead of through projection shells.
+	if err := rewrite.NewCleanup().Run(g); err != nil {
+		return nil, err
+	}
+	switch s {
+	case NI, NIMemo:
+		// Nested iteration runs the graph as bound.
+	case Kim:
+		if err := classic.ApplyKim(g); err != nil {
+			return nil, err
+		}
+	case Dayal:
+		if err := classic.ApplyDayal(g); err != nil {
+			return nil, err
+		}
+	case GanskiWong:
+		if err := classic.ApplyGanskiWong(g, e.orderer()); err != nil {
+			return nil, err
+		}
+	case Magic, OptMagic:
+		opts := e.CoreOpts
+		opts.EliminateSupplementary = s == OptMagic
+		opts.Order = e.orderer()
+		if err := core.Decorrelate(g, opts, p.Trace); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %v", s)
+	}
+	if err := rewrite.NewCleanup().Run(g); err != nil {
+		return nil, err
+	}
+	if e.MagicSets {
+		if err := core.ApplyMagicSets(g, e.orderer()); err != nil {
+			return nil, err
+		}
+		if err := rewrite.NewCleanup().Run(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := qgm.Validate(g); err != nil {
+		return nil, fmt.Errorf("engine: %s rewrite produced an invalid graph: %w", s, err)
+	}
+	p.Columns = g.Root.OutNames()
+	p.Chosen = s
+	p.EstimatedCost = exec.New(e.DB, exec.Options{MaterializeCSE: e.MaterializeCSE}).EstimateCost(g)
+	return p, nil
+}
+
+// prepareAuto implements §7's plan choice: prepare the query as written
+// (nested iteration) and magic decorrelated, estimate both, keep the
+// cheaper plan.
+func (e *Engine) prepareAuto(sql string, traced bool) (*Prepared, error) {
+	ni, err := e.prepare(sql, NI, false)
+	if err != nil {
+		return nil, err
+	}
+	mag, err := e.prepare(sql, OptMagic, traced)
+	if err != nil {
+		// Decorrelation failing is not fatal for Auto; fall back to NI.
+		ni.Strategy = Auto
+		return ni, nil
+	}
+	best := ni
+	if mag.EstimatedCost < ni.EstimatedCost {
+		best = mag
+	}
+	best.Strategy = Auto
+	return best, nil
+}
+
+// orderer exposes the executor's static nested-iteration join order to the
+// rewrites (§7: the decorrelation uses the NI join order).
+func (e *Engine) orderer() core.Orderer {
+	ex := exec.New(e.DB, exec.Options{})
+	return ex.JoinOrder
+}
+
+// Run executes the prepared query, returning rows and work counters.
+func (p *Prepared) Run() ([]storage.Row, *exec.Stats, error) {
+	ex := exec.New(p.engine.DB, exec.Options{
+		MaterializeCSE:    p.engine.MaterializeCSE,
+		MemoizeCorrelated: p.Strategy == NIMemo,
+	})
+	rows, err := ex.Run(p.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, &ex.Stats, nil
+}
+
+// Explain renders the rewritten plan.
+func (p *Prepared) Explain() string { return qgm.Format(p.Graph) }
+
+// ExplainAnalyze runs the query with per-box profiling and renders the
+// plan annotated with actual evaluation counts and row counts. Correlated
+// boxes show one evaluation per binding (nested iteration made visible);
+// shared uncorrelated boxes show the §5.1 recomputation behavior.
+func (p *Prepared) ExplainAnalyze() (string, error) {
+	ex := exec.New(p.engine.DB, exec.Options{
+		MaterializeCSE:    p.engine.MaterializeCSE,
+		MemoizeCorrelated: p.Strategy == NIMemo,
+	})
+	ex.EnableProfiling()
+	if _, err := ex.Run(p.Graph); err != nil {
+		return "", err
+	}
+	return ex.FormatProfile(p.Graph), nil
+}
+
+// Query is the one-shot convenience: prepare and run.
+func (e *Engine) Query(sql string, s Strategy) ([]storage.Row, *exec.Stats, error) {
+	p, err := e.Prepare(sql, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.Run()
+}

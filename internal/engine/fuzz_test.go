@@ -1,0 +1,41 @@
+package engine_test
+
+import (
+	"testing"
+
+	"decorr/internal/engine"
+	"decorr/internal/tpcd"
+)
+
+// FuzzEndToEnd pushes arbitrary SQL through the full pipeline — parse,
+// bind, decorrelate, clean up, execute — under every strategy. Errors are
+// fine; panics and NI/Magic result divergence are not.
+func FuzzEndToEnd(f *testing.F) {
+	for _, seed := range []string{
+		tpcd.ExampleQuery,
+		"select name from dept where budget < 10000",
+		"select d.name from dept d where exists (select * from emp e where e.building = d.building)",
+		"select building, count(*) from emp group by building having count(*) > 1",
+		"select name from emp union select name from dept",
+		"select d.name, (select count(*) from emp e where e.building = d.building) from dept d",
+		"select case when budget < 1000 then 'x' end from dept",
+		"select d.name from dept d left outer join emp e on d.building = e.building",
+	} {
+		f.Add(seed)
+	}
+	db := tpcd.EmpDept()
+	f.Fuzz(func(t *testing.T, sql string) {
+		e := engine.New(db)
+		niRows, _, err := e.Query(sql, engine.NI)
+		if err != nil {
+			return
+		}
+		magRows, _, err := e.Query(sql, engine.Magic)
+		if err != nil {
+			t.Fatalf("NI accepted but Magic failed on %q: %v", sql, err)
+		}
+		if len(niRows) != len(magRows) {
+			t.Fatalf("row-count divergence on %q: NI=%d Magic=%d", sql, len(niRows), len(magRows))
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"decorr/internal/engine"
+)
+
+// SQL-level algebraic laws, checked on random databases under every
+// decorrelation strategy that applies. These complement the differential
+// tests: instead of comparing strategies to each other, they compare each
+// strategy to what SQL semantics demand.
+func TestAlgebraicProperties(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for seed := 0; seed < iters; seed++ {
+		r := rand.New(rand.NewSource(int64(1000 + seed)))
+		db := randDB(r)
+		e := engine.New(db)
+		cmp := cmps[r.Intn(len(cmps))]
+		k := r.Intn(11)
+		pred := fmt.Sprintf("b %s %d", cmp, k)
+
+		countOf := func(sql string) int {
+			rows, _, err := e.Query(sql, engine.NI)
+			if err != nil {
+				t.Fatalf("seed %d: %q: %v", seed, sql, err)
+			}
+			return len(rows)
+		}
+		scalarOf := func(sql string) string {
+			rows, _, err := e.Query(sql, engine.NI)
+			if err != nil {
+				t.Fatalf("seed %d: %q: %v", seed, sql, err)
+			}
+			if len(rows) != 1 {
+				t.Fatalf("seed %d: %q returned %d rows", seed, sql, len(rows))
+			}
+			return rows[0][0].String()
+		}
+
+		// COUNT(*) == cardinality of the bare select.
+		n := countOf("select id from t1 where " + pred)
+		if got := scalarOf("select count(*) from t1 where " + pred); got != fmt.Sprint(n) {
+			t.Fatalf("seed %d: count(*) = %s, want %d (pred %q)", seed, got, n, pred)
+		}
+
+		// UNION ALL counts add.
+		a := countOf("select a from t1")
+		b := countOf("select d from t2")
+		if u := countOf("select a from t1 union all select d from t2"); u != a+b {
+			t.Fatalf("seed %d: union all %d != %d + %d", seed, u, a, b)
+		}
+
+		// EXCEPT ALL and INTERSECT ALL partition the left side.
+		i := countOf("select a from t1 intersect all select d from t2")
+		x := countOf("select a from t1 except all select d from t2")
+		if i+x != a {
+			t.Fatalf("seed %d: intersect all (%d) + except all (%d) != |left| (%d)", seed, i, x, a)
+		}
+
+		// DISTINCT never increases cardinality; UNION dedups UNION ALL.
+		ad := countOf("select distinct a from t1")
+		if ad > a {
+			t.Fatalf("seed %d: distinct grew: %d > %d", seed, ad, a)
+		}
+		ud := countOf("select a from t1 union select d from t2")
+		if ud > a+b {
+			t.Fatalf("seed %d: union exceeded union all", seed)
+		}
+
+		// ORDER BY preserves the multiset.
+		plain, _, err := e.Query("select a, b from t1", engine.NI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ordered, _, err := e.Query("select a, b from t1 order by b desc, a", engine.NI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(multiset(plain), ";") != strings.Join(multiset(ordered), ";") {
+			t.Fatalf("seed %d: ORDER BY changed the multiset", seed)
+		}
+
+		// EXISTS(S) row count + NOT EXISTS(S) row count == |outer|, per
+		// strategy (two-valued existential semantics).
+		exq := "select id from t1 where exists (select * from t2 where d = t1.a)"
+		nexq := "select id from t1 where not exists (select * from t2 where d = t1.a)"
+		total := countOf("select id from t1")
+		for _, s := range []engine.Strategy{engine.NI, engine.Magic} {
+			er, _, err := e.Query(exq, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr, _, err := e.Query(nexq, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(er)+len(nr) != total {
+				t.Fatalf("seed %d/%s: EXISTS %d + NOT EXISTS %d != %d", seed, s, len(er), len(nr), total)
+			}
+		}
+
+		// The correlated COUNT subquery in output position always returns
+		// a row per outer tuple, with a non-negative count.
+		rows, _, err := e.Query("select id, (select count(*) from t2 where d = t1.a) from t1", engine.Magic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != total {
+			t.Fatalf("seed %d: scalar COUNT changed outer cardinality: %d != %d", seed, len(rows), total)
+		}
+		for _, row := range rows {
+			if row[1].IsNull() || row[1].I < 0 {
+				t.Fatalf("seed %d: COUNT produced %v", seed, row[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package exec_test
+
+import (
+	"testing"
+
+	"decorr/internal/tpcd"
+)
+
+func TestSearchedCase(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select name,
+		  case when budget < 1000 then 'tiny'
+		       when budget < 10000 then 'small'
+		       else 'big' end
+		from dept order by name`)
+	expectRows(t, got, []string{
+		"archives|tiny", "jewels|big", "shoes|small", "tools|small", "toys|small",
+	})
+}
+
+func TestOperandCaseDesugars(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select name, case building when 'B1' then 1 when 'B2' then 2 end
+		from dept order by name`)
+	expectRows(t, got, []string{
+		"archives|NULL", "jewels|2", "shoes|2", "tools|1", "toys|1",
+	})
+}
+
+func TestCaseMissingElseIsNull(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `select case when 1 = 2 then 'x' end from dept where name = 'toys'`)
+	expectRows(t, got, []string{"NULL"})
+}
+
+func TestCaseInWhere(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select name from dept
+		where case when building = 'B1' then budget > 7500 else false end
+		order by name`)
+	expectRows(t, got, []string{"toys"})
+}
+
+func TestCaseInAggregateArgument(t *testing.T) {
+	db := tpcd.EmpDept()
+	// Conditional aggregation: count departments per building bucket.
+	got := run(t, db, `
+		select sum(case when budget < 10000 then 1 else 0 end),
+		       sum(case when budget >= 10000 then 1 else 0 end)
+		from dept`)
+	expectRows(t, got, []string{"4|1"})
+}
+
+func TestCaseFirstTrueArmWins(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select case when budget > 0 then 'first' when budget > 100 then 'second' end
+		from dept where name = 'toys'`)
+	expectRows(t, got, []string{"first"})
+}
+
+func TestCaseWithUnknownCondSkipsArm(t *testing.T) {
+	db := tpcd.EmpDept()
+	// NULL < 5 is UNKNOWN, not TRUE: the arm must be skipped.
+	got := run(t, db, `
+		select case when null < budget then 'yes' else 'no' end
+		from dept where name = 'toys'`)
+	expectRows(t, got, []string{"no"})
+}

@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"math"
+
+	"decorr/internal/qgm"
+)
+
+// EstimateCost returns an abstract cost (row operations) for one
+// evaluation of the graph. It powers the paper's §7 plan choice: "our
+// implementation simply optimizes the query once without decorrelation,
+// and ... repeats the optimization with decorrelation. The better of the
+// two optimized plans is chosen."
+//
+// The model mirrors the executor's actual access decisions: greedy join
+// order, index probes when an equality predicate meets a hash index,
+// per-tuple re-evaluation of correlated subquery inputs, and recomputation
+// of shared uncorrelated boxes (unless materialization is enabled).
+func (ex *Exec) EstimateCost(g *qgm.Graph) float64 {
+	ex.analyze(g.Root)
+	return ex.EstimateBoxCost(g.Root)
+}
+
+// EstimateRows exposes the cardinality estimate of one box (used by the
+// shared-nothing plan model in internal/parallel).
+func (ex *Exec) EstimateRows(b *qgm.Box) float64 { return ex.estBoxRows(b) }
+
+// EstimateBoxCost estimates the cost of evaluating one box once (plus its
+// inputs). Callers evaluating a whole graph should go through
+// EstimateCost, which primes the reference-count analysis.
+func (ex *Exec) EstimateBoxCost(b *qgm.Box) float64 {
+	if ex.costMemo == nil {
+		ex.costMemo = map[*qgm.Box]float64{}
+	}
+	if c, ok := ex.costMemo[b]; ok {
+		return c
+	}
+	ex.costMemo[b] = 0 // cycle guard
+	var c float64
+	switch b.Kind {
+	case qgm.BoxBase:
+		c = ex.estBoxRows(b)
+	case qgm.BoxSelect:
+		c = ex.costSelect(b, ex.EstimateBoxCost)
+	case qgm.BoxGroup:
+		c = ex.EstimateBoxCost(b.Quants[0].Input) + ex.estBoxRows(b.Quants[0].Input)
+	case qgm.BoxUnion, qgm.BoxIntersect, qgm.BoxExcept:
+		for _, q := range b.Quants {
+			c += ex.EstimateBoxCost(q.Input) + ex.estBoxRows(q.Input)
+		}
+	case qgm.BoxLeftJoin:
+		l, r := b.Quants[0].Input, b.Quants[1].Input
+		c = ex.EstimateBoxCost(l) + ex.EstimateBoxCost(r) + ex.estBoxRows(l) + ex.estBoxRows(r)
+	}
+	// Shared uncorrelated boxes are recomputed per reference unless the
+	// engine materializes them.
+	if refs := ex.refCount[b]; refs > 1 && !ex.isCorrelated(b) && !ex.opts.MaterializeCSE {
+		c *= float64(refs)
+	}
+	ex.costMemo[b] = c
+	return c
+}
+
+// correlatedEvalOverhead is the fixed cost of re-entering a correlated
+// subquery plan for one binding (plan setup, hash rebuilds) on top of the
+// rows it touches. Duplicate-heavy workloads pay it per duplicate.
+const correlatedEvalOverhead = 8.0
+
+// costSelect walks the static join order accumulating access and join
+// costs, charging correlated subquery inputs once per estimated
+// intermediate tuple.
+func (ex *Exec) costSelect(b *qgm.Box, costBox func(*qgm.Box) float64) float64 {
+	own := map[*qgm.Quantifier]bool{}
+	for _, q := range b.Quants {
+		own[q] = true
+	}
+	order := ex.JoinOrder(b)
+	// Predicate bookkeeping mirrors JoinOrder's.
+	preds := make([]*selPred, 0, len(b.Preds))
+	for _, p := range b.Preds {
+		pi := &selPred{expr: p, deps: map[*qgm.Quantifier]bool{}}
+		for q := range qgm.QuantSet(p) {
+			if !own[q] {
+				continue
+			}
+			if q.Kind.IsSubquery() {
+				pi.sub = q
+			} else {
+				pi.deps[q] = true
+			}
+		}
+		preds = append(preds, pi)
+	}
+	bound := map[*qgm.Quantifier]bool{}
+	card := 1.0
+	cost := 0.0
+	for _, q := range order {
+		correlatedInput := false
+		for _, r := range qgm.FreeRefs(q.Input) {
+			if own[r.Q] && !r.Q.Kind.IsSubquery() {
+				correlatedInput = true
+				break
+			}
+		}
+		inputCost := costBox(q.Input)
+		switch {
+		case q.Kind == qgm.QScalar || q.Kind.IsSubquery():
+			if correlatedInput {
+				// Nested iteration: one evaluation per tuple, plus the
+				// fixed per-invocation overhead of re-entering the
+				// subquery plan.
+				cost += card * (math.Max(inputCost, 1) + correlatedEvalOverhead)
+			} else {
+				// Materialized once, probed per tuple.
+				cost += inputCost + card
+			}
+			if q.Kind.IsSubquery() {
+				card *= 0.5 // existential filters keep some tuples
+			}
+		case correlatedInput: // lateral derived table
+			cost += card * (math.Max(inputCost, 1) + correlatedEvalOverhead)
+			card *= math.Max(ex.estBoxRows(q.Input), 0.1)
+		default:
+			growth := ex.estQuantGrowth(q, bound, preds)
+			// Index probe beats a scan when an equality predicate on an
+			// indexed base column connects q to the bound set.
+			if ex.hasIndexPath(b, q, bound) {
+				cost += card * math.Max(growth, 1)
+			} else {
+				cost += inputCost // materialize / scan
+				cost += card * math.Max(growth, 1)
+			}
+			card = math.Max(card*growth, 1)
+		}
+		bound[q] = true
+		for _, pi := range preds {
+			if pi.sub == nil && !pi.applied && depsSubset(pi.deps, bound, q) {
+				pi.applied = true
+			}
+		}
+	}
+	return cost + card
+}
+
+// hasIndexPath reports whether an equality predicate lets q's base-table
+// input be probed through a hash index given the bound quantifiers.
+func (ex *Exec) hasIndexPath(b *qgm.Box, q *qgm.Quantifier, bound map[*qgm.Quantifier]bool) bool {
+	if q.Input.Kind != qgm.BoxBase {
+		return false
+	}
+	tbl := ex.db.Table(q.Input.Table.Name)
+	if tbl == nil {
+		return false
+	}
+	for _, p := range b.Preds {
+		bin, ok := p.(*qgm.Bin)
+		if !ok || bin.Op != qgm.OpEq {
+			continue
+		}
+		for _, try := range [][2]qgm.Expr{{bin.L, bin.R}, {bin.R, bin.L}} {
+			ref, ok := try[0].(*qgm.ColRef)
+			if !ok || ref.Q != q || qgm.RefsQuant(try[1], q) {
+				continue
+			}
+			usable := true
+			for oq := range qgm.QuantSet(try[1]) {
+				if oq.Owner == q.Owner && !bound[oq] {
+					usable = false
+					break
+				}
+			}
+			if usable && tbl.HasIndex(ref.Col) {
+				return true
+			}
+		}
+	}
+	return false
+}

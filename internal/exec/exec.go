@@ -1,0 +1,578 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"decorr/internal/qgm"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// Options select executor policies that the paper treats as system knobs.
+type Options struct {
+	// MaterializeCSE caches the result of shared, uncorrelated boxes
+	// instead of recomputing them per reference. The Starburst prototype
+	// in the paper "always recomputes common sub-expressions" (§5.1);
+	// the default therefore is false, and the ablation benchmark flips it.
+	MaterializeCSE bool
+	// MemoizeCorrelated caches correlated subquery results per binding —
+	// the NI-with-memo variant used as an extra baseline.
+	MemoizeCorrelated bool
+}
+
+// Exec evaluates QGM graphs against a database. An Exec is single-use per
+// Run for statistics purposes but may be reused; counters accumulate.
+type Exec struct {
+	db    *storage.DB
+	opts  Options
+	Stats Stats
+
+	freeRefs  map[*qgm.Box][]qgm.RefKey
+	refCount  map[*qgm.Box]int
+	evalCount map[*qgm.Box]int
+	cse       map[*qgm.Box][]storage.Row
+	memo      map[*qgm.Box]map[string][]storage.Row
+	bindings  map[*qgm.Box]map[string]bool
+	est       map[*qgm.Box]float64
+	costMemo  map[*qgm.Box]float64
+	profile   map[*qgm.Box]*BoxProfile
+}
+
+// New creates an executor over db.
+func New(db *storage.DB, opts Options) *Exec {
+	return &Exec{
+		db:        db,
+		opts:      opts,
+		freeRefs:  map[*qgm.Box][]qgm.RefKey{},
+		refCount:  map[*qgm.Box]int{},
+		evalCount: map[*qgm.Box]int{},
+		cse:       map[*qgm.Box][]storage.Row{},
+		memo:      map[*qgm.Box]map[string][]storage.Row{},
+		bindings:  map[*qgm.Box]map[string]bool{},
+		est:       map[*qgm.Box]float64{},
+	}
+}
+
+// Run evaluates the graph and returns the result rows (after any top-level
+// ORDER BY).
+func (ex *Exec) Run(g *qgm.Graph) ([]storage.Row, error) {
+	ex.analyze(g.Root)
+	rows, err := ex.evalBox(g.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(g.OrderBy) > 0 {
+		sortRows(rows, g.OrderBy)
+	}
+	if g.Limit >= 0 && int64(len(rows)) > g.Limit {
+		rows = rows[:g.Limit]
+	}
+	return rows, nil
+}
+
+func sortRows(rows []storage.Row, keys []qgm.OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := sqltypes.OrderCompare(rows[i][k.Col], rows[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// analyze precomputes per-box free references and reference counts.
+func (ex *Exec) analyze(root *qgm.Box) {
+	for _, b := range qgm.Boxes(root) {
+		if _, ok := ex.freeRefs[b]; !ok {
+			ex.freeRefs[b] = dedupRefs(qgm.FreeRefs(b))
+		}
+	}
+	ex.refCount = map[*qgm.Box]int{}
+	for _, b := range qgm.Boxes(root) {
+		for _, q := range b.Quants {
+			ex.refCount[q.Input]++
+		}
+	}
+}
+
+func dedupRefs(refs []*qgm.ColRef) []qgm.RefKey {
+	seen := map[qgm.RefKey]bool{}
+	var out []qgm.RefKey
+	for _, r := range refs {
+		k := qgm.RefKey{Q: r.Q, Col: r.Col}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Q.ID != out[j].Q.ID {
+			return out[i].Q.ID < out[j].Q.ID
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// isCorrelated reports whether box b has free references (i.e. needs outer
+// bindings to evaluate).
+func (ex *Exec) isCorrelated(b *qgm.Box) bool {
+	fr, ok := ex.freeRefs[b]
+	if !ok {
+		fr = dedupRefs(qgm.FreeRefs(b))
+		ex.freeRefs[b] = fr
+	}
+	return len(fr) > 0
+}
+
+// bindingKey evaluates b's free references under env and encodes them.
+func (ex *Exec) bindingKey(b *qgm.Box, env *Env) (string, error) {
+	fr := ex.freeRefs[b]
+	vals := make([]sqltypes.Value, len(fr))
+	for i, rk := range fr {
+		v, err := ex.EvalExpr(&qgm.ColRef{Q: rk.Q, Col: rk.Col}, env)
+		if err != nil {
+			return "", err
+		}
+		vals[i] = v
+	}
+	return sqltypes.Key(vals), nil
+}
+
+// evalSubqueryInput evaluates the input box of a subquery-like quantifier
+// for one outer tuple, counting it as a correlated invocation when the box
+// is correlated, and applying the NI-memo knob.
+func (ex *Exec) evalSubqueryInput(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	if !ex.isCorrelated(b) {
+		return ex.evalBox(b, env)
+	}
+	key, err := ex.bindingKey(b, env)
+	if err != nil {
+		return nil, err
+	}
+	ex.Stats.SubqueryInvocations++
+	seen := ex.bindings[b]
+	if seen == nil {
+		seen = map[string]bool{}
+		ex.bindings[b] = seen
+	}
+	if !seen[key] {
+		seen[key] = true
+		ex.Stats.DistinctInvocations++
+	}
+	if ex.opts.MemoizeCorrelated {
+		m := ex.memo[b]
+		if m == nil {
+			m = map[string][]storage.Row{}
+			ex.memo[b] = m
+		}
+		if rows, ok := m[key]; ok {
+			ex.Stats.MemoHits++
+			return rows, nil
+		}
+		rows, err := ex.evalBox(b, env)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = rows
+		return rows, nil
+	}
+	return ex.evalBox(b, env)
+}
+
+// evalBox evaluates any box under env, applying CSE policy for shared
+// uncorrelated boxes.
+func (ex *Exec) evalBox(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	ex.Stats.BoxEvals++
+	shared := ex.refCount[b] > 1
+	uncorrelated := !ex.isCorrelated(b)
+	if uncorrelated && shared {
+		if rows, ok := ex.cse[b]; ok {
+			if ex.opts.MaterializeCSE {
+				return rows, nil
+			}
+			ex.Stats.CSERecomputes++
+		}
+	}
+	rows, err := ex.dispatch(b, env)
+	if err != nil {
+		return nil, err
+	}
+	ex.recordProfile(b, len(rows))
+	if uncorrelated && shared {
+		if _, ok := ex.cse[b]; !ok {
+			ex.cse[b] = rows
+		}
+	}
+	return rows, nil
+}
+
+func (ex *Exec) dispatch(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	switch b.Kind {
+	case qgm.BoxBase:
+		t := ex.db.Table(b.Table.Name)
+		if t == nil {
+			return nil, fmt.Errorf("exec: table %q has no storage", b.Table.Name)
+		}
+		ex.Stats.RowsScanned += int64(len(t.Rows))
+		return t.Rows, nil
+	case qgm.BoxSelect:
+		return ex.evalSelect(b, env)
+	case qgm.BoxGroup:
+		return ex.evalGroup(b, env)
+	case qgm.BoxUnion:
+		return ex.evalUnion(b, env)
+	case qgm.BoxLeftJoin:
+		return ex.evalLeftJoin(b, env)
+	case qgm.BoxIntersect, qgm.BoxExcept:
+		return ex.evalSetDiff(b, env)
+	}
+	return nil, fmt.Errorf("exec: unknown box kind %v", b.Kind)
+}
+
+// evalSetDiff evaluates INTERSECT/EXCEPT with SQL multiset semantics:
+// INTERSECT ALL keeps min(countL, countR) copies, EXCEPT ALL keeps
+// max(0, countL - countR); the DISTINCT variants keep at most one copy of
+// each qualifying row.
+func (ex *Exec) evalSetDiff(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	left, err := ex.evalBox(b.Quants[0].Input, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.evalBox(b.Quants[1].Input, env)
+	if err != nil {
+		return nil, err
+	}
+	rCount := make(map[string]int, len(right))
+	for _, r := range right {
+		rCount[sqltypes.Key(r)]++
+	}
+	emitted := map[string]int{}
+	var out []storage.Row
+	for _, l := range left {
+		k := sqltypes.Key(l)
+		n := emitted[k]
+		var keep bool
+		if b.Kind == qgm.BoxIntersect {
+			if b.Distinct {
+				keep = n == 0 && rCount[k] > 0
+			} else {
+				keep = n < rCount[k]
+			}
+		} else { // BoxExcept
+			if b.Distinct {
+				keep = n == 0 && rCount[k] == 0
+			} else {
+				keep = n >= rCount[k]
+			}
+		}
+		emitted[k] = n + 1
+		if keep {
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+func (ex *Exec) evalUnion(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	var out []storage.Row
+	for _, q := range b.Quants {
+		rows, err := ex.evalBox(q.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	if b.Distinct {
+		out = dedupeRows(out)
+	}
+	return out, nil
+}
+
+func dedupeRows(rows []storage.Row) []storage.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := sqltypes.Key(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (ex *Exec) evalGroup(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	qg := b.Quants[0]
+	input, err := ex.evalBox(qg.Input, env)
+	if err != nil {
+		return nil, err
+	}
+	// Collect the aggregate nodes appearing in the outputs.
+	var aggs []*qgm.Agg
+	aggIndex := map[*qgm.Agg]int{}
+	for _, c := range b.Cols {
+		qgm.Walk(c.Expr, func(e qgm.Expr) bool {
+			if a, ok := e.(*qgm.Agg); ok {
+				if _, dup := aggIndex[a]; !dup {
+					aggIndex[a] = len(aggs)
+					aggs = append(aggs, a)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	type groupState struct {
+		rep  *Env // representative binding for group expressions
+		accs []aggAcc
+	}
+	groups := map[string]*groupState{}
+	var order []string
+	for _, row := range input {
+		renv := Bind(env, qg, row)
+		keyVals := make([]sqltypes.Value, len(b.GroupBy))
+		for i, ge := range b.GroupBy {
+			v, err := ex.EvalExpr(ge, renv)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		k := sqltypes.Key(keyVals)
+		gs := groups[k]
+		if gs == nil {
+			gs = &groupState{rep: renv, accs: make([]aggAcc, len(aggs))}
+			for i, a := range aggs {
+				gs.accs[i] = newAggAcc(a)
+			}
+			groups[k] = gs
+			order = append(order, k)
+		}
+		for i, a := range aggs {
+			var v sqltypes.Value
+			if a.Op != qgm.AggCountStar {
+				v, err = ex.EvalExpr(a.Arg, renv)
+				if err != nil {
+					return nil, err
+				}
+			}
+			gs.accs[i].add(v)
+		}
+	}
+	if len(input) == 0 && len(b.GroupBy) == 0 {
+		// Ungrouped aggregate over empty input yields exactly one row:
+		// COUNT 0, other aggregates NULL. (The rewrites' COUNT-bug
+		// handling exists precisely because grouped plans lose this row.)
+		gs := &groupState{rep: Bind(env, qg, nullRow(len(qg.Input.Cols))), accs: make([]aggAcc, len(aggs))}
+		for i, a := range aggs {
+			gs.accs[i] = newAggAcc(a)
+		}
+		groups[""] = gs
+		order = append(order, "")
+	}
+	out := make([]storage.Row, 0, len(groups))
+	for _, k := range order {
+		gs := groups[k]
+		row := make(storage.Row, len(b.Cols))
+		for i, c := range b.Cols {
+			v, err := ex.evalWithAggs(c.Expr, gs.rep, aggs, aggIndex, gs.accs)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	ex.Stats.RowsGrouped += int64(len(out))
+	return out, nil
+}
+
+// evalWithAggs evaluates a group-box output expression, substituting
+// finished aggregate values for Agg nodes and using the group's
+// representative row for grouping-column references.
+func (ex *Exec) evalWithAggs(e qgm.Expr, rep *Env, aggs []*qgm.Agg, aggIndex map[*qgm.Agg]int, accs []aggAcc) (sqltypes.Value, error) {
+	if a, ok := e.(*qgm.Agg); ok {
+		return accs[aggIndex[a]].result(), nil
+	}
+	switch x := e.(type) {
+	case *qgm.Bin:
+		if x.Op == qgm.OpAdd || x.Op == qgm.OpSub || x.Op == qgm.OpMul || x.Op == qgm.OpDiv {
+			l, err := ex.evalWithAggs(x.L, rep, aggs, aggIndex, accs)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			r, err := ex.evalWithAggs(x.R, rep, aggs, aggIndex, accs)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return sqltypes.Arith(arithOf(x.Op), l, r)
+		}
+	case *qgm.Func:
+		args := make([]sqltypes.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ex.evalWithAggs(a, rep, aggs, aggIndex, accs)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			args[i] = v
+		}
+		if x.Name == "coalesce" {
+			return sqltypes.Coalesce(args...), nil
+		}
+	}
+	return ex.EvalExpr(e, rep)
+}
+
+func nullRow(width int) storage.Row {
+	r := make(storage.Row, width)
+	for i := range r {
+		r[i] = sqltypes.Null
+	}
+	return r
+}
+
+func (ex *Exec) evalLeftJoin(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	ql, qr := b.Quants[0], b.Quants[1]
+	left, err := ex.evalBox(ql.Input, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.evalBox(qr.Input, env)
+	if err != nil {
+		return nil, err
+	}
+	// Split ON predicates into hashable equalities and residual filters.
+	var lKeys, rKeys []qgm.Expr
+	var residual []qgm.Expr
+	for _, p := range b.Preds {
+		if l, r, ok := equiSides(p, ql, qr); ok {
+			lKeys = append(lKeys, l)
+			rKeys = append(rKeys, r)
+		} else {
+			residual = append(residual, p)
+		}
+	}
+	nullRight := nullRow(len(qr.Input.Cols))
+	var rHash map[string][]int
+	if len(lKeys) > 0 {
+		ex.Stats.HashBuilds++
+		rHash = make(map[string][]int, len(right))
+		for i, rr := range right {
+			renv := Bind(env, qr, rr)
+			keys := make([]sqltypes.Value, len(rKeys))
+			skip := false
+			for ki, ke := range rKeys {
+				v, err := ex.EvalExpr(ke, renv)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					skip = true // NULL join keys never match
+					break
+				}
+				keys[ki] = v
+			}
+			if skip {
+				continue
+			}
+			k := sqltypes.Key(keys)
+			rHash[k] = append(rHash[k], i)
+		}
+	}
+	var out []storage.Row
+	emit := func(lenv *Env, rrow storage.Row) error {
+		full := Bind(lenv, qr, rrow)
+		row := make(storage.Row, len(b.Cols))
+		for i, c := range b.Cols {
+			v, err := ex.EvalExpr(c.Expr, full)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+		return nil
+	}
+	for _, lr := range left {
+		lenv := Bind(env, ql, lr)
+		matched := false
+		candidates := right
+		if rHash != nil {
+			keys := make([]sqltypes.Value, len(lKeys))
+			nullKey := false
+			for ki, ke := range lKeys {
+				v, err := ex.EvalExpr(ke, lenv)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					nullKey = true
+					break
+				}
+				keys[ki] = v
+			}
+			if nullKey {
+				candidates = nil
+			} else {
+				ids := rHash[sqltypes.Key(keys)]
+				candidates = make([]storage.Row, len(ids))
+				for i, id := range ids {
+					candidates[i] = right[id]
+				}
+			}
+		}
+		for _, rr := range candidates {
+			renv := Bind(lenv, qr, rr)
+			ok := sqltypes.True
+			for _, p := range residual {
+				t, err := ex.EvalPred(p, renv)
+				if err != nil {
+					return nil, err
+				}
+				ok = ok.And(t)
+				if ok != sqltypes.True {
+					break
+				}
+			}
+			if ok == sqltypes.True {
+				matched = true
+				if err := emit(lenv, rr); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !matched {
+			if err := emit(lenv, nullRight); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ex.Stats.RowsJoined += int64(len(out))
+	return out, nil
+}
+
+// equiSides decomposes p as an equality whose sides reference exactly ql
+// and qr respectively (in either order); outer references are allowed on
+// both sides.
+func equiSides(p qgm.Expr, ql, qr *qgm.Quantifier) (lSide, rSide qgm.Expr, ok bool) {
+	b, isBin := p.(*qgm.Bin)
+	if !isBin || b.Op != qgm.OpEq {
+		return nil, nil, false
+	}
+	lq, rq := qgm.QuantSet(b.L), qgm.QuantSet(b.R)
+	switch {
+	case lq[ql] && !lq[qr] && rq[qr] && !rq[ql]:
+		return b.L, b.R, true
+	case lq[qr] && !lq[ql] && rq[ql] && !rq[qr]:
+		return b.R, b.L, true
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,119 @@
+package exec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"decorr/internal/exec"
+	"decorr/internal/parser"
+	"decorr/internal/semant"
+	"decorr/internal/storage"
+	"decorr/internal/tpcd"
+)
+
+func mustPrepare(b *testing.B, db *storage.DB, sql string) func() {
+	b.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := semant.Bind(q, db.Catalog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return func() {
+		ex := exec.New(db, exec.Options{})
+		if _, err := ex.Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashJoin measures the equi-join path (build + probe).
+func BenchmarkHashJoin(b *testing.B) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.05, Seed: 1, SkipIndexes: true})
+	run := mustPrepare(b, db, `
+		select count(*) from partsupp ps, suppliers s
+		where ps.ps_suppkey = s.s_suppkey`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkIndexNestedLoop measures the index probe path.
+func BenchmarkIndexNestedLoop(b *testing.B) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.05, Seed: 1})
+	run := mustPrepare(b, db, `
+		select count(*) from parts p, partsupp ps
+		where p.p_partkey = ps.ps_partkey and p.p_size < 4`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkHashAggregate measures grouped aggregation throughput.
+func BenchmarkHashAggregate(b *testing.B) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.05, Seed: 1})
+	run := mustPrepare(b, db, `
+		select l_partkey, sum(l_quantity), count(*) from lineitem group by l_partkey`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkDistinct measures deduplication.
+func BenchmarkDistinct(b *testing.B) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.05, Seed: 1})
+	run := mustPrepare(b, db, `select distinct l_partkey from lineitem`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkPredicateEval measures expression evaluation over a scan.
+func BenchmarkPredicateEval(b *testing.B) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.05, Seed: 1})
+	run := mustPrepare(b, db, `
+		select count(*) from lineitem
+		where l_quantity * 2 + 1 > 30 and l_extendedprice < 50000`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkCorrelatedInvocation isolates the per-binding cost of nested
+// iteration (index-assisted subquery).
+func BenchmarkCorrelatedInvocation(b *testing.B) {
+	for _, nDept := range []int{50, 200} {
+		db := tpcd.EmpDeptSized(nDept, 2000, 16, 1)
+		run := mustPrepare(b, db, tpcd.ExampleQuery)
+		b.Run(fmt.Sprintf("bindings=%d", nDept), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+	}
+}
+
+// BenchmarkJoinOrderPlanning isolates the static planner.
+func BenchmarkJoinOrderPlanning(b *testing.B) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.02, Seed: 1})
+	q, err := parser.Parse(tpcd.Query1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := semant.Bind(q, db.Catalog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := exec.New(db, exec.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.JoinOrder(g.Root)
+	}
+}

@@ -1,0 +1,103 @@
+package exec_test
+
+import (
+	"testing"
+
+	"decorr/internal/tpcd"
+)
+
+func TestInnerJoinSyntax(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select d.name, e.name from dept d inner join emp e on d.building = e.building
+		where d.budget < 8000 order by 1, 2`)
+	expectRows(t, got, []string{"tools|anne", "tools|bob"})
+	// Bare JOIN means INNER.
+	got2 := run(t, db, `
+		select d.name, e.name from dept d join emp e on d.building = e.building
+		where d.budget < 8000 order by 1, 2`)
+	expectRows(t, got2, got)
+}
+
+func TestLeftOuterJoinSyntax(t *testing.T) {
+	db := tpcd.EmpDept()
+	// The §2 Dayal rewrite shape, written directly: every low-budget
+	// department appears, employee NULL when the building is empty.
+	got := run(t, db, `
+		select d.name, e.name
+		from dept d left outer join emp e on d.building = e.building
+		where d.budget < 10000
+		order by 1, 2`)
+	expectRows(t, got, []string{
+		"archives|NULL",
+		"shoes|carl", "shoes|dina", "shoes|ed",
+		"tools|anne", "tools|bob",
+		"toys|anne", "toys|bob",
+	})
+}
+
+func TestLeftJoinWithoutOuterKeyword(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select d.name from dept d left join emp e on d.building = e.building
+		where e.name is null`)
+	expectRows(t, got, []string{"archives"})
+}
+
+func TestDayalRewriteByHandMatchesExample(t *testing.T) {
+	db := tpcd.EmpDept()
+	// The paper's §2 Dayal transformation written as surface SQL; COUNT
+	// of the nullable side counts zero for unmatched departments.
+	got := run(t, db, `
+		select d.name
+		from dept d left outer join emp e on d.building = e.building
+		where d.budget < 10000
+		group by d.name, d.num_emps
+		having d.num_emps > count(e.name)
+		order by d.name`)
+	expectRows(t, got, []string{"archives", "toys"})
+}
+
+func TestLeftJoinStarExpansion(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select e.* from dept d left outer join emp e on d.building = e.building
+		where d.name = 'archives'`)
+	expectRows(t, got, []string{"NULL|NULL"})
+	got = run(t, db, `
+		select * from dept d left outer join emp e on d.building = e.building
+		where d.name = 'archives'`)
+	expectRows(t, got, []string{"archives|500|1|B9|NULL|NULL"})
+}
+
+func TestLeftJoinDerivedSide(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select d.name, c.n
+		from dept d left outer join
+		  (select building, count(*) from emp group by building) as c(b, n)
+		  on d.building = c.b
+		where d.budget < 10000
+		order by d.name`)
+	expectRows(t, got, []string{"archives|NULL", "shoes|3", "tools|2", "toys|2"})
+}
+
+func TestJoinChain(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select count(*) from dept d
+		join emp e on d.building = e.building
+		join emp e2 on e2.building = e.building`)
+	// B1: 2 depts × 2 emps × 2 emps = 8; B2: 2 × 3 × 3 = 18.
+	expectRows(t, got, []string{"26"})
+}
+
+func TestLeftJoinNullOnCondition(t *testing.T) {
+	db := tpcd.EmpDept()
+	// ON predicates never match NULL keys, rows are still preserved.
+	got := run(t, db, `
+		select d.name, e.name
+		from dept d left outer join emp e on d.building = e.building and e.name = 'nobody'
+		where d.name = 'toys'`)
+	expectRows(t, got, []string{"toys|NULL"})
+}

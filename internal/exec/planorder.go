@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"math"
+
+	"decorr/internal/qgm"
+)
+
+// JoinOrder computes the static binding order of all quantifiers of a
+// select box. ForEach quantifiers are ordered greedily by estimated growth
+// (selective scans first, connected joins before cross products); scalar
+// and existential quantifiers are then placed at the position of minimum
+// estimated intermediate cardinality among positions where their
+// dependencies are satisfied.
+//
+// This placement rule reproduces the optimizer behavior the paper reports:
+// Query 1's subquery runs after the outer joins (they shrink the
+// intermediate result below the number of qualifying parts), while Query
+// 2's subquery runs right after the Parts scan, before the join with
+// Lineitem inflates the tuple count (§5.3). Magic decorrelation reuses this
+// same order to split off the supplementary table (§7).
+func (ex *Exec) JoinOrder(b *qgm.Box) []*qgm.Quantifier {
+	own := map[*qgm.Quantifier]bool{}
+	for _, q := range b.Quants {
+		own[q] = true
+	}
+	// Predicates with bookkeeping local to the simulation.
+	preds := make([]*selPred, 0, len(b.Preds))
+	for _, p := range b.Preds {
+		pi := &selPred{expr: p, deps: map[*qgm.Quantifier]bool{}}
+		for q := range qgm.QuantSet(p) {
+			if !own[q] {
+				continue
+			}
+			if q.Kind.IsSubquery() {
+				pi.sub = q
+			} else {
+				pi.deps[q] = true
+			}
+		}
+		preds = append(preds, pi)
+	}
+	// Lateral dependencies of row-contributing quantifiers, and full
+	// dependencies of late quantifiers.
+	deps := map[*qgm.Quantifier]map[*qgm.Quantifier]bool{}
+	for _, q := range b.Quants {
+		d := map[*qgm.Quantifier]bool{}
+		for _, r := range qgm.FreeRefs(q.Input) {
+			if own[r.Q] && !r.Q.Kind.IsSubquery() {
+				d[r.Q] = true
+			}
+		}
+		if q.Kind.IsSubquery() {
+			for _, pi := range preds {
+				if pi.sub == q {
+					for x := range pi.deps {
+						d[x] = true
+					}
+				}
+			}
+		}
+		deps[q] = d
+	}
+
+	var fquants, late []*qgm.Quantifier
+	for _, q := range b.Quants {
+		if q.Kind == qgm.QForEach || q.Kind == qgm.QScalar {
+			// Correlated scalar subqueries are "late" (they do not grow
+			// the intermediate result); lateral ForEach quantifiers join
+			// rows and participate in the greedy order with a dependency
+			// constraint.
+			if q.Kind == qgm.QScalar {
+				late = append(late, q)
+			} else {
+				fquants = append(fquants, q)
+			}
+			continue
+		}
+		late = append(late, q)
+	}
+
+	// Greedy order over ForEach quantifiers with dependency constraints,
+	// recording the estimated cardinality after each step.
+	bound := map[*qgm.Quantifier]bool{}
+	var order []*qgm.Quantifier
+	card := []float64{1}
+	cur := 1.0
+	remaining := append([]*qgm.Quantifier(nil), fquants...)
+	for len(remaining) > 0 {
+		best, bestScore := -1, math.Inf(1)
+		for i, q := range remaining {
+			ok := true
+			for d := range deps[q] {
+				if !bound[d] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			score := ex.estQuantGrowth(q, bound, preds)
+			if score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			// Dependency cycle among lateral quantifiers; fall back to
+			// declared order to avoid losing quantifiers entirely.
+			best = 0
+		}
+		q := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		order = append(order, q)
+		bound[q] = true
+		for _, pi := range preds {
+			if pi.sub == nil && !pi.applied && depsSubset(pi.deps, bound, q) {
+				pi.applied = true
+			}
+		}
+		cur *= bestScoreOr(bestScore, 1)
+		cur = math.Max(cur, 1)
+		card = append(card, cur)
+	}
+
+	// Place each late quantifier at the cheapest legal position.
+	type insertion struct {
+		q   *qgm.Quantifier
+		pos int
+		seq int // declared order for stable ties
+	}
+	var ins []insertion
+	for seq, q := range late {
+		earliest := 0
+		for d := range deps[q] {
+			for i, oq := range order {
+				if oq == d && i+1 > earliest {
+					earliest = i + 1
+				}
+			}
+		}
+		bestPos, bestCard := earliest, math.Inf(1)
+		for p := earliest; p < len(card); p++ {
+			if card[p] < bestCard {
+				bestPos, bestCard = p, card[p]
+			}
+		}
+		ins = append(ins, insertion{q: q, pos: bestPos, seq: seq})
+	}
+	// Build the final interleaving: after binding order[:p], insert all
+	// late quantifiers with pos == p (declared order).
+	var out []*qgm.Quantifier
+	for p := 0; p <= len(order); p++ {
+		for _, in := range ins {
+			if in.pos == p {
+				out = append(out, in.q)
+			}
+		}
+		if p < len(order) {
+			out = append(out, order[p])
+		}
+	}
+	return out
+}
+
+func bestScoreOr(v, def float64) float64 {
+	if math.IsInf(v, 1) || math.IsNaN(v) {
+		return def
+	}
+	return v
+}

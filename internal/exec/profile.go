@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"decorr/internal/qgm"
+)
+
+// BoxProfile accumulates per-box runtime counters when profiling is on.
+type BoxProfile struct {
+	// Evals counts how many times the box was evaluated (correlated boxes
+	// evaluate once per binding; shared uncorrelated ones once per
+	// reference under the recompute policy).
+	Evals int64
+	// RowsOut is the total number of rows the box produced across evals.
+	RowsOut int64
+}
+
+// EnableProfiling starts collecting per-box counters for subsequent Runs.
+func (ex *Exec) EnableProfiling() {
+	if ex.profile == nil {
+		ex.profile = map[*qgm.Box]*BoxProfile{}
+	}
+}
+
+func (ex *Exec) recordProfile(b *qgm.Box, rows int) {
+	if ex.profile == nil {
+		return
+	}
+	p := ex.profile[b]
+	if p == nil {
+		p = &BoxProfile{}
+		ex.profile[b] = p
+	}
+	p.Evals++
+	p.RowsOut += int64(rows)
+}
+
+// BoxProfileOf returns the collected counters for a box (zero value when
+// profiling was off or the box never evaluated).
+func (ex *Exec) BoxProfileOf(b *qgm.Box) BoxProfile {
+	if p, ok := ex.profile[b]; ok {
+		return *p
+	}
+	return BoxProfile{}
+}
+
+// FormatProfile renders the plan with per-box runtime annotations — the
+// EXPLAIN ANALYZE view. Correlated subquery boxes show one eval per
+// binding; the §5.1 CSE-recomputation behavior shows up as eval counts
+// above one on shared boxes.
+func (ex *Exec) FormatProfile(g *qgm.Graph) string {
+	var sb strings.Builder
+	for _, b := range qgm.Boxes(g.Root) {
+		p := ex.BoxProfileOf(b)
+		tag := b.Label
+		if tag != "" {
+			tag = " [" + tag + "]"
+		}
+		fmt.Fprintf(&sb, "Box %d: %s%s  evals=%d rows=%d\n", b.ID, b.Kind, tag, p.Evals, p.RowsOut)
+	}
+	return sb.String()
+}

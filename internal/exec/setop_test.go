@@ -1,0 +1,99 @@
+package exec_test
+
+import (
+	"testing"
+
+	"decorr/internal/tpcd"
+)
+
+func TestIntersect(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select building from emp
+		intersect
+		select building from dept
+		order by building`)
+	// emp buildings: B1,B2,B3; dept buildings: B1,B2,B9.
+	expectRows(t, got, []string{"B1", "B2"})
+}
+
+func TestIntersectAllMultiset(t *testing.T) {
+	db := tpcd.EmpDept()
+	// emp has B1 x2, B2 x3; dept has B1 x2, B2 x2 -> min counts 2 and 2.
+	got := run(t, db, `
+		select building from emp
+		intersect all
+		select building from dept
+		order by building`)
+	expectRows(t, got, []string{"B1", "B1", "B2", "B2"})
+}
+
+func TestExcept(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select building from dept
+		except
+		select building from emp`)
+	expectRows(t, got, []string{"B9"})
+}
+
+func TestExceptAllMultiset(t *testing.T) {
+	db := tpcd.EmpDept()
+	// emp B2 x3 minus dept B2 x2 -> one B2 remains; B1: 2-2 -> none;
+	// B3: 1-0 -> one.
+	got := run(t, db, `
+		select building from emp
+		except all
+		select building from dept
+		order by building`)
+	expectRows(t, got, []string{"B2", "B3"})
+}
+
+func TestIntersectBindsTighterThanUnion(t *testing.T) {
+	db := tpcd.EmpDept()
+	// A UNION (B INTERSECT C): B∩C = {B1,B2}; A = dept buildings.
+	got := run(t, db, `
+		select building from dept
+		union
+		select building from emp
+		intersect
+		select building from dept
+		order by building`)
+	expectRows(t, got, []string{"B1", "B2", "B9"})
+}
+
+func TestSetOpsNested(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select x from (
+			(select building from emp except select building from dept)
+			union all
+			(select building from dept except select building from emp)
+		) as d(x) order by x`)
+	expectRows(t, got, []string{"B3", "B9"})
+}
+
+func TestCorrelatedIntersectSubquery(t *testing.T) {
+	db := tpcd.EmpDept()
+	// Buildings that have both an employee and a low-budget department,
+	// correlated per department row.
+	got := run(t, db, `
+		select d.name from dept d
+		where exists (
+			select e.building from emp e where e.building = d.building
+			intersect
+			select d2.building from dept d2 where d2.budget < 10000 and d2.building = d.building)
+		order by name`)
+	expectRows(t, got, []string{"jewels", "shoes", "tools", "toys"})
+}
+
+func TestSetOpOrderByAndLimitApplyToWhole(t *testing.T) {
+	db := tpcd.EmpDept()
+	got := run(t, db, `
+		select building from emp
+		union
+		select building from dept
+		order by building desc
+		limit 2`)
+	expectRows(t, got, []string{"B9", "B3"})
+}

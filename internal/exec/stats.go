@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats are the work counters the benchmark harness reports alongside wall
+// time. They are engine-independent measures of the quantities the paper's
+// analysis reasons about: how many times correlated subqueries were
+// invoked (and with how many distinct bindings), how many base-table rows
+// were touched, and how large the intermediate joins were.
+type Stats struct {
+	// SubqueryInvocations counts evaluations of correlated boxes — the
+	// tuple-at-a-time work that decorrelation eliminates.
+	SubqueryInvocations int64
+	// DistinctInvocations counts distinct correlation bindings observed
+	// across those invocations (the paper reports e.g. "3954 invocations,
+	// of which only 2138 are distinct").
+	DistinctInvocations int64
+	// MemoHits counts correlated evaluations served from the NI-memo
+	// cache (only with Options.MemoizeCorrelated).
+	MemoHits int64
+	// BoxEvals counts box evaluations of any kind.
+	BoxEvals int64
+	// RowsScanned counts base-table rows produced by full scans.
+	RowsScanned int64
+	// IndexLookups counts hash-index probes on base tables.
+	IndexLookups int64
+	// RowsJoined counts rows emitted by join steps inside select boxes.
+	RowsJoined int64
+	// RowsGrouped counts groups emitted by group boxes.
+	RowsGrouped int64
+	// HashBuilds counts hash tables built (joins and subquery probes).
+	HashBuilds int64
+	// CSERecomputes counts re-evaluations of a shared, uncorrelated box
+	// that a materializing optimizer would have cached (Starburst always
+	// recomputed; see §5.1).
+	CSERecomputes int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.SubqueryInvocations += o.SubqueryInvocations
+	s.DistinctInvocations += o.DistinctInvocations
+	s.MemoHits += o.MemoHits
+	s.BoxEvals += o.BoxEvals
+	s.RowsScanned += o.RowsScanned
+	s.IndexLookups += o.IndexLookups
+	s.RowsJoined += o.RowsJoined
+	s.RowsGrouped += o.RowsGrouped
+	s.HashBuilds += o.HashBuilds
+	s.CSERecomputes += o.CSERecomputes
+}
+
+// Work is a single scalar summary of effort: rows touched plus probes.
+// It is the primary machine-independent series plotted by the harness.
+func (s Stats) Work() int64 {
+	return s.RowsScanned + s.IndexLookups + s.RowsJoined + s.RowsGrouped
+}
+
+// String renders the counters compactly for CLI output.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invocations=%d distinct=%d scanned=%d lookups=%d joined=%d grouped=%d boxes=%d cse-recomputes=%d",
+		s.SubqueryInvocations, s.DistinctInvocations, s.RowsScanned, s.IndexLookups,
+		s.RowsJoined, s.RowsGrouped, s.BoxEvals, s.CSERecomputes)
+	if s.MemoHits > 0 {
+		fmt.Fprintf(&b, " memo-hits=%d", s.MemoHits)
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"fmt"
+
+	"decorr/internal/qgm"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// bindSubqueryCheck filters the tuple stream through an existential or
+// universal quantifier. The input is materialized once when it has no
+// dependencies on this box's quantifiers (the set-oriented case a
+// decorrelated plan reaches) — with a hash fast path for equality tie
+// predicates — and re-evaluated per tuple otherwise (nested iteration).
+func (ex *Exec) bindSubqueryCheck(li *lateQuant, tuples []*Env, env *Env) ([]*Env, error) {
+	q := li.q
+	inputLocal := false // input depends on this box's own quantifiers
+	for _, r := range qgm.FreeRefs(q.Input) {
+		if r.Q.Owner == q.Owner && !r.Q.Kind.IsSubquery() {
+			inputLocal = true
+			break
+		}
+	}
+	if inputLocal {
+		// Correlated to sibling quantifiers: evaluate per tuple.
+		out := tuples[:0:0]
+		for _, t := range tuples {
+			rows, err := ex.evalSubqueryInput(q.Input, t)
+			if err != nil {
+				return nil, err
+			}
+			pass, err := ex.quantCond(q, li.ties, rows, t)
+			if err != nil {
+				return nil, err
+			}
+			if pass {
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	}
+
+	rows, err := ex.evalSubqueryInput(q.Input, env)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hash fast path: all ties are equalities between a probe expression
+	// (bound/outer side) and a subquery-side expression.
+	probeExprs, subExprs, hashable := splitTies(li.ties, q)
+	if hashable && (q.Kind == qgm.QExists || q.Kind == qgm.QNotExists || q.Kind == qgm.QAny) {
+		ex.Stats.HashBuilds++
+		h := make(map[string]bool, len(rows))
+		for _, r := range rows {
+			renv := Bind(env, q, r)
+			key, null, err := ex.keyFor(subExprs, renv)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				continue // a NULL component can never satisfy the equality
+			}
+			h[key] = true
+		}
+		out := tuples[:0:0]
+		for _, t := range tuples {
+			key, null, err := ex.keyFor(probeExprs, t)
+			if err != nil {
+				return nil, err
+			}
+			var pass bool
+			switch q.Kind {
+			case qgm.QExists, qgm.QAny:
+				pass = !null && h[key]
+			case qgm.QNotExists:
+				pass = null || !h[key]
+			}
+			if pass {
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	}
+
+	// General slow path over the materialized rows.
+	out := tuples[:0:0]
+	for _, t := range tuples {
+		pass, err := ex.quantCond(q, li.ties, rows, t)
+		if err != nil {
+			return nil, err
+		}
+		if pass {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// splitTies decomposes tie predicates into (probe, subquery-side) equality
+// expression pairs; ok=false when any tie is not such an equality (then the
+// slow path runs). A bare EXISTS has zero ties and is trivially hashable.
+func splitTies(ties []*selPred, q *qgm.Quantifier) (probe, sub []qgm.Expr, ok bool) {
+	for _, pi := range ties {
+		bin, isBin := pi.expr.(*qgm.Bin)
+		if !isBin || bin.Op != qgm.OpEq {
+			return nil, nil, false
+		}
+		lq, rq := qgm.RefsQuant(bin.L, q), qgm.RefsQuant(bin.R, q)
+		switch {
+		case rq && !lq:
+			probe = append(probe, bin.L)
+			sub = append(sub, bin.R)
+		case lq && !rq:
+			probe = append(probe, bin.R)
+			sub = append(sub, bin.L)
+		default:
+			return nil, nil, false
+		}
+	}
+	return probe, sub, true
+}
+
+// quantCond evaluates the quantifier condition for one outer tuple against
+// materialized subquery rows, with full three-valued-logic semantics:
+//
+//	EXISTS      — some row satisfies all ties (TRUE only);
+//	NOT EXISTS  — no row does;
+//	ANY         — some row compares TRUE;
+//	ALL         — every row compares TRUE (vacuously true when empty; a
+//	              FALSE or UNKNOWN row fails the predicate, which matches
+//	              SQL's rule that only an overall TRUE passes WHERE).
+func (ex *Exec) quantCond(q *qgm.Quantifier, ties []*selPred, rows []storage.Row, t *Env) (bool, error) {
+	rowTruth := func(r storage.Row) (sqltypes.Tri, error) {
+		renv := Bind(t, q, r)
+		acc := sqltypes.True
+		for _, pi := range ties {
+			tr, err := ex.EvalPred(pi.expr, renv)
+			if err != nil {
+				return sqltypes.Unknown, err
+			}
+			acc = acc.And(tr)
+			if acc == sqltypes.False {
+				return sqltypes.False, nil
+			}
+		}
+		return acc, nil
+	}
+	switch q.Kind {
+	case qgm.QExists, qgm.QAny:
+		for _, r := range rows {
+			tr, err := rowTruth(r)
+			if err != nil {
+				return false, err
+			}
+			if tr == sqltypes.True {
+				return true, nil
+			}
+		}
+		return false, nil
+	case qgm.QNotExists:
+		for _, r := range rows {
+			tr, err := rowTruth(r)
+			if err != nil {
+				return false, err
+			}
+			if tr == sqltypes.True {
+				return false, nil
+			}
+		}
+		return true, nil
+	case qgm.QAll:
+		for _, r := range rows {
+			tr, err := rowTruth(r)
+			if err != nil {
+				return false, err
+			}
+			if tr != sqltypes.True {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("exec: quantCond on %v quantifier", q.Kind)
+}

@@ -1,0 +1,75 @@
+package parallel_test
+
+import (
+	"testing"
+
+	"decorr/internal/engine"
+	"decorr/internal/parallel"
+	"decorr/internal/storage"
+	"decorr/internal/tpcd"
+)
+
+func planFor(t *testing.T, db *storage.DB, sql string, s engine.Strategy) parallel.Metrics {
+	t.Helper()
+	e := engine.New(db)
+	p, err := e.Prepare(sql, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parallel.PlanCost(db, p.Graph, parallel.Config{Nodes: 8})
+}
+
+// The generalized plan model must reproduce the §6 asymmetry on the
+// example query: per-binding broadcasts and fragments for NI, bounded
+// phases for the decorrelated plan.
+func TestPlanCostExampleQuery(t *testing.T) {
+	db := tpcd.EmpDeptSized(800, 4000, 32, 7)
+	ni := planFor(t, db, tpcd.ExampleQuery, engine.NI)
+	mag := planFor(t, db, tpcd.ExampleQuery, engine.Magic)
+	if ni.Fragments <= 4*mag.Fragments {
+		t.Errorf("NI fragments (%d) should dwarf decorrelated (%d)", ni.Fragments, mag.Fragments)
+	}
+	if ni.Messages <= mag.Messages {
+		t.Errorf("NI messages (%d) should exceed decorrelated (%d)", ni.Messages, mag.Messages)
+	}
+}
+
+// The §6 claims extend to the paper's TPC-D workload: the decorrelated
+// Query 1(b) plan schedules a bounded number of fragments while nested
+// iteration pays per binding.
+func TestPlanCostTPCDQueries(t *testing.T) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.05, Seed: 42})
+	for _, sql := range []string{tpcd.Query1b, tpcd.Query3} {
+		ni := planFor(t, db, sql, engine.NI)
+		mag := planFor(t, db, sql, engine.Magic)
+		if ni.Fragments <= mag.Fragments {
+			t.Errorf("NI fragments (%d) should exceed decorrelated (%d)", ni.Fragments, mag.Fragments)
+		}
+	}
+}
+
+// Fragment growth with cluster size: linear for NI (per binding × n),
+// per-phase for the decorrelated plan.
+func TestPlanCostScalesWithNodes(t *testing.T) {
+	db := tpcd.EmpDeptSized(400, 2000, 16, 3)
+	e := engine.New(db)
+	pNI, err := e.Prepare(tpcd.ExampleQuery, engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8 := parallel.PlanCost(db, pNI.Graph, parallel.Config{Nodes: 8}).Fragments
+	f16 := parallel.PlanCost(db, pNI.Graph, parallel.Config{Nodes: 16}).Fragments
+	if f16 != 2*f8 {
+		t.Errorf("NI fragments: n=8 -> %d, n=16 -> %d (want exact doubling)", f8, f16)
+	}
+}
+
+// An uncorrelated query costs no correlated broadcasts under either
+// strategy name.
+func TestPlanCostUncorrelated(t *testing.T) {
+	db := tpcd.Generate(tpcd.Config{SF: 0.02, Seed: 1})
+	m := planFor(t, db, "select p_brand, count(*) from parts group by p_brand", engine.NI)
+	if m.Fragments > int64(8*4) {
+		t.Errorf("simple aggregate scheduled %d fragments", m.Fragments)
+	}
+}

@@ -1,0 +1,147 @@
+package parallel_test
+
+import (
+	"strings"
+	"testing"
+
+	"decorr/internal/engine"
+	"decorr/internal/parallel"
+	"decorr/internal/storage"
+	"decorr/internal/tpcd"
+)
+
+// singleNodeAnswer runs the example query through the real engine.
+func singleNodeAnswer(t *testing.T, db *storage.DB) []string {
+	t.Helper()
+	e := engine.New(db)
+	rows, _, err := e.Query(tpcd.ExampleQuery, engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].S
+	}
+	return out
+}
+
+func TestSimulatorMatchesEngine(t *testing.T) {
+	for _, db := range []*storage.DB{
+		tpcd.EmpDept(),
+		tpcd.EmpDeptSized(200, 1000, 12, 7),
+	} {
+		want := singleNodeAnswer(t, db)
+		for _, nodes := range []int{1, 2, 4, 8} {
+			for _, pl := range []parallel.Placement{parallel.PartitionByPrimaryKey, parallel.PartitionByCorrelation} {
+				cfg := parallel.Config{Nodes: nodes, Placement: pl}
+				ni, err := parallel.RunNestedIteration(db, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mg, err := parallel.RunMagic(db, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if strings.Join(ni.Rows, ",") != strings.Join(want, ",") {
+					t.Errorf("NI n=%d %s: got %v want %v", nodes, pl, ni.Rows, want)
+				}
+				if strings.Join(mg.Rows, ",") != strings.Join(want, ",") {
+					t.Errorf("Magic n=%d %s: got %v want %v", nodes, pl, mg.Rows, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNestedIterationFragmentGrowthIsQuadratic(t *testing.T) {
+	db := tpcd.EmpDeptSized(400, 2000, 16, 3)
+	frag := map[int]int64{}
+	for _, n := range []int{2, 4, 8} {
+		r, err := parallel.RunNestedIteration(db, parallel.Config{Nodes: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frag[n] = r.Metrics.Fragments
+	}
+	// Fragments = qualifying-tuples × n: doubling nodes doubles fragments
+	// (O(n²) when the workload scales with the cluster, §6.1).
+	if frag[4] != 2*frag[2] || frag[8] != 2*frag[4] {
+		t.Errorf("NI fragments should scale linearly in n for fixed data: %v", frag)
+	}
+	mr, err := parallel.RunMagic(db, parallel.Config{Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Magic schedules a constant number of fragments per node (5 phases).
+	if mr.Metrics.Fragments != 5*8 {
+		t.Errorf("magic fragments = %d, want %d", mr.Metrics.Fragments, 5*8)
+	}
+	if mr.Metrics.Fragments >= frag[8] {
+		t.Errorf("magic (%d fragments) should schedule far fewer than NI (%d)",
+			mr.Metrics.Fragments, frag[8])
+	}
+}
+
+func TestMessageAsymptotics(t *testing.T) {
+	db := tpcd.EmpDeptSized(400, 2000, 16, 3)
+	ni, err := parallel.RunNestedIteration(db, parallel.Config{Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := parallel.RunMagic(db, parallel.Config{Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.Metrics.Messages <= mg.Metrics.Messages {
+		t.Errorf("NI should send more messages than magic: ni=%d magic=%d",
+			ni.Metrics.Messages, mg.Metrics.Messages)
+	}
+	if mg.Metrics.Makespan >= ni.Metrics.Makespan {
+		t.Errorf("magic makespan %d should beat NI %d", mg.Metrics.Makespan, ni.Metrics.Makespan)
+	}
+}
+
+func TestCoPartitionedNIIsLocal(t *testing.T) {
+	db := tpcd.EmpDeptSized(400, 2000, 16, 3)
+	r, err := parallel.RunNestedIteration(db, parallel.Config{Nodes: 8, Placement: parallel.PartitionByCorrelation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6.1 case 1: no messages at all when co-partitioned.
+	if r.Metrics.Messages != 0 {
+		t.Errorf("co-partitioned NI sent %d messages, want 0", r.Metrics.Messages)
+	}
+}
+
+func TestMagicMakespanImprovesWithNodes(t *testing.T) {
+	db := tpcd.EmpDeptSized(800, 4000, 32, 7)
+	prev := int64(1 << 62)
+	for _, n := range []int{2, 4, 8, 16} {
+		r, err := parallel.RunMagic(db, parallel.Config{Nodes: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Metrics.Makespan >= prev {
+			t.Errorf("magic makespan did not improve at n=%d: %d >= %d", n, r.Metrics.Makespan, prev)
+		}
+		prev = r.Metrics.Makespan
+	}
+}
+
+func TestSingleNodeDegeneratesGracefully(t *testing.T) {
+	db := tpcd.EmpDept()
+	ni, err := parallel.RunNestedIteration(db, parallel.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni.Metrics.Messages != 0 {
+		t.Errorf("single node sent %d messages", ni.Metrics.Messages)
+	}
+	mg, err := parallel.RunMagic(db, parallel.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Metrics.Messages != 0 {
+		t.Errorf("single-node magic sent %d messages", mg.Metrics.Messages)
+	}
+}

@@ -1,0 +1,50 @@
+package parser
+
+import (
+	"reflect"
+	"testing"
+
+	"decorr/internal/ast"
+)
+
+// FuzzParse asserts the parser never panics, and that anything it accepts
+// survives a print→reparse roundtrip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"select a from t",
+		"select a, b from t where a = 1 and b in (select c from u)",
+		"select count(*) from t group by b having count(*) > 2",
+		"select case when a then b else c end from t",
+		"select * from t left outer join u on t.a = u.b",
+		"(select a from t) union all (select b from u) intersect select c from v",
+		"create view v(a) as select b from t",
+		"select 'str''ing', 2.5, -3 from t order by 1 desc",
+		"select a from t where x like '%y' and z between 1 and 2",
+		"select a from (select b from u) as d(a)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		printed := ast.FormatQuery(q)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q, printed %q, reparse failed: %v", sql, printed, err)
+		}
+		if !reflect.DeepEqual(q, back) {
+			t.Fatalf("roundtrip changed tree for %q (printed %q)", sql, printed)
+		}
+	})
+}
+
+// FuzzParseStatement covers the statement entry point.
+func FuzzParseStatement(f *testing.F) {
+	f.Add("create view v as select a from t")
+	f.Add("select 1 from t;")
+	f.Fuzz(func(t *testing.T, sql string) {
+		_, _ = ParseStatement(sql) // must not panic
+	})
+}

@@ -1,0 +1,182 @@
+// Package parser implements a hand-written lexer and recursive-descent
+// parser for the SQL subset used by the paper's workloads.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords lower-cased; idents lower-cased; strings unquoted
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "where": true,
+	"group": true, "by": true, "having": true, "order": true, "asc": true,
+	"desc": true, "union": true, "intersect": true, "except": true,
+	"all": true, "any": true, "some": true,
+	"exists": true, "in": true, "not": true, "and": true, "or": true,
+	"is": true, "null": true, "like": true, "between": true, "as": true,
+	"true": true, "false": true, "create": true, "view": true,
+	"case": true, "when": true, "then": true, "else": true, "end": true,
+	"join": true, "left": true, "outer": true, "inner": true, "on": true,
+	"limit": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexWord(start)
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+// Identifiers are ASCII; the lexer walks bytes, so admitting high bytes
+// would silently treat Latin-1 letters as identifier characters while
+// string literals pass arbitrary bytes through.
+func isIdentStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || r == '#' || (r >= '0' && r <= '9')
+}
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	w := strings.ToLower(l.src[start:l.pos])
+	kind := tokIdent
+	if keywords[w] {
+		kind = tokKeyword
+	}
+	l.toks = append(l.toks, token{kind: kind, text: w, pos: start})
+}
+
+func (l *lexer) lexNumber(start int) error {
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	l.toks = append(l.toks, token{kind: kind, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("parser: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexSymbol(start int) error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		if two == "!=" {
+			two = "<>"
+		}
+		l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start})
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	}
+	return fmt.Errorf("parser: unexpected character %q at offset %d", c, start)
+}

@@ -1,0 +1,806 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"decorr/internal/ast"
+)
+
+// ParseStatement parses one top-level statement: a query expression or a
+// CREATE VIEW definition.
+func ParseStatement(sql string) (ast.Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	var stmt ast.Statement
+	if p.atKeyword("create") {
+		p.advance()
+		if err := p.expectKeyword("view"); err != nil {
+			return nil, err
+		}
+		cv := &ast.CreateView{}
+		if !p.at(tokIdent, "") {
+			return nil, p.errorf("expected view name, found %q", p.cur().text)
+		}
+		cv.Name = p.advance().text
+		if p.acceptSymbol("(") {
+			for {
+				if !p.at(tokIdent, "") {
+					return nil, p.errorf("expected view column name, found %q", p.cur().text)
+				}
+				cv.Cols = append(cv.Cols, p.advance().text)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("as"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		cv.Query = q
+		stmt = cv
+	} else {
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt = q.(ast.Statement)
+	}
+	p.acceptSymbol(";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// Parse parses one SQL query expression (SELECT block or UNION of blocks),
+// optionally terminated by a semicolon.
+func Parse(sql string) (ast.QueryExpr, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	q, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting at %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) atKeyword(kw string) bool { return p.at(tokKeyword, kw) }
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.at(tokSymbol, s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("parser: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// parseQueryExpr handles UNION/EXCEPT chains (left-associative), with
+// INTERSECT binding tighter per the SQL standard.
+func (p *parser) parseQueryExpr() (ast.QueryExpr, error) {
+	left, err := p.parseIntersectChain()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.SetOpKind
+		switch {
+		case p.acceptKeyword("union"):
+			op = ast.Union
+		case p.acceptKeyword("except"):
+			op = ast.Except
+		default:
+			return left, nil
+		}
+		all := p.acceptKeyword("all")
+		right, err := p.parseIntersectChain()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.SetOp{Op: op, All: all, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseIntersectChain() (ast.QueryExpr, error) {
+	left, err := p.parseQueryTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("intersect") {
+		all := p.acceptKeyword("all")
+		right, err := p.parseQueryTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.SetOp{Op: ast.Intersect, All: all, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseQueryTerm parses either a parenthesized query expression or a
+// SELECT block.
+func (p *parser) parseQueryTerm() (ast.QueryExpr, error) {
+	if p.at(tokSymbol, "(") {
+		// Could be "(query) union ..." — a parenthesized branch.
+		save := p.i
+		p.advance()
+		if p.atKeyword("select") || p.at(tokSymbol, "(") {
+			q, err := p.parseQueryExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return q, nil
+		}
+		p.i = save
+	}
+	return p.parseSelect()
+}
+
+func (p *parser) parseSelect() (*ast.Select, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	s := &ast.Select{Limit: -1}
+	s.Distinct = p.acceptKeyword("distinct")
+	p.acceptKeyword("all")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, fi)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			oi := ast.OrderItem{Expr: e}
+			if p.acceptKeyword("desc") {
+				oi.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			s.OrderBy = append(s.OrderBy, oi)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.cur()
+		if t.kind != tokInt {
+			return nil, p.errorf("LIMIT expects an integer, found %q", t.text)
+		}
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (ast.SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return ast.SelectItem{Star: true}, nil
+	}
+	// "ident.*"
+	if p.at(tokIdent, "") && p.peek().kind == tokSymbol && p.peek().text == "." {
+		if p.i+2 < len(p.toks) && p.toks[p.i+2].kind == tokSymbol && p.toks[p.i+2].text == "*" {
+			q := p.advance().text
+			p.advance() // .
+			p.advance() // *
+			return ast.SelectItem{Star: true, Qualifier: q}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return ast.SelectItem{}, err
+	}
+	item := ast.SelectItem{Expr: e}
+	if p.acceptKeyword("as") {
+		if !p.at(tokIdent, "") {
+			return item, p.errorf("expected alias after AS, found %q", p.cur().text)
+		}
+		item.Alias = p.advance().text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+// parseFromItem parses a primary FROM element followed by any chain of
+// [LEFT [OUTER]] [INNER] JOIN ... ON ... clauses (left-associative).
+func (p *parser) parseFromItem() (ast.FromItem, error) {
+	left, err := p.parseFromPrimary()
+	if err != nil {
+		return left, err
+	}
+	for {
+		outer := false
+		switch {
+		case p.atKeyword("left"):
+			p.advance()
+			p.acceptKeyword("outer")
+			if err := p.expectKeyword("join"); err != nil {
+				return left, err
+			}
+			outer = true
+		case p.atKeyword("inner"):
+			p.advance()
+			if err := p.expectKeyword("join"); err != nil {
+				return left, err
+			}
+		case p.atKeyword("join"):
+			p.advance()
+		default:
+			return left, nil
+		}
+		right, err := p.parseFromPrimary()
+		if err != nil {
+			return left, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return left, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return left, err
+		}
+		left = ast.FromItem{Join: &ast.JoinClause{Left: left, Right: right, On: cond, Outer: outer}}
+	}
+}
+
+func (p *parser) parseFromPrimary() (ast.FromItem, error) {
+	var fi ast.FromItem
+	if p.at(tokSymbol, "(") {
+		p.advance()
+		q, err := p.parseQueryExpr()
+		if err != nil {
+			return fi, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return fi, err
+		}
+		fi.Sub = q
+	} else if p.at(tokIdent, "") {
+		fi.Table = p.advance().text
+	} else {
+		return fi, p.errorf("expected table name or subquery in FROM, found %q", p.cur().text)
+	}
+	p.acceptKeyword("as")
+	if p.at(tokIdent, "") {
+		fi.Alias = p.advance().text
+		if p.at(tokSymbol, "(") {
+			// column aliases: alias(c1, c2, ...)
+			p.advance()
+			for {
+				if !p.at(tokIdent, "") {
+					return fi, p.errorf("expected column alias, found %q", p.cur().text)
+				}
+				fi.ColAliases = append(fi.ColAliases, p.advance().text)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return fi, err
+			}
+		}
+	}
+	if fi.Sub != nil && fi.Alias == "" {
+		return fi, p.errorf("derived table requires an alias")
+	}
+	return fi, nil
+}
+
+// Expression precedence, loosest first:
+//
+//	OR, AND, NOT, predicate (comparison/IS/LIKE/BETWEEN/IN/quantified),
+//	additive, multiplicative, unary, primary.
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Bin{Op: ast.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Bin{Op: ast.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Not{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]ast.BinOp{
+	"=": ast.OpEq, "<>": ast.OpNe, "<": ast.OpLt, "<=": ast.OpLe,
+	">": ast.OpGt, ">=": ast.OpGe,
+}
+
+func (p *parser) parsePredicate() (ast.Expr, error) {
+	if p.atKeyword("exists") {
+		p.advance()
+		sub, err := p.parseParenQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Exists{Sub: sub}, nil
+	}
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// comparison with optional ANY/ALL quantifier
+	if p.cur().kind == tokSymbol {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.advance()
+			if p.atKeyword("any") || p.atKeyword("some") || p.atKeyword("all") {
+				all := p.atKeyword("all")
+				p.advance()
+				sub, err := p.parseParenQuery()
+				if err != nil {
+					return nil, err
+				}
+				return &ast.QuantCmp{Op: op, E: l, All: all, Sub: sub}, nil
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Bin{Op: op, L: l, R: r}, nil
+		}
+	}
+	negate := false
+	if p.atKeyword("not") {
+		// "x NOT IN/LIKE/BETWEEN ..."
+		nxt := p.peek()
+		if nxt.kind == tokKeyword && (nxt.text == "in" || nxt.text == "like" || nxt.text == "between") {
+			p.advance()
+			negate = true
+		}
+	}
+	switch {
+	case p.acceptKeyword("is"):
+		neg := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return &ast.IsNull{E: l, Negate: neg}, nil
+	case p.acceptKeyword("like"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Like{E: l, Pattern: pat, Negate: negate}, nil
+	case p.acceptKeyword("between"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Between{E: l, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.acceptKeyword("in"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if p.atKeyword("select") || p.at(tokSymbol, "(") {
+			sub, err := p.parseQueryExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ast.InSubquery{E: l, Sub: sub, Negate: negate}, nil
+		}
+		var list []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &ast.InList{E: l, List: list, Negate: negate}, nil
+	}
+	if negate {
+		return nil, p.errorf("dangling NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseParenQuery() (ast.QueryExpr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseAdditive() (ast.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinOp
+		switch {
+		case p.at(tokSymbol, "+"):
+			op = ast.OpAdd
+		case p.at(tokSymbol, "-"):
+			op = ast.OpSub
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinOp
+		switch {
+		case p.at(tokSymbol, "*"):
+			op = ast.OpMul
+		case p.at(tokSymbol, "/"):
+			op = ast.OpDiv
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Neg{E: e}, nil
+	}
+	p.acceptSymbol("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", t.text)
+		}
+		return &ast.IntLit{V: v}, nil
+	case tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal %q", t.text)
+		}
+		return &ast.FloatLit{V: v}, nil
+	case tokString:
+		p.advance()
+		return &ast.StringLit{V: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "case":
+			return p.parseCase()
+		case "null":
+			p.advance()
+			return &ast.NullLit{}, nil
+		case "true":
+			p.advance()
+			return &ast.BoolLit{V: true}, nil
+		case "false":
+			p.advance()
+			return &ast.BoolLit{V: false}, nil
+		}
+	case tokSymbol:
+		if t.text == "(" {
+			// scalar subquery or parenthesized expression
+			if p.peek().kind == tokKeyword && p.peek().text == "select" {
+				p.advance()
+				sub, err := p.parseQueryExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &ast.ScalarSubquery{Sub: sub}, nil
+			}
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		name := p.advance().text
+		if p.at(tokSymbol, "(") {
+			return p.parseFuncCall(name)
+		}
+		if p.at(tokSymbol, ".") {
+			p.advance()
+			if !p.at(tokIdent, "") {
+				return nil, p.errorf("expected column name after %q.", name)
+			}
+			col := p.advance().text
+			return &ast.ColRef{Qualifier: name, Name: col}, nil
+		}
+		return &ast.ColRef{Name: name}, nil
+	}
+	return nil, p.errorf("unexpected token %q", t.text)
+}
+
+// parseCase parses both CASE forms; "CASE operand WHEN v THEN r ..." is
+// desugared into the searched form with equality conditions.
+func (p *parser) parseCase() (ast.Expr, error) {
+	if err := p.expectKeyword("case"); err != nil {
+		return nil, err
+	}
+	var operand ast.Expr
+	if !p.atKeyword("when") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		operand = e
+	}
+	c := &ast.CaseExpr{}
+	for p.acceptKeyword("when") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if operand != nil {
+			cond = &ast.Bin{Op: ast.OpEq, L: operand, R: cond}
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseFuncCall(name string) (ast.Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	f := &ast.FuncCall{Name: name}
+	if p.acceptSymbol("*") {
+		f.Star = true
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	f.Distinct = p.acceptKeyword("distinct")
+	if !p.at(tokSymbol, ")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,290 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"decorr/internal/ast"
+)
+
+func parse(t *testing.T, sql string) ast.QueryExpr {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func sel(t *testing.T, q ast.QueryExpr) *ast.Select {
+	t.Helper()
+	s, ok := q.(*ast.Select)
+	if !ok {
+		t.Fatalf("expected *ast.Select, got %T", q)
+	}
+	return s
+}
+
+func TestBasicSelect(t *testing.T) {
+	s := sel(t, parse(t, "select a, b as bee from t where a = 1"))
+	if len(s.Items) != 2 || s.Items[1].Alias != "bee" {
+		t.Fatalf("items = %+v", s.Items)
+	}
+	if len(s.From) != 1 || s.From[0].Table != "t" {
+		t.Fatalf("from = %+v", s.From)
+	}
+	bin, ok := s.Where.(*ast.Bin)
+	if !ok || bin.Op != ast.OpEq {
+		t.Fatalf("where = %#v", s.Where)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	s := sel(t, parse(t, "SELECT A FROM T WHERE B LIKE 'X%'"))
+	if s.From[0].Table != "t" {
+		t.Errorf("table name not lower-cased: %q", s.From[0].Table)
+	}
+	if _, ok := s.Where.(*ast.Like); !ok {
+		t.Errorf("where = %#v", s.Where)
+	}
+	// But string literals keep their case.
+	lk := s.Where.(*ast.Like)
+	if lk.Pattern.(*ast.StringLit).V != "X%" {
+		t.Errorf("literal case mangled: %#v", lk.Pattern)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	s := sel(t, parse(t, "select a + b * c - d from t"))
+	// ((a + (b*c)) - d)
+	top := s.Items[0].Expr.(*ast.Bin)
+	if top.Op != ast.OpSub {
+		t.Fatalf("top op = %v", top.Op)
+	}
+	add := top.L.(*ast.Bin)
+	if add.Op != ast.OpAdd {
+		t.Fatalf("left op = %v", add.Op)
+	}
+	if mul := add.R.(*ast.Bin); mul.Op != ast.OpMul {
+		t.Fatalf("inner op = %v", mul.Op)
+	}
+}
+
+func TestBooleanPrecedence(t *testing.T) {
+	s := sel(t, parse(t, "select a from t where x = 1 or y = 2 and z = 3"))
+	or := s.Where.(*ast.Bin)
+	if or.Op != ast.OpOr {
+		t.Fatalf("top = %v (AND must bind tighter than OR)", or.Op)
+	}
+	and := or.R.(*ast.Bin)
+	if and.Op != ast.OpAnd {
+		t.Fatalf("right = %v", and.Op)
+	}
+}
+
+func TestNotVariants(t *testing.T) {
+	s := sel(t, parse(t, "select a from t where not x = 1 and y not in (1, 2) and z not like 'a%' and w not between 1 and 2"))
+	conj := s.Where.(*ast.Bin)
+	_ = conj
+	found := map[string]bool{}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Bin:
+			walk(x.L)
+			walk(x.R)
+		case *ast.Not:
+			found["not"] = true
+		case *ast.InList:
+			if x.Negate {
+				found["notin"] = true
+			}
+		case *ast.Like:
+			if x.Negate {
+				found["notlike"] = true
+			}
+		case *ast.Between:
+			if x.Negate {
+				found["notbetween"] = true
+			}
+		}
+	}
+	walk(s.Where)
+	for _, k := range []string{"not", "notin", "notlike", "notbetween"} {
+		if !found[k] {
+			t.Errorf("missing %s in %#v", k, s.Where)
+		}
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	s := sel(t, parse(t, `
+		select a from t
+		where exists (select 1 from u)
+		  and b in (select c from v)
+		  and d = (select max(e) from w)
+		  and f > all (select g from x)
+		  and h < any (select i from y)`))
+	kinds := map[string]int{}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Bin:
+			walk(x.L)
+			walk(x.R)
+		case *ast.Exists:
+			kinds["exists"]++
+		case *ast.InSubquery:
+			kinds["in"]++
+		case *ast.ScalarSubquery:
+			kinds["scalar"]++
+		case *ast.QuantCmp:
+			if x.All {
+				kinds["all"]++
+			} else {
+				kinds["any"]++
+			}
+		}
+	}
+	walk(s.Where)
+	for _, k := range []string{"exists", "in", "scalar", "all", "any"} {
+		if kinds[k] != 1 {
+			t.Errorf("%s parsed %d times", k, kinds[k])
+		}
+	}
+}
+
+func TestUnionAssociativityAndParens(t *testing.T) {
+	q := parse(t, "select a from t union all select a from u union select a from v")
+	top, ok := q.(*ast.SetOp)
+	if !ok || top.All {
+		t.Fatalf("top = %#v (left-assoc: (t UNION ALL u) UNION v)", q)
+	}
+	left, ok := top.Left.(*ast.SetOp)
+	if !ok || !left.All {
+		t.Fatalf("left = %#v", top.Left)
+	}
+	// Parenthesized branches.
+	q = parse(t, "(select a from t) union (select a from u)")
+	if _, ok := q.(*ast.SetOp); !ok {
+		t.Fatalf("parenthesized union = %#v", q)
+	}
+}
+
+func TestDerivedTableWithColumnAliases(t *testing.T) {
+	s := sel(t, parse(t, "select x from (select a, b from t) as d(x, y) where y > 0"))
+	fi := s.From[0]
+	if fi.Sub == nil || fi.Alias != "d" || len(fi.ColAliases) != 2 {
+		t.Fatalf("from item = %+v", fi)
+	}
+}
+
+func TestGroupByHavingOrderBy(t *testing.T) {
+	s := sel(t, parse(t, `
+		select b, count(*) from t
+		group by b having count(*) > 1
+		order by 2 desc, b`))
+	if len(s.GroupBy) != 1 || s.Having == nil || len(s.OrderBy) != 2 {
+		t.Fatalf("select = %+v", s)
+	}
+	if !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("order dirs = %+v", s.OrderBy)
+	}
+}
+
+func TestAggregateForms(t *testing.T) {
+	s := sel(t, parse(t, "select count(*), count(distinct a), sum(a + 1) from t"))
+	c0 := s.Items[0].Expr.(*ast.FuncCall)
+	if !c0.Star {
+		t.Error("count(*) lost its star")
+	}
+	c1 := s.Items[1].Expr.(*ast.FuncCall)
+	if !c1.Distinct {
+		t.Error("count(distinct a) lost distinct")
+	}
+}
+
+func TestStars(t *testing.T) {
+	s := sel(t, parse(t, "select *, t.* from t"))
+	if !s.Items[0].Star || s.Items[0].Qualifier != "" {
+		t.Errorf("item0 = %+v", s.Items[0])
+	}
+	if !s.Items[1].Star || s.Items[1].Qualifier != "t" {
+		t.Errorf("item1 = %+v", s.Items[1])
+	}
+}
+
+func TestLiteralsAndComments(t *testing.T) {
+	s := sel(t, parse(t, `
+		-- leading comment
+		select 1, 2.5, 'it''s', null from t -- trailing`))
+	if v := s.Items[0].Expr.(*ast.IntLit); v.V != 1 {
+		t.Errorf("int = %+v", v)
+	}
+	if v := s.Items[1].Expr.(*ast.FloatLit); v.V != 2.5 {
+		t.Errorf("float = %+v", v)
+	}
+	if v := s.Items[2].Expr.(*ast.StringLit); v.V != "it's" {
+		t.Errorf("string = %+v", v)
+	}
+	if _, ok := s.Items[3].Expr.(*ast.NullLit); !ok {
+		t.Errorf("null = %#v", s.Items[3].Expr)
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	s := sel(t, parse(t, "select -3, -x from t where a <> -1"))
+	if _, ok := s.Items[0].Expr.(*ast.Neg); !ok {
+		t.Errorf("unary minus = %#v", s.Items[0].Expr)
+	}
+}
+
+func TestPaperQueriesParse(t *testing.T) {
+	for name, sql := range map[string]string{
+		"example": `
+			Select D.name From Dept D
+			Where D.budget < 10000 and D.num_emps >
+			(Select Count(*) From Emp E Where D.building = E.building)`,
+		"qualified": "select t.a from s t where t.b = 1",
+	} {
+		if _, err := Parse(sql); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"select",
+		"select a",      // missing FROM
+		"select a from", // missing table
+		"select a from t where",
+		"select a from t where a = ",
+		"select a from (select b from u)", // derived table needs alias
+		"select a from t group",
+		"select a from t order by",
+		"select 'unterminated from t",
+		"select a ~ b from t",
+		"select a from t; select b from u", // trailing statement
+		"select a from t where x not 5",    // dangling NOT
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestSemicolonTolerated(t *testing.T) {
+	if _, err := Parse("select a from t;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+}
+
+func TestLexerOffsetsInErrors(t *testing.T) {
+	_, err := Parse("select a from t where !")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error should carry an offset: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package parser
+
+import (
+	"reflect"
+	"testing"
+
+	"decorr/internal/ast"
+)
+
+// The printer must emit SQL that re-parses to a structurally identical
+// AST: parse(print(parse(q))) == parse(q).
+func TestPrintParseRoundtrip(t *testing.T) {
+	corpus := []string{
+		"select a from t",
+		"select distinct a, b as bee, t.* from t, u as v",
+		"select a from t where a = 1 and b < 2 or not c >= 3",
+		"select a from t where x is null and y is not null",
+		"select a from t where s like 'a%' and s not like '_b'",
+		"select a from t where n between 1 and 10 and m not between 2 and 3",
+		"select a from t where c in (1, 2, 3) and d not in (4)",
+		"select a from t where b in (select c from u) and e not in (select f from w)",
+		"select a from t where exists (select 1 from u) and not exists (select 2 from w)",
+		"select a from t where x > all (select y from u) and z = any (select w from v)",
+		"select a, (select max(b) from u where u.k = t.k) from t",
+		"select count(*), count(distinct a), sum(a + b * 2 - 1) from t group by c having count(*) > 1",
+		"select a from t order by a desc, 2",
+		"select a from t order by a limit 10",
+		"select a from (select b from u) as d(a) where a <> 0",
+		"select a from t union select b from u union all select c from v",
+		"select a from t intersect all select b from u",
+		"(select a from t except select b from u) union (select c from v)",
+		"select -x, -3, 'it''s', 2.5, null from t",
+		"select a from t left outer join u on t.k = u.k",
+		"select a from t inner join u on t.k = u.k left join v on v.k = t.k, w",
+		"select coalesce(a, 0) from t where abs(b) > 1",
+		"select case when a = 1 then 'x' when a > 2 then 'y' else 'z' end from t",
+		"select case when a = 1 then b end from t where case when c > 0 then true else false end",
+		`select d.name from dept d where d.budget < 10000 and d.num_emps >
+		   (select count(*) from emp e where d.building = e.building)`,
+	}
+	for _, sql := range corpus {
+		orig, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("corpus entry does not parse: %q: %v", sql, err)
+		}
+		printed := ast.FormatQuery(orig)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Errorf("printed SQL does not re-parse:\n  orig: %s\n  printed: %s\n  err: %v", sql, printed, err)
+			continue
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Errorf("roundtrip changed the tree:\n  orig sql: %s\n  printed:  %s", sql, printed)
+		}
+	}
+}
+
+// Idempotence: printing the re-parsed tree yields the same text.
+func TestPrintIsIdempotent(t *testing.T) {
+	sql := `select a, count(*) from t where b in (select c from u where u.k = t.k)
+	        group by a having count(*) >= 2 order by a`
+	q1, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := ast.FormatQuery(q1)
+	q2, err := Parse(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := ast.FormatQuery(q2)
+	if p1 != p2 {
+		t.Errorf("printer not idempotent:\n1: %s\n2: %s", p1, p2)
+	}
+}

@@ -1,0 +1,271 @@
+package qgm
+
+import (
+	"fmt"
+)
+
+// ExprSlots calls f with a pointer to every expression slot of box b (its
+// predicates, output column expressions, and grouping expressions), so
+// callers can inspect or replace them in place.
+func (b *Box) ExprSlots(f func(*Expr)) {
+	for i := range b.Preds {
+		f(&b.Preds[i])
+	}
+	for i := range b.Cols {
+		if b.Cols[i].Expr != nil {
+			f(&b.Cols[i].Expr)
+		}
+	}
+	for i := range b.GroupBy {
+		f(&b.GroupBy[i])
+	}
+}
+
+// subtreeSet returns the set of boxes reachable from b.
+func subtreeSet(b *Box) map[*Box]bool {
+	s := map[*Box]bool{}
+	for _, x := range Boxes(b) {
+		s[x] = true
+	}
+	return s
+}
+
+// FreeRefs returns the ColRefs occurring anywhere in b's subtree whose
+// quantifier is owned outside the subtree — i.e. the correlated references
+// of the subtree. Order is deterministic (box DFS order, slot order).
+func FreeRefs(b *Box) []*ColRef {
+	inside := subtreeSet(b)
+	var out []*ColRef
+	for _, box := range Boxes(b) {
+		box.ExprSlots(func(slot *Expr) {
+			for _, r := range Refs(*slot) {
+				if !inside[r.Q.Owner] {
+					out = append(out, r)
+				}
+			}
+		})
+	}
+	return out
+}
+
+// IsCorrelated reports whether b's subtree has any correlated reference.
+func IsCorrelated(b *Box) bool { return len(FreeRefs(b)) > 0 }
+
+// CorrelatedTo reports whether b's subtree references any quantifier owned
+// by the given box.
+func CorrelatedTo(b, owner *Box) bool {
+	for _, r := range FreeRefs(b) {
+		if r.Q.Owner == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// RewriteSubtree applies f (bottom-up, per Rewrite) to every expression of
+// every box in root's subtree.
+func RewriteSubtree(root *Box, f func(Expr) Expr) {
+	for _, b := range Boxes(root) {
+		b.ExprSlots(func(slot *Expr) {
+			*slot = Rewrite(*slot, f)
+		})
+	}
+}
+
+// RedirectRefs rewrites, across root's whole subtree, every reference to a
+// (quantifier, column) pair present in the mapping, replacing it with the
+// mapped expression. Keys are encoded by refKey.
+func RedirectRefs(root *Box, mapping map[RefKey]Expr) {
+	RewriteSubtree(root, func(e Expr) Expr {
+		if r, ok := e.(*ColRef); ok {
+			if repl, ok := mapping[RefKey{r.Q, r.Col}]; ok {
+				return CloneExpr(repl)
+			}
+		}
+		return e
+	})
+}
+
+// RefKey identifies a (quantifier, column) pair for rewrite maps.
+type RefKey struct {
+	Q   *Quantifier
+	Col int
+}
+
+// CloneExpr deep-copies an expression (quantifier pointers are shared; they
+// identify graph edges, not owned state).
+func CloneExpr(e Expr) Expr {
+	return Rewrite(e, func(x Expr) Expr { return x })
+}
+
+// Parents computes the parent multimap of the graph rooted at root.
+func Parents(root *Box) map[*Box][]*Box {
+	p := map[*Box][]*Box{}
+	for _, b := range Boxes(root) {
+		for _, q := range b.Quants {
+			p[q.Input] = append(p[q.Input], b)
+		}
+	}
+	return p
+}
+
+// Validate checks structural invariants of the graph. It is called by the
+// engine after semantic analysis and after every rewrite, mirroring the
+// paper's requirement that "each rule application should leave the QGM in
+// a consistent state".
+func Validate(g *Graph) error {
+	if g.Root == nil {
+		return fmt.Errorf("qgm: graph has no root")
+	}
+	parents := Parents(g.Root)
+	// ancestors: transitive closure over parents.
+	anc := map[*Box]map[*Box]bool{}
+	var ancestorsOf func(b *Box, seen map[*Box]bool) map[*Box]bool
+	ancestorsOf = func(b *Box, seen map[*Box]bool) map[*Box]bool {
+		if a, ok := anc[b]; ok {
+			return a
+		}
+		if seen[b] {
+			return map[*Box]bool{}
+		}
+		seen[b] = true
+		a := map[*Box]bool{}
+		for _, p := range parents[b] {
+			a[p] = true
+			for x := range ancestorsOf(p, seen) {
+				a[x] = true
+			}
+		}
+		anc[b] = a
+		return a
+	}
+	for _, b := range Boxes(g.Root) {
+		if err := validateBoxShape(b); err != nil {
+			return err
+		}
+		quants := map[*Quantifier]bool{}
+		for _, q := range b.Quants {
+			if q.Owner != b {
+				return fmt.Errorf("qgm: box %d has quantifier %s owned by box %d", b.ID, q.Name(), q.Owner.ID)
+			}
+			if q.Input == nil {
+				return fmt.Errorf("qgm: quantifier %s of box %d has no input", q.Name(), b.ID)
+			}
+			quants[q] = true
+		}
+		a := ancestorsOf(b, map[*Box]bool{})
+		var refErr error
+		b.ExprSlots(func(slot *Expr) {
+			if refErr != nil {
+				return
+			}
+			for _, r := range Refs(*slot) {
+				if r.Q == nil || r.Q.Input == nil {
+					refErr = fmt.Errorf("qgm: box %d references a detached quantifier", b.ID)
+					return
+				}
+				if !quants[r.Q] && !a[r.Q.Owner] {
+					refErr = fmt.Errorf("qgm: box %d references %s.c%d owned by box %d which is not an ancestor",
+						b.ID, r.Q.Name(), r.Col, r.Q.Owner.ID)
+					return
+				}
+				if r.Col < 0 || r.Col >= len(r.Q.Input.Cols) {
+					refErr = fmt.Errorf("qgm: box %d references %s.c%d out of range (input box %d has %d cols)",
+						b.ID, r.Q.Name(), r.Col, r.Q.Input.ID, len(r.Q.Input.Cols))
+					return
+				}
+			}
+		})
+		if refErr != nil {
+			return refErr
+		}
+	}
+	return nil
+}
+
+func validateBoxShape(b *Box) error {
+	switch b.Kind {
+	case BoxBase:
+		if b.Table == nil {
+			return fmt.Errorf("qgm: base box %d has no table", b.ID)
+		}
+		if len(b.Quants) != 0 || len(b.Preds) != 0 {
+			return fmt.Errorf("qgm: base box %d must have no quantifiers or predicates", b.ID)
+		}
+		if len(b.Cols) != len(b.Table.Columns) {
+			return fmt.Errorf("qgm: base box %d arity mismatch with table %q", b.ID, b.Table.Name)
+		}
+	case BoxSelect:
+		if len(b.ForEachQuants()) == 0 {
+			return fmt.Errorf("qgm: select box %d has no row-contributing quantifier", b.ID)
+		}
+		for _, c := range b.Cols {
+			if c.Expr == nil {
+				return fmt.Errorf("qgm: select box %d output %q has no expression", b.ID, c.Name)
+			}
+			if containsAgg(c.Expr) {
+				return fmt.Errorf("qgm: select box %d output %q contains an aggregate", b.ID, c.Name)
+			}
+		}
+		for _, p := range b.Preds {
+			if containsAgg(p) {
+				return fmt.Errorf("qgm: select box %d predicate contains an aggregate", b.ID)
+			}
+		}
+	case BoxGroup:
+		if len(b.Quants) != 1 || b.Quants[0].Kind != QForEach {
+			return fmt.Errorf("qgm: group box %d must have exactly one ForEach quantifier", b.ID)
+		}
+		if len(b.Preds) != 0 {
+			return fmt.Errorf("qgm: group box %d must not carry predicates (HAVING lives above)", b.ID)
+		}
+		for _, c := range b.Cols {
+			if c.Expr == nil {
+				return fmt.Errorf("qgm: group box %d output %q has no expression", b.ID, c.Name)
+			}
+		}
+	case BoxUnion, BoxIntersect, BoxExcept:
+		if len(b.Quants) < 2 {
+			return fmt.Errorf("qgm: %s box %d needs at least two inputs", b.Kind, b.ID)
+		}
+		if b.Kind != BoxUnion && len(b.Quants) != 2 {
+			return fmt.Errorf("qgm: %s box %d must have exactly two inputs", b.Kind, b.ID)
+		}
+		arity := len(b.Quants[0].Input.Cols)
+		for _, q := range b.Quants {
+			if q.Kind != QForEach {
+				return fmt.Errorf("qgm: %s box %d has non-ForEach quantifier", b.Kind, b.ID)
+			}
+			if len(q.Input.Cols) != arity {
+				return fmt.Errorf("qgm: %s box %d inputs have differing arity", b.Kind, b.ID)
+			}
+		}
+		if len(b.Cols) != arity {
+			return fmt.Errorf("qgm: %s box %d output arity mismatch", b.Kind, b.ID)
+		}
+		if len(b.Preds) != 0 {
+			return fmt.Errorf("qgm: %s box %d must not carry predicates", b.Kind, b.ID)
+		}
+	case BoxLeftJoin:
+		if len(b.Quants) != 2 || b.Quants[0].Kind != QForEach || b.Quants[1].Kind != QForEach {
+			return fmt.Errorf("qgm: left-join box %d must have exactly two ForEach quantifiers", b.ID)
+		}
+		for _, c := range b.Cols {
+			if c.Expr == nil {
+				return fmt.Errorf("qgm: left-join box %d output %q has no expression", b.ID, c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func containsAgg(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if _, ok := x.(*Agg); ok {
+			found = true
+		}
+		return true
+	})
+	return found
+}

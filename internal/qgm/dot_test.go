@@ -1,0 +1,46 @@
+package qgm
+
+import (
+	"strings"
+	"testing"
+
+	"decorr/internal/sqltypes"
+)
+
+func TestDotRendersBoxesEdgesAndCorrelation(t *testing.T) {
+	g, _, _, _, _ := buildCorrelated()
+	out := Dot(g)
+	for _, want := range []string{
+		"digraph qgm",
+		"SELECT",
+		"BASE",
+		"->",           // quantifier edges
+		"style=dashed", // correlation edge
+		"corr",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+	if strings.Count(out, "[label=\"Box") != len(Boxes(g.Root)) {
+		t.Errorf("node count mismatch:\n%s", out)
+	}
+}
+
+func TestDotEscapesQuotes(t *testing.T) {
+	g := NewGraph()
+	base := g.NewBaseBox(demoTable("t", "s"))
+	root := g.NewBox(BoxSelect, "r")
+	q := g.AddQuant(root, QForEach, base)
+	root.Preds = append(root.Preds, &Like{E: Ref(q, 0),
+		Pattern: &Const{V: sqltypes.NewString(`a"b`)}})
+	root.Cols = []OutCol{{Name: "s", Expr: Ref(q, 0)}}
+	g.Root = root
+	out := Dot(g)
+	if !strings.Contains(out, `\"`) {
+		t.Errorf("quotes not escaped:\n%s", out)
+	}
+}

@@ -1,0 +1,361 @@
+package qgm
+
+import (
+	"fmt"
+	"strings"
+
+	"decorr/internal/sqltypes"
+)
+
+// Expr is a scalar or predicate expression over quantifier columns.
+type Expr interface{ qexpr() }
+
+// ColRef references column Col of quantifier Q's input box. When Q is owned
+// by an ancestor box of the expression's box, the reference is correlated.
+type ColRef struct {
+	Q   *Quantifier
+	Col int
+}
+
+// Const is a literal value.
+type Const struct{ V sqltypes.Value }
+
+// Op enumerates QGM expression operators.
+type Op uint8
+
+// Expression operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+// String returns the SQL spelling.
+func (op Op) String() string {
+	return [...]string{"+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"}[op]
+}
+
+// IsComparison reports whether op is a comparison operator.
+func (op Op) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// Flip mirrors a comparison (a op b == b op.Flip() a).
+func (op Op) Flip() Op {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op
+}
+
+// Negate returns the complement of a comparison (for NOT pushing and ALL/ANY
+// duality). Note: this is the two-valued complement; three-valued logic is
+// handled in the evaluator.
+func (op Op) Negate() Op {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	}
+	return op
+}
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// IsNull is the IS [NOT] NULL predicate.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Like is the LIKE predicate.
+type Like struct {
+	E, Pattern Expr
+	Negate     bool
+}
+
+// Func is a scalar function call (coalesce, abs).
+type Func struct {
+	Name string
+	Args []Expr
+}
+
+// AggOp enumerates aggregate functions.
+type AggOp uint8
+
+// Aggregate functions.
+const (
+	AggCount AggOp = iota // COUNT(expr) — counts non-NULL; AggCountStar counts rows
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name.
+func (a AggOp) String() string {
+	return [...]string{"COUNT", "COUNT(*)", "SUM", "AVG", "MIN", "MAX"}[a]
+}
+
+// NeverNullOnEmpty reports whether the aggregate yields a non-NULL value
+// (zero) over an empty input — the property behind the COUNT bug.
+func (a AggOp) NeverNullOnEmpty() bool { return a == AggCount || a == AggCountStar }
+
+// When is one arm of a Case expression.
+type When struct {
+	Cond, Result Expr
+}
+
+// Case is a searched CASE expression: the first arm whose condition is
+// TRUE supplies the result; otherwise Else (NULL when nil).
+type Case struct {
+	Whens []When
+	Else  Expr
+}
+
+// Agg is an aggregate expression; valid only in the output columns of a
+// BoxGroup, where Arg ranges over the group's input quantifier.
+type Agg struct {
+	Op       AggOp
+	Arg      Expr // nil for COUNT(*)
+	Distinct bool
+}
+
+func (*ColRef) qexpr() {}
+func (*Const) qexpr()  {}
+func (*Bin) qexpr()    {}
+func (*Not) qexpr()    {}
+func (*IsNull) qexpr() {}
+func (*Like) qexpr()   {}
+func (*Func) qexpr()   {}
+func (*Case) qexpr()   {}
+func (*Agg) qexpr()    {}
+
+// NewEq builds an equality comparison.
+func NewEq(l, r Expr) Expr { return &Bin{Op: OpEq, L: l, R: r} }
+
+// Ref builds a column reference.
+func Ref(q *Quantifier, col int) *ColRef { return &ColRef{Q: q, Col: col} }
+
+// ConstInt builds an integer literal expression.
+func ConstInt(i int64) Expr { return &Const{V: sqltypes.NewInt(i)} }
+
+// Walk visits e and all sub-expressions in prefix order; returning false
+// from f stops descent into that node.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Bin:
+		Walk(x.L, f)
+		Walk(x.R, f)
+	case *Not:
+		Walk(x.E, f)
+	case *IsNull:
+		Walk(x.E, f)
+	case *Like:
+		Walk(x.E, f)
+		Walk(x.Pattern, f)
+	case *Func:
+		for _, a := range x.Args {
+			Walk(a, f)
+		}
+	case *Case:
+		for _, w := range x.Whens {
+			Walk(w.Cond, f)
+			Walk(w.Result, f)
+		}
+		Walk(x.Else, f)
+	case *Agg:
+		Walk(x.Arg, f)
+	}
+}
+
+// Rewrite rebuilds e bottom-up, applying f to every node after its children
+// have been rewritten. f must return a non-nil expression.
+func Rewrite(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Bin:
+		return f(&Bin{Op: x.Op, L: Rewrite(x.L, f), R: Rewrite(x.R, f)})
+	case *Not:
+		return f(&Not{E: Rewrite(x.E, f)})
+	case *IsNull:
+		return f(&IsNull{E: Rewrite(x.E, f), Negate: x.Negate})
+	case *Like:
+		return f(&Like{E: Rewrite(x.E, f), Pattern: Rewrite(x.Pattern, f), Negate: x.Negate})
+	case *Func:
+		n := &Func{Name: x.Name}
+		for _, a := range x.Args {
+			n.Args = append(n.Args, Rewrite(a, f))
+		}
+		return f(n)
+	case *Case:
+		n := &Case{Else: Rewrite(x.Else, f)}
+		for _, w := range x.Whens {
+			n.Whens = append(n.Whens, When{Cond: Rewrite(w.Cond, f), Result: Rewrite(w.Result, f)})
+		}
+		return f(n)
+	case *Agg:
+		return f(&Agg{Op: x.Op, Arg: Rewrite(x.Arg, f), Distinct: x.Distinct})
+	case *ColRef:
+		return f(&ColRef{Q: x.Q, Col: x.Col})
+	case *Const:
+		return f(&Const{V: x.V})
+	}
+	return f(e)
+}
+
+// Refs returns every ColRef in e in visit order.
+func Refs(e Expr) []*ColRef {
+	var out []*ColRef
+	Walk(e, func(x Expr) bool {
+		if r, ok := x.(*ColRef); ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+// RefsQuant reports whether e references quantifier q.
+func RefsQuant(e Expr, q *Quantifier) bool {
+	for _, r := range Refs(e) {
+		if r.Q == q {
+			return true
+		}
+	}
+	return false
+}
+
+// QuantSet returns the set of quantifiers referenced by e.
+func QuantSet(e Expr) map[*Quantifier]bool {
+	s := map[*Quantifier]bool{}
+	for _, r := range Refs(e) {
+		s[r.Q] = true
+	}
+	return s
+}
+
+// SplitConjuncts flattens an AND tree into its conjuncts.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Bin); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll conjoins a list of predicates (nil for an empty list).
+func AndAll(ps []Expr) Expr {
+	var out Expr
+	for _, p := range ps {
+		if out == nil {
+			out = p
+		} else {
+			out = &Bin{Op: OpAnd, L: out, R: p}
+		}
+	}
+	return out
+}
+
+// FormatExpr renders an expression for plans and traces, naming columns as
+// Q<id>.<colname> where the input box exposes a name.
+func FormatExpr(e Expr) string {
+	if e == nil {
+		return "<nil>"
+	}
+	switch x := e.(type) {
+	case *ColRef:
+		name := fmt.Sprintf("c%d", x.Col)
+		if x.Q.Input != nil && x.Col < len(x.Q.Input.Cols) {
+			if n := x.Q.Input.Cols[x.Col].Name; n != "" {
+				name = n
+			}
+		}
+		return fmt.Sprintf("%s.%s", x.Q.Name(), name)
+	case *Const:
+		if x.V.K == sqltypes.KindString {
+			return "'" + x.V.S + "'"
+		}
+		return x.V.String()
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.L), x.Op, FormatExpr(x.R))
+	case *Not:
+		return fmt.Sprintf("NOT %s", FormatExpr(x.E))
+	case *IsNull:
+		if x.Negate {
+			return fmt.Sprintf("%s IS NOT NULL", FormatExpr(x.E))
+		}
+		return fmt.Sprintf("%s IS NULL", FormatExpr(x.E))
+	case *Like:
+		neg := ""
+		if x.Negate {
+			neg = "NOT "
+		}
+		return fmt.Sprintf("%s %sLIKE %s", FormatExpr(x.E), neg, FormatExpr(x.Pattern))
+	case *Func:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *Case:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		for _, w := range x.Whens {
+			fmt.Fprintf(&sb, " WHEN %s THEN %s", FormatExpr(w.Cond), FormatExpr(w.Result))
+		}
+		if x.Else != nil {
+			fmt.Fprintf(&sb, " ELSE %s", FormatExpr(x.Else))
+		}
+		sb.WriteString(" END")
+		return sb.String()
+	case *Agg:
+		if x.Op == AggCountStar {
+			return "COUNT(*)"
+		}
+		d := ""
+		if x.Distinct {
+			d = "DISTINCT "
+		}
+		return fmt.Sprintf("%s(%s%s)", x.Op, d, FormatExpr(x.Arg))
+	}
+	return fmt.Sprintf("%T", e)
+}

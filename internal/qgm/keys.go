@@ -1,0 +1,68 @@
+package qgm
+
+// KeyWithin reports whether the given set of output ordinals of box b
+// functionally determines a full row of b — i.e. contains a candidate key
+// of b's result. OptMag uses it for the supplementary-table test ("when
+// the correlation attributes form a key of the supplementary table",
+// §5.1) and the rewrite engine uses it to drop redundant DISTINCTs.
+func KeyWithin(b *Box, cols map[int]bool) bool {
+	switch b.Kind {
+	case BoxBase:
+		return b.Table.HasKeyWithin(cols)
+	case BoxSelect:
+		if b.Distinct {
+			all := true
+			for j := range b.Cols {
+				if !cols[j] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		for _, q := range b.Quants {
+			if q.Kind != QForEach {
+				continue // scalar contributes one row; existential none
+			}
+			sub := map[int]bool{}
+			for j, c := range b.Cols {
+				if !cols[j] {
+					continue
+				}
+				if r, ok := c.Expr.(*ColRef); ok && r.Q == q {
+					sub[r.Col] = true
+				}
+			}
+			if !KeyWithin(q.Input, sub) {
+				return false
+			}
+		}
+		return true
+	case BoxGroup:
+		// The grouping columns are a key of the result; all of them must
+		// be among the chosen outputs.
+		for _, ge := range b.GroupBy {
+			gr, ok := ge.(*ColRef)
+			if !ok {
+				return false
+			}
+			found := false
+			for j, c := range b.Cols {
+				if !cols[j] {
+					continue
+				}
+				if cr, ok := c.Expr.(*ColRef); ok && cr.Q == gr.Q && cr.Col == gr.Col {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

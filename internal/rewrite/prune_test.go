@@ -1,0 +1,137 @@
+package rewrite_test
+
+import (
+	"strings"
+	"testing"
+
+	"decorr/internal/engine"
+	"decorr/internal/qgm"
+	"decorr/internal/storage"
+	"decorr/internal/tpcd"
+)
+
+func TestPruneProjectionsRemovesDeadColumns(t *testing.T) {
+	// Only x survives: y and z of the derived table are never referenced.
+	g := bind(t, `select x from (select name, building, name from emp) as d(x, y, z) where x like 'a%'`)
+	cleanup(t, g)
+	for _, b := range qgm.Boxes(g.Root) {
+		if b == g.Root || b.Kind == qgm.BoxBase {
+			continue
+		}
+		if len(b.Cols) > 1 {
+			t.Errorf("box %d still carries %d columns: %v", b.ID, len(b.Cols), b.OutNames())
+		}
+	}
+}
+
+func TestPruneKeepsDistinctWidth(t *testing.T) {
+	// building/building is not a key, so the DISTINCT is load-bearing and
+	// its projection width must not change.
+	g := bind(t, `select x from (select distinct building, building from emp) as d(x, y)`)
+	cleanup(t, g)
+	found := false
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Distinct {
+			found = true
+			if len(b.Cols) != 2 {
+				t.Errorf("DISTINCT box pruned to %d cols; duplicate semantics depend on width", len(b.Cols))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("distinct box missing")
+	}
+}
+
+func TestPruneSkipsUnionAlignment(t *testing.T) {
+	g := bind(t, `
+		select a from
+		  (select name, building from emp
+		   union all
+		   select name, building from emp) as u(a, b)`)
+	cleanup(t, g)
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Kind == qgm.BoxUnion && len(b.Cols) != 2 {
+			t.Errorf("union pruned to %d cols; branches must stay aligned", len(b.Cols))
+		}
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	g := bind(t, `select name from emp where 1 + 1 = 2 and building = 'B1'`)
+	cleanup(t, g)
+	if len(g.Root.Preds) != 1 {
+		t.Fatalf("TRUE conjunct survived: %d preds", len(g.Root.Preds))
+	}
+	g = bind(t, `select budget * 2 + 1 - 1 from dept`)
+	cleanup(t, g)
+	plan := qgm.Format(g)
+	// (budget*2)+1-1 cannot fully fold (column involved), but 3*4 can:
+	g = bind(t, `select 3 * 4 from dept`)
+	cleanup(t, g)
+	plan = qgm.Format(g)
+	if !strings.Contains(plan, "12") {
+		t.Errorf("3*4 not folded:\n%s", plan)
+	}
+}
+
+func TestFoldKeepsDivisionByZeroForRuntime(t *testing.T) {
+	g := bind(t, `select 1 / 0 from dept`)
+	cleanup(t, g) // must not panic or fold to garbage
+	if !strings.Contains(qgm.Format(g), "/") {
+		t.Error("division by zero folded away; it must raise at runtime")
+	}
+}
+
+func TestDropRedundantDistinct(t *testing.T) {
+	// name is the declared key of emp: DISTINCT over it is a no-op.
+	g := bind(t, `select y from (select distinct name, building from emp) as d(x, y)`)
+	cleanup(t, g)
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Distinct {
+			t.Errorf("distinct over a key survived:\n%s", qgm.Format(g))
+		}
+	}
+	// building is not a key: DISTINCT must stay.
+	g = bind(t, `select x from (select distinct building from emp) as d(x)`)
+	cleanup(t, g)
+	kept := false
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Distinct {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Error("necessary DISTINCT dropped")
+	}
+}
+
+// The rules must preserve semantics end to end on a query whose plan they
+// visibly change.
+func TestRulesPreserveResults(t *testing.T) {
+	db := tpcd.EmpDept()
+	e := engine.New(db)
+	rows, _, err := e.Query(`
+		select x from (select name, building, budget from dept) as d(x, y, z)
+		where 2 > 1 and z < 10000 order by x`, engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := render(rows)
+	want := "archives;shoes;tools;toys"
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func render(rows []storage.Row) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.String()
+		}
+		parts[i] = strings.Join(cells, "|")
+	}
+	return strings.Join(parts, ";")
+}

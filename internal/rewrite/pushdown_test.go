@@ -1,0 +1,72 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"decorr/internal/qgm"
+)
+
+func TestPushPredicateBelowDistinct(t *testing.T) {
+	// MergeSPJ cannot touch the DISTINCT child, but the filter can sink
+	// into it.
+	g := bind(t, `
+		select b from (select distinct building, building from emp) as d(b, b2)
+		where b = 'B1'`)
+	cleanup(t, g)
+	var distinctBox *qgm.Box
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Distinct {
+			distinctBox = b
+		}
+	}
+	if distinctBox == nil {
+		t.Fatal("distinct box vanished")
+	}
+	if len(distinctBox.Preds) == 0 {
+		t.Fatalf("filter not pushed into the DISTINCT child:\n%s", qgm.Format(g))
+	}
+	if len(g.Root.Preds) != 0 && g.Root != distinctBox {
+		t.Fatalf("filter left in parent:\n%s", qgm.Format(g))
+	}
+}
+
+func TestPushSkipsJoinPredicates(t *testing.T) {
+	g := bind(t, `
+		select x.b from
+		  (select distinct building, building from emp) as x(b, c),
+		  (select distinct building, building from dept) as y(b, c)
+		where x.b = y.b`)
+	cleanup(t, g)
+	// The equi-join predicate touches two quantifiers and must stay put.
+	if len(g.Root.Preds) != 1 {
+		t.Fatalf("join predicate moved:\n%s", qgm.Format(g))
+	}
+}
+
+func TestPushSkipsComplexOutputs(t *testing.T) {
+	// The child output is an expression (budget*2); duplicating it below
+	// the filter is declined.
+	g := bind(t, `
+		select v from (select distinct budget * 2, building from dept) as d(v, w)
+		where v > 100`)
+	cleanup(t, g)
+	found := false
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Distinct && len(b.Preds) > 0 {
+			found = true
+		}
+	}
+	if found {
+		t.Fatalf("expression output pushed:\n%s", qgm.Format(g))
+	}
+}
+
+func TestPushPreservesResults(t *testing.T) {
+	g := bind(t, `
+		select b, n from (select distinct building, name from emp) as d(b, n)
+		where b = 'B2' order by n`)
+	cleanup(t, g)
+	if err := qgm.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}

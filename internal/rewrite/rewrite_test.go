@@ -1,0 +1,160 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"decorr/internal/parser"
+	"decorr/internal/qgm"
+	"decorr/internal/rewrite"
+	"decorr/internal/semant"
+	"decorr/internal/tpcd"
+)
+
+func bind(t *testing.T, sql string) *qgm.Graph {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := semant.Bind(q, tpcd.EmpDept().Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func cleanup(t *testing.T, g *qgm.Graph) {
+	t.Helper()
+	if err := rewrite.NewCleanup().Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := qgm.Validate(g); err != nil {
+		t.Fatalf("cleanup broke the graph: %v", err)
+	}
+}
+
+func countBoxes(g *qgm.Graph) int { return len(qgm.Boxes(g.Root)) }
+
+func TestMergeSPJFlattensDerivedTables(t *testing.T) {
+	g := bind(t, `
+		select x.name from
+		  (select name, building from emp where building = 'B1') as x,
+		  (select building from dept where budget < 10000) as y
+		where x.building = y.building`)
+	before := countBoxes(g)
+	cleanup(t, g)
+	after := countBoxes(g)
+	if after >= before {
+		t.Fatalf("no merge happened: %d -> %d boxes", before, after)
+	}
+	// Fully flattened: root select over two base tables.
+	if g.Root.Kind != qgm.BoxSelect || len(g.Root.Quants) != 2 {
+		t.Fatalf("root = %+v", g.Root)
+	}
+	for _, q := range g.Root.Quants {
+		if q.Input.Kind != qgm.BoxBase {
+			t.Fatalf("unmerged input %v", q.Input.Kind)
+		}
+	}
+	// Predicates merged too: building='B1', budget<10000, join.
+	if len(g.Root.Preds) != 3 {
+		t.Fatalf("merged preds = %d", len(g.Root.Preds))
+	}
+}
+
+func TestMergeSkipsDistinctChild(t *testing.T) {
+	g := bind(t, `select b from (select distinct building from emp) as d(b)`)
+	cleanup(t, g)
+	// The distinct box must survive (merging would change duplicates).
+	found := false
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Kind == qgm.BoxSelect && b.Distinct {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("DISTINCT child was merged away")
+	}
+}
+
+func TestMergePreservesSemantics(t *testing.T) {
+	// Aggregate above a derived table: the wrapper merges, the group box
+	// stays, references survive.
+	g := bind(t, `
+		select n from
+		  (select count(*) from emp group by building) as t(n)
+		where n > 1`)
+	cleanup(t, g)
+	hasGroup := false
+	for _, b := range qgm.Boxes(g.Root) {
+		if b.Kind == qgm.BoxGroup {
+			hasGroup = true
+		}
+	}
+	if !hasGroup {
+		t.Fatal("group box disappeared")
+	}
+}
+
+func TestMergeCorrelatedChildBecomesJoin(t *testing.T) {
+	// A CI-shaped child: the correlated predicate moves into the parent
+	// when the child merges (it becomes an ordinary predicate there).
+	g := bind(t, `
+		select d.name, x.n from dept d,
+		  (select num_emps from dept d2 where d2.building = d.building) as x(n)`)
+	cleanup(t, g)
+	if len(g.Root.Quants) != 2 {
+		t.Fatalf("quants = %d", len(g.Root.Quants))
+	}
+	for _, q := range g.Root.Quants {
+		if q.Input.Kind != qgm.BoxBase {
+			t.Fatalf("child %v not merged", q.Input.Kind)
+		}
+	}
+	if len(g.Root.Preds) != 1 {
+		t.Fatalf("correlated predicate not hoisted: %d preds", len(g.Root.Preds))
+	}
+}
+
+func TestPruneDuplicatePreds(t *testing.T) {
+	g := bind(t, "select name from dept where budget < 10 and budget < 10")
+	cleanup(t, g)
+	if len(g.Root.Preds) != 1 {
+		t.Fatalf("duplicate predicate survived: %d", len(g.Root.Preds))
+	}
+}
+
+func TestCleanupIsIdempotent(t *testing.T) {
+	g := bind(t, tpcd.ExampleQuery)
+	cleanup(t, g)
+	boxes := countBoxes(g)
+	cleanup(t, g)
+	if countBoxes(g) != boxes {
+		t.Fatal("second cleanup changed the graph")
+	}
+}
+
+func TestSharedChildNotMerged(t *testing.T) {
+	// Build a graph with a shared box manually: two quantifiers over the
+	// same derived select.
+	g := bind(t, "select name from emp where building = 'B1'")
+	inner := g.Root
+	outer := g.NewBox(qgm.BoxSelect, "outer")
+	q1 := g.AddQuant(outer, qgm.QForEach, inner)
+	q2 := g.AddQuant(outer, qgm.QForEach, inner)
+	outer.Cols = []qgm.OutCol{
+		{Name: "a", Expr: qgm.Ref(q1, 0)},
+		{Name: "b", Expr: qgm.Ref(q2, 0)},
+	}
+	g.Root = outer
+	if err := qgm.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	cleanup(t, g)
+	// The shared box must not merge into one of its two consumers.
+	for _, q := range g.Root.Quants {
+		if q.Input != inner {
+			t.Fatal("shared common subexpression was merged")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package schema defines the logical catalog: table definitions, column
+// types, and declared candidate keys. Keys matter to two algorithms in this
+// repository: Dayal's method groups the merged query by a key of the outer
+// relations, and optimized magic decorrelation (OptMag) eliminates the
+// supplementary common subexpression when the correlation attributes form a
+// key of the supplementary table.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"decorr/internal/sqltypes"
+)
+
+// Type is a column's declared type.
+type Type uint8
+
+const (
+	// TInt is a 64-bit integer column.
+	TInt Type = iota
+	// TFloat is a double-precision column.
+	TFloat
+	// TString is a varchar column.
+	TString
+	// TBool is a boolean column.
+	TBool
+)
+
+// String returns the SQL name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "DOUBLE"
+	case TString:
+		return "VARCHAR"
+	case TBool:
+		return "BOOLEAN"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Kind maps a schema type to its runtime value kind.
+func (t Type) Kind() sqltypes.Kind {
+	switch t {
+	case TInt:
+		return sqltypes.KindInt
+	case TFloat:
+		return sqltypes.KindFloat
+	case TString:
+		return sqltypes.KindString
+	case TBool:
+		return sqltypes.KindBool
+	}
+	return sqltypes.KindNull
+}
+
+// Column is one column of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Table is a table definition. Keys holds candidate keys, each a set of
+// column ordinals; Keys[0], when present, is the primary key.
+type Table struct {
+	Name    string
+	Columns []Column
+	Keys    [][]int
+}
+
+// NewTable builds a table definition. Column names are case-insensitive
+// (stored lower-cased, looked up lower-cased).
+func NewTable(name string, cols ...Column) *Table {
+	t := &Table{Name: strings.ToLower(name)}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, Column{Name: strings.ToLower(c.Name), Type: c.Type})
+	}
+	return t
+}
+
+// AddKey declares a candidate key by column names. It panics on unknown
+// columns: keys are declared by the data generator, not by user input.
+func (t *Table) AddKey(cols ...string) *Table {
+	var key []int
+	for _, c := range cols {
+		i := t.ColIndex(c)
+		if i < 0 {
+			panic(fmt.Sprintf("schema: key column %q not in table %q", c, t.Name))
+		}
+		key = append(key, i)
+	}
+	t.Keys = append(t.Keys, key)
+	return t
+}
+
+// ColIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	name = strings.ToLower(name)
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasKeyWithin reports whether some declared candidate key of t is fully
+// contained in the given set of column ordinals.
+func (t *Table) HasKeyWithin(cols map[int]bool) bool {
+	for _, key := range t.Keys {
+		all := true
+		for _, k := range key {
+			if !cols[k] {
+				all = false
+				break
+			}
+		}
+		if all && len(key) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog is a named collection of table definitions.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*Table{}}
+}
+
+// Add registers a table definition; it replaces any same-named table.
+func (c *Catalog) Add(t *Table) {
+	key := strings.ToLower(t.Name)
+	if _, ok := c.tables[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.tables[key] = t
+}
+
+// Lookup returns the named table definition, or nil.
+func (c *Catalog) Lookup(name string) *Table {
+	return c.tables[strings.ToLower(name)]
+}
+
+// Tables returns the table definitions in registration order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.tables[n])
+	}
+	return out
+}

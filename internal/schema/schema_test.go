@@ -1,0 +1,62 @@
+package schema
+
+import "testing"
+
+func TestColIndexCaseInsensitive(t *testing.T) {
+	tbl := NewTable("T", Column{Name: "Alpha", Type: TInt}, Column{Name: "beta", Type: TString})
+	if tbl.Name != "t" {
+		t.Errorf("table name = %q", tbl.Name)
+	}
+	if tbl.ColIndex("ALPHA") != 0 || tbl.ColIndex("Beta") != 1 {
+		t.Error("case-insensitive lookup broken")
+	}
+	if tbl.ColIndex("gamma") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	tbl := NewTable("ps",
+		Column{Name: "pk", Type: TInt},
+		Column{Name: "sk", Type: TInt},
+		Column{Name: "cost", Type: TFloat})
+	tbl.AddKey("pk", "sk")
+	if !tbl.HasKeyWithin(map[int]bool{0: true, 1: true, 2: true}) {
+		t.Error("full column set contains the key")
+	}
+	if tbl.HasKeyWithin(map[int]bool{0: true}) {
+		t.Error("pk alone is not the declared key")
+	}
+	if tbl.HasKeyWithin(nil) {
+		t.Error("empty set has no key")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddKey with unknown column must panic")
+		}
+	}()
+	tbl.AddKey("ghost")
+}
+
+func TestCatalogOrderAndReplace(t *testing.T) {
+	c := NewCatalog()
+	c.Add(NewTable("b", Column{Name: "x", Type: TInt}))
+	c.Add(NewTable("a", Column{Name: "y", Type: TInt}))
+	replacement := NewTable("b", Column{Name: "z", Type: TInt})
+	c.Add(replacement)
+	tables := c.Tables()
+	if len(tables) != 2 || tables[0].Name != "b" || tables[1].Name != "a" {
+		t.Fatalf("tables = %v", tables)
+	}
+	if c.Lookup("B") != replacement {
+		t.Error("replacement not effective / lookup not case-insensitive")
+	}
+}
+
+func TestTypeKinds(t *testing.T) {
+	for _, typ := range []Type{TInt, TFloat, TString, TBool} {
+		if typ.String() == "" || typ.Kind().String() == "" {
+			t.Errorf("type %v has no name", typ)
+		}
+	}
+}

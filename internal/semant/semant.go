@@ -1,0 +1,1047 @@
+// Package semant translates parsed SQL (internal/ast) into the Query Graph
+// Model (internal/qgm). Name resolution walks lexical scopes outward, so a
+// column that resolves to an enclosing block's quantifier becomes a
+// correlated reference — exactly the structural notion of correlation the
+// decorrelation algorithms consume.
+//
+// Dialect notes (documented deviations from the paper's 1993-era SQL):
+//   - derived tables are written "(query) AS alias(col, ...)" rather than
+//     "alias(col) AS (query)";
+//   - EXISTS/IN/ANY/ALL predicates must appear as top-level conjuncts of
+//     WHERE/HAVING (not under OR), which is all the paper's workloads need.
+package semant
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"decorr/internal/ast"
+	"decorr/internal/qgm"
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+)
+
+// ViewDef is a stored named query with optional column renames.
+type ViewDef struct {
+	Cols  []string
+	Query ast.QueryExpr
+}
+
+// Views maps lower-cased view names to definitions; FROM-clause names not
+// found in the catalog are expanded from here.
+type Views map[string]*ViewDef
+
+// Bind translates a query expression against the catalog into a QGM graph.
+func Bind(q ast.QueryExpr, cat *schema.Catalog) (*qgm.Graph, error) {
+	return BindWithViews(q, cat, nil)
+}
+
+// BindWithViews is Bind with view expansion: views are inlined at their
+// use sites (views cannot be correlated — they see no outer scope), and
+// recursive view definitions are rejected.
+func BindWithViews(q ast.QueryExpr, cat *schema.Catalog, views Views) (*qgm.Graph, error) {
+	b := &binder{cat: cat, g: qgm.NewGraph(), views: views, expanding: map[string]bool{}}
+	root, err := b.bindQuery(q, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	b.g.Root = root
+	if err := qgm.Validate(b.g); err != nil {
+		return nil, fmt.Errorf("semant: internal inconsistency: %w", err)
+	}
+	return b.g, nil
+}
+
+type binder struct {
+	cat       *schema.Catalog
+	g         *qgm.Graph
+	views     Views
+	expanding map[string]bool
+}
+
+// scope maps FROM aliases to quantifiers for one block, linked to the
+// enclosing block's scope.
+type scope struct {
+	parent  *scope
+	entries []scopeEntry
+}
+
+// scopeEntry maps an alias to a quantifier; when hi > lo the alias covers
+// only the column window [lo, hi) of the quantifier's input (both sides of
+// a join resolve through the single join quantifier).
+type scopeEntry struct {
+	alias  string
+	q      *qgm.Quantifier
+	lo, hi int // hi == 0 means the full width
+}
+
+func (s *scope) add(alias string, q *qgm.Quantifier) error {
+	return s.addRange(alias, q, 0, 0)
+}
+
+func (s *scope) addRange(alias string, q *qgm.Quantifier, lo, hi int) error {
+	for _, e := range s.entries {
+		if e.alias == alias {
+			return fmt.Errorf("semant: duplicate FROM alias %q", alias)
+		}
+	}
+	s.entries = append(s.entries, scopeEntry{alias: alias, q: q, lo: lo, hi: hi})
+	return nil
+}
+
+// find returns the column ordinal of name within the entry's window.
+func (e scopeEntry) find(name string) int {
+	cols := e.q.Input.Cols
+	lo, hi := e.lo, e.hi
+	if hi == 0 {
+		lo, hi = 0, len(cols)
+	}
+	for i := lo; i < hi && i < len(cols); i++ {
+		if cols[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// scalarFuncs lists the scalar functions the executor implements.
+var scalarFuncs = map[string]bool{"coalesce": true, "abs": true}
+
+func qualified(qual, name string) string {
+	if qual == "" {
+		return name
+	}
+	return qual + "." + name
+}
+
+// lookup finds the quantifier column for a (possibly qualified) name,
+// searching this scope then enclosing scopes. A hit in an enclosing scope
+// yields a correlated reference.
+func (s *scope) lookup(qual, name string) (*qgm.ColRef, error) {
+	for sc := s; sc != nil; sc = sc.parent {
+		var found *qgm.ColRef
+		for _, e := range sc.entries {
+			if qual != "" && e.alias != qual {
+				continue
+			}
+			c := e.find(name)
+			if c < 0 {
+				continue
+			}
+			if found != nil && (found.Q != e.q || found.Col != c) {
+				return nil, fmt.Errorf("semant: ambiguous column %q", qualified(qual, name))
+			}
+			found = qgm.Ref(e.q, c)
+		}
+		if found != nil {
+			return found, nil
+		}
+	}
+	return nil, fmt.Errorf("semant: unresolved column %s", qualified(qual, name))
+}
+
+// bindQuery translates a SELECT or UNION tree. outer is the enclosing
+// scope (nil at top level); top marks the outermost query (ORDER BY is
+// only honored there).
+func (b *binder) bindQuery(q ast.QueryExpr, outer *scope, top bool) (*qgm.Box, error) {
+	switch x := q.(type) {
+	case *ast.Select:
+		return b.bindSelect(x, outer, top)
+	case *ast.SetOp:
+		// A trailing ORDER BY / LIMIT textually terminates the whole set
+		// operation, but the parser attaches it to the final branch;
+		// hoist it to the set-op level here.
+		var hoistOrder []ast.OrderItem
+		hoistLimit := int64(-1)
+		if top {
+			if rs := rightmostSelect(x); rs != nil {
+				hoistOrder, rs.OrderBy = rs.OrderBy, nil
+				hoistLimit, rs.Limit = rs.Limit, -1
+			}
+		}
+		left, err := b.bindQuery(x.Left, outer, false)
+		if err != nil {
+			return nil, err
+		}
+		right, err := b.bindQuery(x.Right, outer, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(left.Cols) != len(right.Cols) {
+			return nil, fmt.Errorf("semant: %s branches have %d and %d columns",
+				x.Op, len(left.Cols), len(right.Cols))
+		}
+		kind := qgm.BoxUnion
+		switch x.Op {
+		case ast.Intersect:
+			kind = qgm.BoxIntersect
+		case ast.Except:
+			kind = qgm.BoxExcept
+		}
+		u := b.g.NewBox(kind, "")
+		u.Distinct = !x.All
+		b.g.AddQuant(u, qgm.QForEach, left)
+		b.g.AddQuant(u, qgm.QForEach, right)
+		for _, c := range left.Cols {
+			u.Cols = append(u.Cols, qgm.OutCol{Name: c.Name})
+		}
+		if top {
+			if len(hoistOrder) > 0 {
+				if err := b.bindOrderBy(hoistOrder, u); err != nil {
+					return nil, err
+				}
+			}
+			b.g.Limit = hoistLimit
+		}
+		return u, nil
+	}
+	return nil, fmt.Errorf("semant: unknown query node %T", q)
+}
+
+// blockCtx carries what expression translation needs: the scope for names
+// and the box that newly created subquery quantifiers attach to.
+type blockCtx struct {
+	b   *binder
+	sc  *scope
+	box *qgm.Box
+}
+
+func (b *binder) bindSelect(sel *ast.Select, outer *scope, top bool) (*qgm.Box, error) {
+	s := b.g.NewBox(qgm.BoxSelect, "")
+	sc := &scope{parent: outer}
+	for _, fi := range sel.From {
+		if err := b.bindFromItem(fi, s, sc); err != nil {
+			return nil, err
+		}
+	}
+	ctx := &blockCtx{b: b, sc: sc, box: s}
+	if sel.Where != nil {
+		preds, err := ctx.trConjuncts(sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		s.Preds = append(s.Preds, preds...)
+	}
+
+	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || selectHasAggregate(sel)
+	var result *qgm.Box
+	if grouped {
+		r, err := b.bindGrouped(sel, ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		result = r
+	} else {
+		if err := b.bindPlainOutputs(sel, ctx, s); err != nil {
+			return nil, err
+		}
+		s.Distinct = sel.Distinct
+		result = s
+	}
+	if top {
+		if len(sel.OrderBy) > 0 {
+			if err := b.bindOrderBy(sel.OrderBy, result); err != nil {
+				return nil, err
+			}
+		}
+		b.g.Limit = sel.Limit
+	} else {
+		if sel.Limit >= 0 {
+			return nil, fmt.Errorf("semant: LIMIT is only supported on the outermost query")
+		}
+		if len(sel.OrderBy) > 0 {
+			return nil, fmt.Errorf("semant: ORDER BY is only supported on the outermost query")
+		}
+	}
+	return result, nil
+}
+
+// bindFromItem adds one FROM element to select box s: a leaf table or
+// derived table becomes a ForEach quantifier; an INNER JOIN flattens into
+// s (its ON condition joins the predicates); a LEFT OUTER JOIN builds a
+// BoxLeftJoin whose two sides stay addressable through column windows.
+func (b *binder) bindFromItem(fi ast.FromItem, s *qgm.Box, sc *scope) error {
+	if fi.Join == nil {
+		input, alias, err := b.bindFromLeaf(fi, sc)
+		if err != nil {
+			return err
+		}
+		q := b.g.AddQuant(s, qgm.QForEach, input)
+		return sc.add(alias, q)
+	}
+	j := fi.Join
+	if !j.Outer {
+		// INNER JOIN: equivalent to comma-join plus the ON predicates.
+		if err := b.bindFromItem(j.Left, s, sc); err != nil {
+			return err
+		}
+		if err := b.bindFromItem(j.Right, s, sc); err != nil {
+			return err
+		}
+		ctx := &blockCtx{b: b, sc: sc, box: s}
+		preds, err := ctx.trConjuncts(j.On)
+		if err != nil {
+			return err
+		}
+		s.Preds = append(s.Preds, preds...)
+		return nil
+	}
+	// LEFT OUTER JOIN. Sides must be leaves (nest further joins in a
+	// derived table if needed — the paper's rewritten queries only join
+	// two operands).
+	if j.Left.Join != nil || j.Right.Join != nil {
+		return fmt.Errorf("semant: nested joins inside LEFT OUTER JOIN are not supported; use a derived table")
+	}
+	lbox, lalias, err := b.bindFromLeaf(j.Left, sc)
+	if err != nil {
+		return err
+	}
+	rbox, ralias, err := b.bindFromLeaf(j.Right, sc)
+	if err != nil {
+		return err
+	}
+	loj := b.g.NewBox(qgm.BoxLeftJoin, "")
+	ql := b.g.AddQuant(loj, qgm.QForEach, lbox)
+	qr := b.g.AddQuant(loj, qgm.QForEach, rbox)
+	for i, c := range lbox.Cols {
+		loj.Cols = append(loj.Cols, qgm.OutCol{Name: c.Name, Expr: qgm.Ref(ql, i)})
+	}
+	for i, c := range rbox.Cols {
+		loj.Cols = append(loj.Cols, qgm.OutCol{Name: c.Name, Expr: qgm.Ref(qr, i)})
+	}
+	// The ON condition resolves the two sides inside the join box (outer
+	// scopes remain visible for correlation).
+	onScope := &scope{parent: sc}
+	if err := onScope.add(lalias, ql); err != nil {
+		return err
+	}
+	if err := onScope.add(ralias, qr); err != nil {
+		return err
+	}
+	onCtx := &blockCtx{b: b, sc: onScope, box: loj}
+	on, err := onCtx.trExpr(j.On)
+	if err != nil {
+		return err
+	}
+	loj.Preds = append(loj.Preds, qgm.SplitConjuncts(on)...)
+	qj := b.g.AddQuant(s, qgm.QForEach, loj)
+	if err := sc.addRange(lalias, qj, 0, len(lbox.Cols)); err != nil {
+		return err
+	}
+	return sc.addRange(ralias, qj, len(lbox.Cols), len(lbox.Cols)+len(rbox.Cols))
+}
+
+// bindFromLeaf resolves a table/view/derived-table FROM element to its
+// input box and alias.
+func (b *binder) bindFromLeaf(fi ast.FromItem, sc *scope) (*qgm.Box, string, error) {
+	var input *qgm.Box
+	alias := fi.Alias
+	switch {
+	case fi.Table != "":
+		def := b.cat.Lookup(fi.Table)
+		if def == nil {
+			expanded, err := b.expandView(fi.Table)
+			if err != nil {
+				return nil, "", err
+			}
+			if expanded == nil {
+				return nil, "", fmt.Errorf("semant: unknown table %q", fi.Table)
+			}
+			input = expanded
+		} else {
+			input = b.g.NewBaseBox(def)
+		}
+		if alias == "" {
+			alias = strings.ToLower(fi.Table)
+		}
+	case fi.Sub != nil:
+		// Derived tables see FROM items to their left (implicit LATERAL),
+		// which is how the paper's Query 3 correlates its table
+		// expression on the supplier's nation.
+		sub, err := b.bindQuery(fi.Sub, sc, false)
+		if err != nil {
+			return nil, "", err
+		}
+		input = sub
+	default:
+		return nil, "", fmt.Errorf("semant: empty FROM element")
+	}
+	if len(fi.ColAliases) > 0 {
+		if len(fi.ColAliases) != len(input.Cols) {
+			return nil, "", fmt.Errorf("semant: %d column aliases for %d columns of %q",
+				len(fi.ColAliases), len(input.Cols), alias)
+		}
+		for i, a := range fi.ColAliases {
+			input.Cols[i].Name = strings.ToLower(a)
+		}
+	}
+	return input, alias, nil
+}
+
+// expandView inlines the named view, or returns (nil, nil) when no such
+// view exists.
+func (b *binder) expandView(name string) (*qgm.Box, error) {
+	name = strings.ToLower(name)
+	vd, ok := b.views[name]
+	if !ok {
+		return nil, nil
+	}
+	if b.expanding[name] {
+		return nil, fmt.Errorf("semant: view %q is recursively defined", name)
+	}
+	b.expanding[name] = true
+	defer delete(b.expanding, name)
+	box, err := b.bindQuery(vd.Query, nil, false)
+	if err != nil {
+		return nil, fmt.Errorf("semant: expanding view %q: %w", name, err)
+	}
+	if len(vd.Cols) > 0 {
+		if len(vd.Cols) != len(box.Cols) {
+			return nil, fmt.Errorf("semant: view %q declares %d columns for %d outputs",
+				name, len(vd.Cols), len(box.Cols))
+		}
+		for i, c := range vd.Cols {
+			box.Cols[i].Name = strings.ToLower(c)
+		}
+	}
+	if box.Label == "" {
+		box.Label = "view:" + name
+	}
+	return box, nil
+}
+
+// rightmostSelect returns the textually last SELECT block of a set
+// operation tree (where a trailing ORDER BY / LIMIT lands in the parse).
+func rightmostSelect(q ast.QueryExpr) *ast.Select {
+	for {
+		switch x := q.(type) {
+		case *ast.Select:
+			return x
+		case *ast.SetOp:
+			q = x.Right
+		default:
+			return nil
+		}
+	}
+}
+
+func selectHasAggregate(sel *ast.Select) bool {
+	for _, it := range sel.Items {
+		if !it.Star && ast.ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindPlainOutputs fills the select box outputs for an ungrouped block.
+func (b *binder) bindPlainOutputs(sel *ast.Select, ctx *blockCtx, s *qgm.Box) error {
+	for _, it := range sel.Items {
+		if it.Star {
+			if err := expandStar(it, ctx, s); err != nil {
+				return err
+			}
+			continue
+		}
+		e, err := ctx.trExpr(it.Expr)
+		if err != nil {
+			return err
+		}
+		s.Cols = append(s.Cols, qgm.OutCol{Name: outName(it, len(s.Cols)), Expr: e})
+	}
+	return nil
+}
+
+func expandStar(it ast.SelectItem, ctx *blockCtx, s *qgm.Box) error {
+	matched := false
+	for _, e := range ctx.sc.entries {
+		if it.Qualifier != "" && e.alias != it.Qualifier {
+			continue
+		}
+		matched = true
+		lo, hi := e.lo, e.hi
+		if hi == 0 {
+			lo, hi = 0, len(e.q.Input.Cols)
+		}
+		for ci := lo; ci < hi; ci++ {
+			s.Cols = append(s.Cols, qgm.OutCol{Name: e.q.Input.Cols[ci].Name, Expr: qgm.Ref(e.q, ci)})
+		}
+	}
+	if !matched {
+		return fmt.Errorf("semant: %s.* matches no FROM item", it.Qualifier)
+	}
+	return nil
+}
+
+func outName(it ast.SelectItem, pos int) string {
+	if it.Alias != "" {
+		return strings.ToLower(it.Alias)
+	}
+	if c, ok := it.Expr.(*ast.ColRef); ok {
+		return strings.ToLower(c.Name)
+	}
+	return fmt.Sprintf("c%d", pos)
+}
+
+// bindGrouped builds the SPJ -> GROUPBY -> SELECT (having/projection)
+// layering for aggregate queries. s is the already-built SPJ with FROM and
+// WHERE applied.
+func (b *binder) bindGrouped(sel *ast.Select, ctx *blockCtx, s *qgm.Box) (*qgm.Box, error) {
+	// Outputs of s: group-by expressions first, then aggregate arguments.
+	type aggSlot struct {
+		astExpr *ast.FuncCall
+		col     int // output ordinal in group box
+	}
+	g := b.g.NewBox(qgm.BoxGroup, "")
+	h := b.g.NewBox(qgm.BoxSelect, "")
+
+	var groupASTs []ast.Expr
+	for _, ge := range sel.GroupBy {
+		e, err := ctx.trExpr(ge)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("g%d", len(s.Cols))
+		if c, ok := ge.(*ast.ColRef); ok {
+			name = strings.ToLower(c.Name)
+		}
+		s.Cols = append(s.Cols, qgm.OutCol{Name: name, Expr: e})
+		groupASTs = append(groupASTs, ge)
+	}
+	qg := b.g.AddQuant(g, qgm.QForEach, s)
+	for i := range sel.GroupBy {
+		g.GroupBy = append(g.GroupBy, qgm.Ref(qg, i))
+		g.Cols = append(g.Cols, qgm.OutCol{Name: s.Cols[i].Name, Expr: qgm.Ref(qg, i)})
+	}
+
+	var aggs []aggSlot
+	qh := b.g.AddQuant(h, qgm.QForEach, g)
+	hctx := &blockCtx{b: b, sc: ctx.sc, box: h}
+
+	// trPost translates a post-grouping expression: aggregates map to
+	// group-box outputs, group-by expressions map to their group columns,
+	// anything else must resolve to an enclosing (correlated) scope.
+	var trPost func(e ast.Expr) (qgm.Expr, error)
+	trPost = func(e ast.Expr) (qgm.Expr, error) {
+		for gi, ga := range groupASTs {
+			if reflect.DeepEqual(e, ga) {
+				return qgm.Ref(qh, gi), nil
+			}
+		}
+		if f, ok := e.(*ast.FuncCall); ok && ast.AggFuncs[f.Name] {
+			for _, slot := range aggs {
+				if reflect.DeepEqual(f, slot.astExpr) {
+					return qgm.Ref(qh, slot.col), nil
+				}
+			}
+			agg, err := makeAgg(f, ctx, s, qg)
+			if err != nil {
+				return nil, err
+			}
+			col := len(g.Cols)
+			g.Cols = append(g.Cols, qgm.OutCol{Name: fmt.Sprintf("a%d", col), Expr: agg})
+			aggs = append(aggs, aggSlot{astExpr: f, col: col})
+			return qgm.Ref(qh, col), nil
+		}
+		switch x := e.(type) {
+		case *ast.ColRef:
+			ref, err := ctx.sc.lookup(x.Qualifier, strings.ToLower(x.Name))
+			if err != nil {
+				return nil, err
+			}
+			if ref.Q.Owner == s {
+				return nil, fmt.Errorf("semant: column %s must appear in GROUP BY or inside an aggregate",
+					qualified(x.Qualifier, x.Name))
+			}
+			return ref, nil // correlated reference to an enclosing block
+		case *ast.Bin:
+			l, err := trPost(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := trPost(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return &qgm.Bin{Op: binOp(x.Op), L: l, R: r}, nil
+		case *ast.Not:
+			inner, err := trPost(x.E)
+			if err != nil {
+				return nil, err
+			}
+			return &qgm.Not{E: inner}, nil
+		case *ast.Neg:
+			inner, err := trPost(x.E)
+			if err != nil {
+				return nil, err
+			}
+			return &qgm.Bin{Op: qgm.OpSub, L: qgm.ConstInt(0), R: inner}, nil
+		case *ast.IsNull:
+			inner, err := trPost(x.E)
+			if err != nil {
+				return nil, err
+			}
+			return &qgm.IsNull{E: inner, Negate: x.Negate}, nil
+		case *ast.IntLit, *ast.FloatLit, *ast.StringLit, *ast.NullLit, *ast.BoolLit:
+			return hctx.trExpr(e)
+		case *ast.FuncCall: // scalar function over post-group expressions
+			if !scalarFuncs[x.Name] {
+				return nil, fmt.Errorf("semant: unknown function %q", x.Name)
+			}
+			fn := &qgm.Func{Name: x.Name}
+			for _, a := range x.Args {
+				ta, err := trPost(a)
+				if err != nil {
+					return nil, err
+				}
+				fn.Args = append(fn.Args, ta)
+			}
+			return fn, nil
+		case *ast.ScalarSubquery:
+			return hctx.trExpr(e) // attaches the subquery to h
+		case *ast.CaseExpr:
+			out := &qgm.Case{}
+			for _, w := range x.Whens {
+				cond, err := trPost(w.Cond)
+				if err != nil {
+					return nil, err
+				}
+				res, err := trPost(w.Result)
+				if err != nil {
+					return nil, err
+				}
+				out.Whens = append(out.Whens, qgm.When{Cond: cond, Result: res})
+			}
+			if x.Else != nil {
+				e2, err := trPost(x.Else)
+				if err != nil {
+					return nil, err
+				}
+				out.Else = e2
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("semant: unsupported expression %T after GROUP BY", e)
+	}
+
+	if sel.Having != nil {
+		for _, conj := range splitAnd(sel.Having) {
+			// Quantified predicates attach to the HAVING box; their
+			// scalar sides translate in the post-grouping context.
+			var p qgm.Expr
+			var err error
+			switch x := conj.(type) {
+			case *ast.Exists:
+				kind := qgm.QExists
+				if x.Negate {
+					kind = qgm.QNotExists
+				}
+				_, err = hctx.attachSubquery(x.Sub, kind)
+			case *ast.InSubquery:
+				var lhs qgm.Expr
+				lhs, err = trPost(x.E)
+				if err == nil {
+					kind, op := qgm.QAny, qgm.OpEq
+					if x.Negate {
+						kind, op = qgm.QAll, qgm.OpNe
+					}
+					var q *qgm.Quantifier
+					q, err = hctx.attachSubquery(x.Sub, kind)
+					if err == nil {
+						p = &qgm.Bin{Op: op, L: lhs, R: qgm.Ref(q, 0)}
+					}
+				}
+			case *ast.QuantCmp:
+				var lhs qgm.Expr
+				lhs, err = trPost(x.E)
+				if err == nil {
+					kind := qgm.QAny
+					if x.All {
+						kind = qgm.QAll
+					}
+					var q *qgm.Quantifier
+					q, err = hctx.attachSubquery(x.Sub, kind)
+					if err == nil {
+						p = &qgm.Bin{Op: binOp(x.Op), L: lhs, R: qgm.Ref(q, 0)}
+					}
+				}
+			default:
+				p, err = trPost(conj)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if p != nil {
+				h.Preds = append(h.Preds, p)
+			}
+		}
+	}
+	// A HAVING/SELECT-list subquery may reference enclosing blocks, but
+	// not the pre-grouping FROM columns of this block.
+	for _, q := range h.Quants {
+		if q.Kind == qgm.QForEach {
+			continue
+		}
+		for _, r := range qgm.FreeRefs(q.Input) {
+			if r.Q.Owner == s {
+				return nil, fmt.Errorf("semant: subquery above GROUP BY references an ungrouped column of this block (unsupported)")
+			}
+		}
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("semant: SELECT * is not valid with GROUP BY / aggregates")
+		}
+		e, err := trPost(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		h.Cols = append(h.Cols, qgm.OutCol{Name: outName(it, len(h.Cols)), Expr: e})
+	}
+	h.Distinct = sel.Distinct
+	return h, nil
+}
+
+// makeAgg translates one aggregate call; its argument is computed as a new
+// output of the SPJ box s so the group box aggregates a plain column of
+// its input quantifier qg.
+func makeAgg(f *ast.FuncCall, ctx *blockCtx, s *qgm.Box, qg *qgm.Quantifier) (*qgm.Agg, error) {
+	if f.Star {
+		if f.Name != "count" {
+			return nil, fmt.Errorf("semant: %s(*) is not valid", f.Name)
+		}
+		return &qgm.Agg{Op: qgm.AggCountStar}, nil
+	}
+	if len(f.Args) != 1 {
+		return nil, fmt.Errorf("semant: aggregate %s takes exactly one argument", f.Name)
+	}
+	arg, err := ctx.trExpr(f.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	col := len(s.Cols)
+	s.Cols = append(s.Cols, qgm.OutCol{Name: fmt.Sprintf("arg%d", col), Expr: arg})
+	var op qgm.AggOp
+	switch f.Name {
+	case "count":
+		op = qgm.AggCount
+	case "sum":
+		op = qgm.AggSum
+	case "avg":
+		op = qgm.AggAvg
+	case "min":
+		op = qgm.AggMin
+	case "max":
+		op = qgm.AggMax
+	default:
+		return nil, fmt.Errorf("semant: unknown aggregate %q", f.Name)
+	}
+	return &qgm.Agg{Op: op, Arg: qgm.Ref(qg, col), Distinct: f.Distinct}, nil
+}
+
+func (b *binder) bindOrderBy(items []ast.OrderItem, result *qgm.Box) error {
+	for _, it := range items {
+		col := -1
+		switch x := it.Expr.(type) {
+		case *ast.IntLit:
+			if x.V >= 1 && int(x.V) <= len(result.Cols) {
+				col = int(x.V) - 1
+			}
+		case *ast.ColRef:
+			// Qualified or not, an ORDER BY name matches an output column
+			// (the usual projection of the same column).
+			col = result.ColIndex(strings.ToLower(x.Name))
+		}
+		if col < 0 {
+			return fmt.Errorf("semant: ORDER BY item must be an output column name or ordinal")
+		}
+		b.g.OrderBy = append(b.g.OrderBy, qgm.OrderKey{Col: col, Desc: it.Desc})
+	}
+	return nil
+}
+
+func splitAnd(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.Bin); ok && b.Op == ast.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []ast.Expr{e}
+}
+
+func binOp(op ast.BinOp) qgm.Op {
+	switch op {
+	case ast.OpAdd:
+		return qgm.OpAdd
+	case ast.OpSub:
+		return qgm.OpSub
+	case ast.OpMul:
+		return qgm.OpMul
+	case ast.OpDiv:
+		return qgm.OpDiv
+	case ast.OpEq:
+		return qgm.OpEq
+	case ast.OpNe:
+		return qgm.OpNe
+	case ast.OpLt:
+		return qgm.OpLt
+	case ast.OpLe:
+		return qgm.OpLe
+	case ast.OpGt:
+		return qgm.OpGt
+	case ast.OpGe:
+		return qgm.OpGe
+	case ast.OpAnd:
+		return qgm.OpAnd
+	case ast.OpOr:
+		return qgm.OpOr
+	}
+	panic(fmt.Sprintf("semant: unmapped operator %v", op))
+}
+
+// trConjuncts translates a WHERE tree conjunct by conjunct so that
+// subquery predicates (EXISTS/IN/ANY/ALL) land as quantifiers plus tie
+// predicates on the current box.
+func (c *blockCtx) trConjuncts(e ast.Expr) ([]qgm.Expr, error) {
+	var out []qgm.Expr
+	for _, conj := range splitAnd(e) {
+		p, err := c.trPredicate(conj)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// trPredicate translates one conjunct. It may attach subquery quantifiers
+// to the context box and may return nil when the conjunct is fully captured
+// by a quantifier (bare EXISTS).
+func (c *blockCtx) trPredicate(e ast.Expr) (qgm.Expr, error) {
+	switch x := e.(type) {
+	case *ast.Exists:
+		kind := qgm.QExists
+		if x.Negate {
+			kind = qgm.QNotExists
+		}
+		_, err := c.attachSubquery(x.Sub, kind)
+		return nil, err
+	case *ast.Not:
+		if ex, ok := x.E.(*ast.Exists); ok {
+			return c.trPredicate(&ast.Exists{Sub: ex.Sub, Negate: !ex.Negate})
+		}
+		if in, ok := x.E.(*ast.InSubquery); ok {
+			return c.trPredicate(&ast.InSubquery{E: in.E, Sub: in.Sub, Negate: !in.Negate})
+		}
+		inner, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.Not{E: inner}, nil
+	case *ast.InSubquery:
+		lhs, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		if x.Negate {
+			// x NOT IN (S) == x <> ALL (S), with full SQL NULL semantics.
+			q, err := c.attachSubquery(x.Sub, qgm.QAll)
+			if err != nil {
+				return nil, err
+			}
+			return &qgm.Bin{Op: qgm.OpNe, L: lhs, R: qgm.Ref(q, 0)}, nil
+		}
+		q, err := c.attachSubquery(x.Sub, qgm.QAny)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.Bin{Op: qgm.OpEq, L: lhs, R: qgm.Ref(q, 0)}, nil
+	case *ast.QuantCmp:
+		lhs, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		kind := qgm.QAny
+		if x.All {
+			kind = qgm.QAll
+		}
+		q, err := c.attachSubquery(x.Sub, kind)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.Bin{Op: binOp(x.Op), L: lhs, R: qgm.Ref(q, 0)}, nil
+	}
+	return c.trExpr(e)
+}
+
+// attachSubquery binds a subquery block and attaches it to the context box
+// with the given quantifier kind. Single-column output is enforced for
+// value-producing kinds.
+func (c *blockCtx) attachSubquery(sub ast.QueryExpr, kind qgm.QuantKind) (*qgm.Quantifier, error) {
+	box, err := c.b.bindQuery(sub, c.sc, false)
+	if err != nil {
+		return nil, err
+	}
+	if kind == qgm.QScalar || kind == qgm.QAny || kind == qgm.QAll {
+		if len(box.Cols) != 1 {
+			return nil, fmt.Errorf("semant: subquery used as a value must return one column, got %d", len(box.Cols))
+		}
+	}
+	return c.b.g.AddQuant(c.box, kind, box), nil
+}
+
+// trExpr translates a scalar expression (no quantified predicates).
+func (c *blockCtx) trExpr(e ast.Expr) (qgm.Expr, error) {
+	switch x := e.(type) {
+	case *ast.ColRef:
+		return c.sc.lookup(x.Qualifier, strings.ToLower(x.Name))
+	case *ast.IntLit:
+		return &qgm.Const{V: sqltypes.NewInt(x.V)}, nil
+	case *ast.FloatLit:
+		return &qgm.Const{V: sqltypes.NewFloat(x.V)}, nil
+	case *ast.StringLit:
+		return &qgm.Const{V: sqltypes.NewString(x.V)}, nil
+	case *ast.NullLit:
+		return &qgm.Const{V: sqltypes.Null}, nil
+	case *ast.BoolLit:
+		return &qgm.Const{V: sqltypes.NewBool(x.V)}, nil
+	case *ast.Bin:
+		l, err := c.trExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.trExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.Bin{Op: binOp(x.Op), L: l, R: r}, nil
+	case *ast.Not:
+		inner, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.Not{E: inner}, nil
+	case *ast.Neg:
+		inner, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		if k, ok := inner.(*qgm.Const); ok {
+			switch k.V.K {
+			case sqltypes.KindInt:
+				return &qgm.Const{V: sqltypes.NewInt(-k.V.I)}, nil
+			case sqltypes.KindFloat:
+				return &qgm.Const{V: sqltypes.NewFloat(-k.V.F)}, nil
+			}
+		}
+		return &qgm.Bin{Op: qgm.OpSub, L: qgm.ConstInt(0), R: inner}, nil
+	case *ast.IsNull:
+		inner, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.IsNull{E: inner, Negate: x.Negate}, nil
+	case *ast.Like:
+		inner, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := c.trExpr(x.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return &qgm.Like{E: inner, Pattern: pat, Negate: x.Negate}, nil
+	case *ast.Between:
+		inner, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.trExpr(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.trExpr(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		rng := &qgm.Bin{Op: qgm.OpAnd,
+			L: &qgm.Bin{Op: qgm.OpGe, L: inner, R: lo},
+			R: &qgm.Bin{Op: qgm.OpLe, L: qgm.CloneExpr(inner), R: hi}}
+		if x.Negate {
+			return &qgm.Not{E: rng}, nil
+		}
+		return rng, nil
+	case *ast.InList:
+		inner, err := c.trExpr(x.E)
+		if err != nil {
+			return nil, err
+		}
+		var disj qgm.Expr
+		for _, item := range x.List {
+			it, err := c.trExpr(item)
+			if err != nil {
+				return nil, err
+			}
+			eq := &qgm.Bin{Op: qgm.OpEq, L: qgm.CloneExpr(inner), R: it}
+			if disj == nil {
+				disj = eq
+			} else {
+				disj = &qgm.Bin{Op: qgm.OpOr, L: disj, R: eq}
+			}
+		}
+		if disj == nil {
+			disj = &qgm.Const{V: sqltypes.NewBool(false)}
+		}
+		if x.Negate {
+			return &qgm.Not{E: disj}, nil
+		}
+		return disj, nil
+	case *ast.ScalarSubquery:
+		q, err := c.attachSubquery(x.Sub, qgm.QScalar)
+		if err != nil {
+			return nil, err
+		}
+		return qgm.Ref(q, 0), nil
+	case *ast.CaseExpr:
+		out := &qgm.Case{}
+		for _, w := range x.Whens {
+			cond, err := c.trExpr(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			res, err := c.trExpr(w.Result)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, qgm.When{Cond: cond, Result: res})
+		}
+		if x.Else != nil {
+			e, err := c.trExpr(x.Else)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = e
+		}
+		return out, nil
+	case *ast.FuncCall:
+		if ast.AggFuncs[x.Name] {
+			return nil, fmt.Errorf("semant: aggregate %s not allowed here", x.Name)
+		}
+		if !scalarFuncs[x.Name] {
+			return nil, fmt.Errorf("semant: unknown function %q", x.Name)
+		}
+		fn := &qgm.Func{Name: x.Name}
+		for _, a := range x.Args {
+			ta, err := c.trExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			fn.Args = append(fn.Args, ta)
+		}
+		return fn, nil
+	case *ast.Exists, *ast.InSubquery, *ast.QuantCmp:
+		return nil, fmt.Errorf("semant: quantified predicate must be a top-level conjunct of WHERE/HAVING")
+	}
+	return nil, fmt.Errorf("semant: unsupported expression %T", e)
+}

@@ -1,0 +1,226 @@
+package semant_test
+
+import (
+	"strings"
+	"testing"
+
+	"decorr/internal/parser"
+	"decorr/internal/qgm"
+	"decorr/internal/schema"
+	"decorr/internal/semant"
+	"decorr/internal/tpcd"
+)
+
+func bind(t *testing.T, sql string) *qgm.Graph {
+	t.Helper()
+	g, err := bindErr(sql)
+	if err != nil {
+		t.Fatalf("bind %q: %v", sql, err)
+	}
+	return g
+}
+
+func bindErr(sql string) (*qgm.Graph, error) {
+	q, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	cat := tpcd.EmpDept().Catalog
+	return semant.Bind(q, cat)
+}
+
+func TestBindSimpleShape(t *testing.T) {
+	g := bind(t, "select name, budget from dept where budget < 100")
+	if g.Root.Kind != qgm.BoxSelect || len(g.Root.Cols) != 2 || len(g.Root.Preds) != 1 {
+		t.Fatalf("root = %+v", g.Root)
+	}
+	if g.Root.Quants[0].Input.Kind != qgm.BoxBase {
+		t.Fatalf("input = %+v", g.Root.Quants[0].Input)
+	}
+}
+
+func TestBindExampleQueryCorrelation(t *testing.T) {
+	g := bind(t, tpcd.ExampleQuery)
+	// The subquery (group over select over emp) must be correlated to the
+	// root through the scalar quantifier.
+	var scalar *qgm.Quantifier
+	for _, q := range g.Root.Quants {
+		if q.Kind == qgm.QScalar {
+			scalar = q
+		}
+	}
+	if scalar == nil {
+		t.Fatal("no scalar quantifier bound")
+	}
+	if !qgm.CorrelatedTo(scalar.Input, g.Root) {
+		t.Fatal("subquery not correlated to root")
+	}
+	if scalar.Input.Kind != qgm.BoxSelect && scalar.Input.Kind != qgm.BoxGroup {
+		t.Fatalf("subquery shape = %v", scalar.Input.Kind)
+	}
+}
+
+func TestBindGroupedLayering(t *testing.T) {
+	g := bind(t, "select building, count(*) as n from emp group by building having count(*) > 1")
+	// Layering: SELECT (having+projection) over GROUP over SELECT (from).
+	root := g.Root
+	if root.Kind != qgm.BoxSelect || len(root.Preds) != 1 {
+		t.Fatalf("root = %v with %d preds", root.Kind, len(root.Preds))
+	}
+	grp := root.Quants[0].Input
+	if grp.Kind != qgm.BoxGroup || len(grp.GroupBy) != 1 {
+		t.Fatalf("group = %+v", grp)
+	}
+	if grp.Quants[0].Input.Kind != qgm.BoxSelect {
+		t.Fatalf("spj = %v", grp.Quants[0].Input.Kind)
+	}
+	if root.Cols[0].Name != "building" || root.Cols[1].Name != "n" {
+		t.Fatalf("output names = %v", root.OutNames())
+	}
+}
+
+func TestBindSharedAggregateReused(t *testing.T) {
+	g := bind(t, "select count(*) from emp having count(*) > 0")
+	grp := g.Root.Quants[0].Input
+	count := 0
+	for _, c := range grp.Cols {
+		if _, ok := c.Expr.(*qgm.Agg); ok {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("count(*) bound %d times; identical aggregates must share one slot", count)
+	}
+}
+
+func TestBindUnion(t *testing.T) {
+	g := bind(t, "select name from emp union select name from dept")
+	if g.Root.Kind != qgm.BoxUnion || !g.Root.Distinct {
+		t.Fatalf("root = %+v", g.Root)
+	}
+	g = bind(t, "select name from emp union all select name from dept")
+	if g.Root.Distinct {
+		t.Fatal("UNION ALL must not be distinct")
+	}
+}
+
+func TestBindStarExpansion(t *testing.T) {
+	g := bind(t, "select * from dept d, emp e")
+	if len(g.Root.Cols) != 6 { // dept(4) + emp(2)
+		t.Fatalf("star expanded to %d cols", len(g.Root.Cols))
+	}
+	g = bind(t, "select e.* from dept d, emp e")
+	if len(g.Root.Cols) != 2 {
+		t.Fatalf("qualified star expanded to %d cols", len(g.Root.Cols))
+	}
+}
+
+func TestBindSubqueryKinds(t *testing.T) {
+	g := bind(t, `
+		select name from dept d
+		where exists (select * from emp e where e.building = d.building)
+		  and budget in (select budget from dept)
+		  and budget >= all (select budget from dept)
+		  and name not in (select name from emp)`)
+	kinds := map[qgm.QuantKind]int{}
+	for _, q := range g.Root.Quants {
+		kinds[q.Kind]++
+	}
+	if kinds[qgm.QExists] != 1 || kinds[qgm.QAny] != 1 || kinds[qgm.QAll] != 2 {
+		t.Fatalf("quant kinds = %v (NOT IN must become ALL(<>))", kinds)
+	}
+}
+
+func TestBindLateralDerivedTable(t *testing.T) {
+	// Derived tables see FROM items to their left (paper Query 3 style).
+	g := bind(t, `
+		select d.name, t.n from dept d,
+		  (select count(*) from emp e where e.building = d.building) as t(n)`)
+	var derived *qgm.Quantifier
+	for _, q := range g.Root.Quants {
+		if q.Input.Kind != qgm.BoxBase {
+			derived = q
+		}
+	}
+	if derived == nil {
+		t.Fatal("derived table not bound")
+	}
+	if !qgm.CorrelatedTo(derived.Input, g.Root) {
+		t.Fatal("lateral correlation not wired")
+	}
+}
+
+func TestBindColumnAliasRenames(t *testing.T) {
+	g := bind(t, "select x from (select name from emp) as t(x)")
+	if g.Root.Cols[0].Name != "x" {
+		t.Fatalf("output names = %v", g.Root.OutNames())
+	}
+}
+
+func TestBindOrderBy(t *testing.T) {
+	g := bind(t, "select name, budget from dept order by budget desc, 1")
+	if len(g.OrderBy) != 2 || g.OrderBy[0].Col != 1 || !g.OrderBy[0].Desc || g.OrderBy[1].Col != 0 {
+		t.Fatalf("order by = %+v", g.OrderBy)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cases := map[string]string{
+		"select x from nosuch":                                                 "unknown table",
+		"select nosuch from dept":                                              "unresolved column",
+		"select name from dept, emp":                                           "ambiguous",
+		"select name from dept d, dept d":                                      "duplicate FROM alias",
+		"select budget from dept group by name":                                "must appear in GROUP BY",
+		"select sum(budget) from dept where sum(budget) > 1":                   "not allowed",
+		"select name from emp union select name, building from emp":            "columns",
+		"select name from dept where (select name, budget from dept) is null":  "one column",
+		"select name from dept where budget = 1 or exists (select * from emp)": "top-level conjunct",
+		"select * from dept group by name":                                     "not valid with GROUP BY",
+		"select name from dept order by nosuch":                                "ORDER BY",
+	}
+	for sql, frag := range cases {
+		_, err := bindErr(sql)
+		if err == nil {
+			t.Errorf("bind(%q) succeeded, want error containing %q", sql, frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("bind(%q) error %q does not mention %q", sql, err, frag)
+		}
+	}
+}
+
+func TestBindValidatesAgainstCatalog(t *testing.T) {
+	cat := schema.NewCatalog()
+	cat.Add(schema.NewTable("t", schema.Column{Name: "a", Type: schema.TInt}))
+	q, err := parser.Parse("select a from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := semant.Bind(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qgm.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindExpressionOutputsNamed(t *testing.T) {
+	g := bind(t, "select budget + 1, budget + 2 as more from dept")
+	if g.Root.Cols[0].Name != "c0" || g.Root.Cols[1].Name != "more" {
+		t.Fatalf("names = %v", g.Root.OutNames())
+	}
+}
+
+func TestBindAggregateInExpression(t *testing.T) {
+	g := bind(t, "select 0.2 * avg(budget) from dept")
+	grp := g.Root.Quants[0].Input
+	if grp.Kind != qgm.BoxGroup || len(grp.GroupBy) != 0 {
+		t.Fatalf("grouped shape = %+v", grp)
+	}
+	// The projection multiplies the aggregate output.
+	if _, ok := g.Root.Cols[0].Expr.(*qgm.Bin); !ok {
+		t.Fatalf("projection = %#v", g.Root.Cols[0].Expr)
+	}
+}

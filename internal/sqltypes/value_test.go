@@ -1,0 +1,299 @@
+package sqltypes
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareNumericPromotion(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+		ok   bool
+	}{
+		{NewInt(3), NewInt(3), 0, true},
+		{NewInt(3), NewFloat(3.0), 0, true},
+		{NewFloat(2.5), NewInt(3), -1, true},
+		{NewInt(4), NewFloat(3.5), 1, true},
+		{NewString("a"), NewString("b"), -1, true},
+		{NewString("b"), NewString("b"), 0, true},
+		{NewBool(false), NewBool(true), -1, true},
+		{Null, NewInt(1), 0, false},
+		{NewInt(1), Null, 0, false},
+		{Null, Null, 0, false},
+		{NewInt(1), NewString("1"), 0, false}, // cross-kind non-numeric
+	}
+	for _, c := range cases {
+		got, ok := Compare(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Compare(%v, %v) = %d,%v want %d,%v", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestEqualThreeValued(t *testing.T) {
+	if Equal(Null, Null) != Unknown {
+		t.Error("NULL = NULL must be UNKNOWN")
+	}
+	if Equal(NewInt(1), Null) != Unknown {
+		t.Error("1 = NULL must be UNKNOWN")
+	}
+	if Equal(NewInt(1), NewInt(1)) != True {
+		t.Error("1 = 1 must be TRUE")
+	}
+	if Equal(NewInt(1), NewInt(2)) != False {
+		t.Error("1 = 2 must be FALSE")
+	}
+}
+
+func TestIdenticalGroupsNulls(t *testing.T) {
+	if !Identical(Null, Null) {
+		t.Error("grouping equality treats NULL as identical to NULL")
+	}
+	if Identical(Null, NewInt(0)) {
+		t.Error("NULL is not identical to 0")
+	}
+	if !Identical(NewInt(3), NewFloat(3)) {
+		t.Error("3 and 3.0 compare equal, so they group together")
+	}
+}
+
+func TestTriLogicTables(t *testing.T) {
+	tris := []Tri{False, Unknown, True}
+	for _, a := range tris {
+		for _, b := range tris {
+			and := a.And(b)
+			or := a.Or(b)
+			// Kleene logic: AND is min, OR is max.
+			if want := minTri(a, b); and != want {
+				t.Errorf("%v AND %v = %v, want %v", a, b, and, want)
+			}
+			if want := maxTri(a, b); or != want {
+				t.Errorf("%v OR %v = %v, want %v", a, b, or, want)
+			}
+		}
+		if a.Not().Not() != a {
+			t.Errorf("double negation of %v", a)
+		}
+	}
+}
+
+func minTri(a, b Tri) Tri {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTri(a, b Tri) Tri {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		a, b Value
+		want Value
+	}{
+		{OpAdd, NewInt(2), NewInt(3), NewInt(5)},
+		{OpSub, NewInt(2), NewInt(3), NewInt(-1)},
+		{OpMul, NewInt(4), NewFloat(0.5), NewFloat(2)},
+		{OpDiv, NewInt(7), NewInt(2), NewFloat(3.5)},
+		{OpAdd, Null, NewInt(1), Null},
+		{OpMul, NewInt(1), Null, Null},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("Arith(%v,%v,%v): %v", c.op, c.a, c.b, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Arith(%v,%v,%v) = %v want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Arith(OpDiv, NewInt(1), NewInt(0)); err == nil {
+		t.Error("division by zero must error")
+	}
+	if _, err := Arith(OpAdd, NewString("x"), NewInt(1)); err == nil {
+		t.Error("string arithmetic must error")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	if got := Coalesce(Null, Null, NewInt(7), NewInt(8)); got.I != 7 {
+		t.Errorf("coalesce picked %v", got)
+	}
+	if got := Coalesce(Null, Null); !got.IsNull() {
+		t.Errorf("coalesce of all NULLs = %v", got)
+	}
+	if got := Coalesce(); !got.IsNull() {
+		t.Errorf("empty coalesce = %v", got)
+	}
+}
+
+func TestKeyNormalizesNumericKinds(t *testing.T) {
+	if Key([]Value{NewInt(3)}) != Key([]Value{NewFloat(3)}) {
+		t.Error("3 and 3.0 must share a hash key (they compare equal)")
+	}
+	if Key([]Value{NewFloat(0)}) != Key([]Value{NewFloat(math.Copysign(0, -1))}) {
+		t.Error("-0.0 and +0.0 must share a hash key")
+	}
+	if Key([]Value{Null}) == Key([]Value{NewInt(0)}) {
+		t.Error("NULL and 0 must not collide")
+	}
+}
+
+// genValue produces a random value across all kinds.
+func genValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(int64(r.Intn(2000) - 1000))
+	case 2:
+		return NewFloat(float64(r.Intn(2000)-1000) / 4)
+	case 3:
+		return NewString(string(rune('a' + r.Intn(26))))
+	default:
+		return NewBool(r.Intn(2) == 0)
+	}
+}
+
+// Property: Key is injective with respect to Identical — two values encode
+// identically iff the grouping equality holds.
+func TestQuickKeyMatchesIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genValue(r), genValue(r)
+		sameKey := Key([]Value{a}) == Key([]Value{b})
+		return sameKey == Identical(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and Equal is symmetric.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genValue(r), genValue(r)
+		ab, ok1 := Compare(a, b)
+		ba, ok2 := Compare(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tuple keys are prefix-unambiguous — concatenating encodings
+// cannot make different tuples collide.
+func TestQuickTupleKeyInjective(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		a := make([]Value, n)
+		b := make([]Value, n)
+		same := true
+		for i := range a {
+			a[i], b[i] = genValue(r), genValue(r)
+			if !Identical(a[i], b[i]) {
+				same = false
+			}
+		}
+		return (Key(a) == Key(b)) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want Tri
+	}{
+		{"hello", "hello", True},
+		{"hello", "h%", True},
+		{"hello", "%llo", True},
+		{"hello", "h_llo", True},
+		{"hello", "h_lo", False},
+		{"hello", "%", True},
+		{"", "%", True},
+		{"", "_", False},
+		{"BRASS STEEL", "%BRASS%", True},
+		{"abc", "a%c%", True},
+		{"abc", "a%d", False},
+	}
+	for _, c := range cases {
+		if got := Like(NewString(c.s), NewString(c.p)); got != c.want {
+			t.Errorf("Like(%q, %q) = %v want %v", c.s, c.p, got, c.want)
+		}
+	}
+	if Like(Null, NewString("%")) != Unknown {
+		t.Error("NULL LIKE pattern must be UNKNOWN")
+	}
+	if Like(NewString("x"), Null) != Unknown {
+		t.Error("value LIKE NULL must be UNKNOWN")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-42), "-42"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestOrderCompareTotalOrder(t *testing.T) {
+	vals := []Value{
+		Null, NewInt(-3), NewInt(0), NewFloat(0.5), NewInt(1),
+		NewString("a"), NewString("b"), NewBool(false), NewBool(true),
+	}
+	// NULL sorts before everything.
+	for _, v := range vals[1:] {
+		if OrderCompare(Null, v) >= 0 {
+			t.Errorf("NULL should precede %v", v)
+		}
+	}
+	// Antisymmetry and reflexivity over the sample.
+	for _, a := range vals {
+		for _, b := range vals {
+			if OrderCompare(a, b) != -OrderCompare(b, a) {
+				t.Errorf("antisymmetry broken for %v, %v", a, b)
+			}
+		}
+		if OrderCompare(a, a) != 0 {
+			t.Errorf("reflexivity broken for %v", a)
+		}
+	}
+	// Numeric promotion holds in the total order too.
+	if OrderCompare(NewInt(1), NewFloat(0.5)) <= 0 {
+		t.Error("1 should follow 0.5")
+	}
+}

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+)
+
+func histTable(t *testing.T, vals []sqltypes.Value) *Table {
+	t.Helper()
+	def := schema.NewTable("h", schema.Column{Name: "v", Type: schema.TInt})
+	tb := NewTable(def)
+	for _, v := range vals {
+		if err := tb.Insert(Row{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestHistogramUniform(t *testing.T) {
+	var vals []sqltypes.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, sqltypes.NewInt(int64(i)))
+	}
+	h := histTable(t, vals).Histogram(0)
+	if h == nil {
+		t.Fatal("no histogram")
+	}
+	for _, c := range []struct {
+		v    int64
+		want float64
+	}{{100, 0.1}, {500, 0.5}, {900, 0.9}} {
+		got := h.FracBelow(sqltypes.NewInt(c.v), false)
+		if math.Abs(got-c.want) > 0.06 {
+			t.Errorf("FracBelow(%d) = %.3f, want ≈ %.2f", c.v, got, c.want)
+		}
+	}
+	if got := h.FracBelow(sqltypes.NewInt(-5), false); got != 0 {
+		t.Errorf("below minimum = %.3f", got)
+	}
+	if got := h.FracBelow(sqltypes.NewInt(5000), false); got != 1 {
+		t.Errorf("above maximum = %.3f", got)
+	}
+}
+
+func TestHistogramSkewAndNulls(t *testing.T) {
+	var vals []sqltypes.Value
+	for i := 0; i < 900; i++ {
+		vals = append(vals, sqltypes.NewInt(1)) // heavy value
+	}
+	for i := 0; i < 50; i++ {
+		vals = append(vals, sqltypes.NewInt(int64(100+i)))
+	}
+	for i := 0; i < 50; i++ {
+		vals = append(vals, sqltypes.Null)
+	}
+	h := histTable(t, vals).Histogram(0)
+	// 90% of rows are the value 1 — strictly below 2 but not below 1.
+	got := h.FracBelow(sqltypes.NewInt(2), false)
+	if got < 0.8 {
+		t.Errorf("FracBelow(2) = %.3f, want ≥ 0.8 under 90%% skew", got)
+	}
+	// NULLs never qualify: the fraction is capped by the non-null share.
+	if all := h.FracBelow(sqltypes.NewInt(10000), true); all > 0.96 {
+		t.Errorf("FracBelow(max) = %.3f, should exclude the 5%% NULLs", all)
+	}
+}
+
+func TestHistogramEmptyAndTiny(t *testing.T) {
+	if h := histTable(t, nil).Histogram(0); h != nil {
+		t.Error("empty column should have no histogram")
+	}
+	h := histTable(t, []sqltypes.Value{sqltypes.NewInt(7)}).Histogram(0)
+	if h == nil {
+		t.Fatal("single-value histogram missing")
+	}
+	if h.FracBelow(sqltypes.NewInt(7), false) != 0 {
+		t.Error("nothing is strictly below the only value")
+	}
+}
+
+func TestHistogramCacheInvalidation(t *testing.T) {
+	tb := histTable(t, []sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(2)})
+	h1 := tb.Histogram(0)
+	if tb.Histogram(0) != h1 {
+		t.Error("histogram not cached")
+	}
+	if err := tb.Insert(Row{sqltypes.NewInt(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Histogram(0) == h1 {
+		t.Error("histogram cache survived growth")
+	}
+}
+
+// Property: FracBelow is monotone in v and bounded by [0, 1].
+func TestQuickHistogramMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var vals []sqltypes.Value
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			vals = append(vals, sqltypes.NewInt(int64(r.Intn(50))))
+		}
+		def := schema.NewTable("q", schema.Column{Name: "v", Type: schema.TInt})
+		tb := NewTable(def)
+		for _, v := range vals {
+			if err := tb.Insert(Row{v}); err != nil {
+				return false
+			}
+		}
+		h := tb.Histogram(0)
+		prev := -1.0
+		for v := int64(-1); v <= 51; v += 3 {
+			frac := h.FracBelow(sqltypes.NewInt(v), true)
+			if frac < 0 || frac > 1 || frac < prev {
+				return false
+			}
+			prev = frac
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

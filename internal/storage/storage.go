@@ -1,0 +1,173 @@
+// Package storage implements the in-memory row store with hash indexes.
+// It stands in for Starburst's storage layer: the execution engine reads
+// tables through scans and (when present) per-column hash indexes, and the
+// benchmark harness drops indexes to reproduce the paper's Figure 7
+// experiment ("we dropped the index ... thereby increasing the work
+// performed in each correlated invocation").
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+)
+
+// Row is a tuple of values positionally matching a table's columns.
+type Row []sqltypes.Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is the stored form of a relation: a row slice plus optional hash
+// indexes keyed by a single column ordinal.
+type Table struct {
+	Def     *schema.Table
+	Rows    []Row
+	indexes map[int]map[string][]int
+
+	ndvCache  map[int]ndvEntry
+	histCache map[int]histEntry
+}
+
+type ndvEntry struct {
+	rows int // row count when computed
+	ndv  int
+}
+
+// NDV returns the number of distinct values in the column (an optimizer
+// statistic). It is computed lazily and cached until the table grows.
+func (t *Table) NDV(col int) int {
+	if col < 0 || col >= len(t.Def.Columns) {
+		return 1
+	}
+	if e, ok := t.ndvCache[col]; ok && e.rows == len(t.Rows) {
+		return e.ndv
+	}
+	seen := map[string]bool{}
+	for _, r := range t.Rows {
+		seen[keyOf(r[col])] = true
+	}
+	n := len(seen)
+	if n == 0 {
+		n = 1
+	}
+	if t.ndvCache == nil {
+		t.ndvCache = map[int]ndvEntry{}
+	}
+	t.ndvCache[col] = ndvEntry{rows: len(t.Rows), ndv: n}
+	return n
+}
+
+// NewTable creates an empty stored table for a definition.
+func NewTable(def *schema.Table) *Table {
+	return &Table{Def: def, indexes: map[int]map[string][]int{}}
+}
+
+// Insert appends a row. The row must match the table arity; values are not
+// type-coerced (the generators produce correctly typed data).
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.Def.Columns) {
+		return fmt.Errorf("storage: row arity %d does not match table %q arity %d",
+			len(r), t.Def.Name, len(t.Def.Columns))
+	}
+	id := len(t.Rows)
+	t.Rows = append(t.Rows, r)
+	for col, idx := range t.indexes {
+		k := keyOf(r[col])
+		idx[k] = append(idx[k], id)
+	}
+	return nil
+}
+
+func keyOf(v sqltypes.Value) string {
+	return sqltypes.Key([]sqltypes.Value{v})
+}
+
+// CreateIndex builds a hash index on the named column. Creating an index
+// that already exists is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	c := t.Def.ColIndex(col)
+	if c < 0 {
+		return fmt.Errorf("storage: no column %q in table %q", col, t.Def.Name)
+	}
+	if _, ok := t.indexes[c]; ok {
+		return nil
+	}
+	idx := make(map[string][]int, len(t.Rows))
+	for id, r := range t.Rows {
+		k := keyOf(r[c])
+		idx[k] = append(idx[k], id)
+	}
+	t.indexes[c] = idx
+	return nil
+}
+
+// DropIndex removes the hash index on the named column if present.
+func (t *Table) DropIndex(col string) error {
+	c := t.Def.ColIndex(col)
+	if c < 0 {
+		return fmt.Errorf("storage: no column %q in table %q", col, t.Def.Name)
+	}
+	delete(t.indexes, c)
+	return nil
+}
+
+// HasIndex reports whether a hash index exists on the column ordinal.
+func (t *Table) HasIndex(col int) bool {
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// Lookup returns the row ids whose column equals v, using the index.
+// It returns ok=false when no index exists on the column. A NULL probe
+// returns no rows (SQL equality with NULL is never true).
+func (t *Table) Lookup(col int, v sqltypes.Value) (ids []int, ok bool) {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	if v.IsNull() {
+		return nil, true
+	}
+	return idx[keyOf(v)], true
+}
+
+// DB is a database instance: a catalog plus stored tables.
+type DB struct {
+	Catalog *schema.Catalog
+	tables  map[string]*Table
+}
+
+// NewDB returns an empty database with an empty catalog.
+func NewDB() *DB {
+	return &DB{Catalog: schema.NewCatalog(), tables: map[string]*Table{}}
+}
+
+// Create registers a table definition and allocates its storage.
+func (db *DB) Create(def *schema.Table) *Table {
+	db.Catalog.Add(def)
+	t := NewTable(def)
+	db.tables[strings.ToLower(def.Name)] = t
+	return t
+}
+
+// Table returns the stored table, or nil if absent.
+func (db *DB) Table(name string) *Table {
+	return db.tables[strings.ToLower(name)]
+}
+
+// MustTable returns the stored table or panics; used by generators and
+// benchmarks that control their own schemas.
+func (db *DB) MustTable(name string) *Table {
+	t := db.Table(name)
+	if t == nil {
+		panic(fmt.Sprintf("storage: unknown table %q", name))
+	}
+	return t
+}

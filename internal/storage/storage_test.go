@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+)
+
+func newT(t *testing.T) *Table {
+	t.Helper()
+	def := schema.NewTable("t",
+		schema.Column{Name: "id", Type: schema.TInt},
+		schema.Column{Name: "grp", Type: schema.TString},
+	)
+	def.AddKey("id")
+	return NewTable(def)
+}
+
+func TestInsertAndArity(t *testing.T) {
+	tb := newT(t)
+	if err := tb.Insert(Row{sqltypes.NewInt(1), sqltypes.NewString("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(Row{sqltypes.NewInt(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	tb := newT(t)
+	for i := 0; i < 10; i++ {
+		must(t, tb.Insert(Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(string(rune('a' + i%3)))}))
+	}
+	if _, ok := tb.Lookup(1, sqltypes.NewString("a")); ok {
+		t.Fatal("lookup without index must report !ok")
+	}
+	must(t, tb.CreateIndex("grp"))
+	ids, ok := tb.Lookup(1, sqltypes.NewString("a"))
+	if !ok || len(ids) != 4 { // i = 0,3,6,9
+		t.Fatalf("lookup a: %v %v", ids, ok)
+	}
+	// Index maintained across later inserts.
+	must(t, tb.Insert(Row{sqltypes.NewInt(10), sqltypes.NewString("a")}))
+	ids, _ = tb.Lookup(1, sqltypes.NewString("a"))
+	if len(ids) != 5 {
+		t.Fatalf("after insert: %v", ids)
+	}
+	// NULL probes match nothing.
+	ids, ok = tb.Lookup(1, sqltypes.Null)
+	if !ok || len(ids) != 0 {
+		t.Fatalf("null probe: %v %v", ids, ok)
+	}
+	must(t, tb.DropIndex("grp"))
+	if _, ok := tb.Lookup(1, sqltypes.NewString("a")); ok {
+		t.Fatal("dropped index still answers")
+	}
+	if tb.HasIndex(1) {
+		t.Fatal("HasIndex after drop")
+	}
+	// Creating twice is a no-op; unknown columns error.
+	must(t, tb.CreateIndex("grp"))
+	must(t, tb.CreateIndex("grp"))
+	if err := tb.CreateIndex("nope"); err == nil {
+		t.Fatal("index on unknown column accepted")
+	}
+	if err := tb.DropIndex("nope"); err == nil {
+		t.Fatal("drop of unknown column accepted")
+	}
+}
+
+// Property: for random data, Lookup agrees with a linear scan.
+func TestQuickLookupMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		def := schema.NewTable("q", schema.Column{Name: "k", Type: schema.TInt})
+		tb := NewTable(def)
+		n := r.Intn(50)
+		for i := 0; i < n; i++ {
+			v := sqltypes.NewInt(int64(r.Intn(8)))
+			if r.Intn(10) == 0 {
+				v = sqltypes.Null
+			}
+			if err := tb.Insert(Row{v}); err != nil {
+				return false
+			}
+		}
+		if err := tb.CreateIndex("k"); err != nil {
+			return false
+		}
+		probe := sqltypes.NewInt(int64(r.Intn(8)))
+		ids, ok := tb.Lookup(0, probe)
+		if !ok {
+			return false
+		}
+		var want []int
+		for i, row := range tb.Rows {
+			if sqltypes.Identical(row[0], probe) {
+				want = append(want, i)
+			}
+		}
+		if len(ids) != len(want) {
+			return false
+		}
+		for i := range ids {
+			if ids[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNDV(t *testing.T) {
+	tb := newT(t)
+	for i := 0; i < 12; i++ {
+		must(t, tb.Insert(Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(string(rune('a' + i%4)))}))
+	}
+	if got := tb.NDV(0); got != 12 {
+		t.Errorf("NDV(id) = %d", got)
+	}
+	if got := tb.NDV(1); got != 4 {
+		t.Errorf("NDV(grp) = %d", got)
+	}
+	// Cache invalidates on growth.
+	must(t, tb.Insert(Row{sqltypes.NewInt(99), sqltypes.NewString("zz")}))
+	if got := tb.NDV(1); got != 5 {
+		t.Errorf("NDV(grp) after insert = %d", got)
+	}
+	// Out-of-range columns degrade to 1.
+	if got := tb.NDV(9); got != 1 {
+		t.Errorf("NDV(out of range) = %d", got)
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	def := schema.NewTable("people", schema.Column{Name: "name", Type: schema.TString})
+	tb := db.Create(def)
+	must(t, tb.Insert(Row{sqltypes.NewString("ada")}))
+	if db.Table("PEOPLE") != tb {
+		t.Error("table lookup must be case-insensitive")
+	}
+	if db.Table("ghost") != nil {
+		t.Error("unknown table should be nil")
+	}
+	if db.Catalog.Lookup("people") != def {
+		t.Error("catalog not wired")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable on unknown table must panic")
+		}
+	}()
+	db.MustTable("ghost")
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package tpcd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// EmpDept builds the small fixed EMP/DEPT database of the paper's §2
+// running example. It deliberately contains a low-budget department
+// ("archives") located in a building where nobody works, so the COUNT bug
+// is observable: the correct answer includes that department, Kim's
+// rewrite loses it.
+func EmpDept() *storage.DB {
+	db := storage.NewDB()
+	dept := db.Create(deptDef())
+	emp := db.Create(empDef())
+
+	// name, budget, num_emps, building
+	for _, d := range [][4]any{
+		{"toys", 8000, 3, "B1"},
+		{"shoes", 9000, 1, "B2"},
+		{"archives", 500, 1, "B9"}, // building with no employees: COUNT bug witness
+		{"tools", 7000, 2, "B1"},   // duplicate correlation value B1
+		{"jewels", 50000, 4, "B2"}, // filtered out by budget predicate
+	} {
+		must(dept.Insert(storage.Row{
+			sqltypes.NewString(d[0].(string)),
+			sqltypes.NewInt(int64(d[1].(int))),
+			sqltypes.NewInt(int64(d[2].(int))),
+			sqltypes.NewString(d[3].(string)),
+		}))
+	}
+	for _, e := range [][2]string{
+		{"anne", "B1"}, {"bob", "B1"},
+		{"carl", "B2"}, {"dina", "B2"}, {"ed", "B2"},
+		{"fay", "B3"},
+	} {
+		must(emp.Insert(storage.Row{
+			sqltypes.NewString(e[0]),
+			sqltypes.NewString(e[1]),
+		}))
+	}
+	must(emp.CreateIndex("building"))
+	return db
+}
+
+// EmpDeptSized builds a synthetic EMP/DEPT database for scaling studies
+// (and the §6 parallel-execution experiment): nDept departments spread over
+// nBuildings buildings (duplicates in the correlation column whenever
+// nDept > nBuildings) and nEmp employees.
+func EmpDeptSized(nDept, nEmp, nBuildings int, seed int64) *storage.DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := storage.NewDB()
+	dept := db.Create(deptDef())
+	emp := db.Create(empDef())
+	for i := 0; i < nDept; i++ {
+		must(dept.Insert(storage.Row{
+			sqltypes.NewString(fmt.Sprintf("dept-%d", i)),
+			sqltypes.NewInt(int64(rng.Intn(20000))),
+			sqltypes.NewInt(int64(rng.Intn(150))),
+			sqltypes.NewString(fmt.Sprintf("B%d", rng.Intn(nBuildings))),
+		}))
+	}
+	// Employees avoid the last quarter of the buildings, so COUNT-bug
+	// witnesses (departments in employee-free buildings) always exist.
+	empBuildings := nBuildings - nBuildings/4
+	if empBuildings < 1 {
+		empBuildings = 1
+	}
+	for i := 0; i < nEmp; i++ {
+		must(emp.Insert(storage.Row{
+			sqltypes.NewString(fmt.Sprintf("emp-%d", i)),
+			sqltypes.NewString(fmt.Sprintf("B%d", rng.Intn(empBuildings))),
+		}))
+	}
+	must(emp.CreateIndex("building"))
+	return db
+}
+
+func deptDef() *schema.Table {
+	def := schema.NewTable("dept",
+		schema.Column{Name: "name", Type: schema.TString},
+		schema.Column{Name: "budget", Type: schema.TInt},
+		schema.Column{Name: "num_emps", Type: schema.TInt},
+		schema.Column{Name: "building", Type: schema.TString},
+	)
+	def.AddKey("name")
+	return def
+}
+
+func empDef() *schema.Table {
+	def := schema.NewTable("emp",
+		schema.Column{Name: "name", Type: schema.TString},
+		schema.Column{Name: "building", Type: schema.TString},
+	)
+	def.AddKey("name")
+	return def
+}
+
+// ExampleQuery is the §2 running example: departments of low budget with
+// more employees than work in the department's building.
+const ExampleQuery = `
+Select D.name From Dept D
+Where D.budget < 10000 and D.num_emps >
+    (Select Count(*) From Emp E Where D.building = E.building)
+Order By name`

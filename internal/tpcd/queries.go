@@ -1,0 +1,83 @@
+package tpcd
+
+// The paper's three benchmark queries (§5.3), adjusted only for this
+// repository's SQL dialect (derived tables are written
+// "(query) AS alias(cols)"). Query 3's tail is truncated in the published
+// text; it is reconstructed from the prose: European suppliers and the sum
+// of balances of customers in two market segments and the supplier's
+// nation (a non-linear correlated UNION, 5 distinct correlation values).
+
+// Query1 lists suppliers offering the desired type and size of parts in a
+// particular nation at the minimum cost (TPC-D Q2 flavor).
+const Query1 = `
+Select s.s_name, s.s_acctbal, s.s_address, s.s_phone, s.s_comment
+From parts p, suppliers s, partsupp ps
+Where s.s_nation = 'FRANCE' and p.p_size = 15 and p.p_type = 'BRASS'
+  and p.p_partkey = ps.ps_partkey and s.s_suppkey = ps.ps_suppkey
+  and ps.ps_supplycost =
+    (Select min(ps1.ps_supplycost)
+     From partsupp ps1, suppliers s1
+     Where p.p_partkey = ps1.ps_partkey
+       and s1.s_suppkey = ps1.ps_suppkey
+       and s1.s_nation = 'FRANCE')`
+
+// Query1b is the §5.3 sensitivity variant: the p_size predicate is dropped
+// and the nation predicates widen to two regions, creating thousands of
+// subquery invocations with many duplicate bindings (Figure 6).
+const Query1b = `
+Select s.s_name, s.s_acctbal, s.s_address, s.s_phone, s.s_comment
+From parts p, suppliers s, partsupp ps
+Where s.s_region in ('AMERICA', 'EUROPE') and p.p_type = 'BRASS'
+  and p.p_partkey = ps.ps_partkey and s.s_suppkey = ps.ps_suppkey
+  and ps.ps_supplycost =
+    (Select min(ps1.ps_supplycost)
+     From partsupp ps1, suppliers s1
+     Where p.p_partkey = ps1.ps_partkey
+       and s1.s_suppkey = ps1.ps_suppkey
+       and s1.s_region in ('AMERICA', 'EUROPE'))`
+
+// Query2 asks for the average yearly loss in revenue if small orders were
+// discarded (TPC-D Q17 flavor). The correlation attribute is a key of the
+// supplementary table, so OptMag eliminates the common subexpression
+// (Figure 8).
+const Query2 = `
+Select sum(l.l_extendedprice * l.l_quantity) / 5
+From lineitem l, parts p
+Where p.p_partkey = l.l_partkey and p.p_brand = 'Brand#23'
+  and p.p_container = '6 PACK'
+  and l.l_quantity <
+    (Select 0.2 * avg(l1.l_quantity)
+     From lineitem l1 Where l1.l_partkey = p.p_partkey)`
+
+// Query3 lists European suppliers and the sum of balances of customers in
+// two market segments in the supplier's country. The correlated table
+// expression contains a UNION: the query is non-linear, Kim's and Dayal's
+// methods do not apply, and only 5 distinct correlation values exist
+// (Figure 9).
+const Query3 = `
+Select s.s_name, s.s_acctbal, dt.sumbal
+From suppliers s,
+  (Select sum(ddt.bal) From
+     ((Select a.c_acctbal From customers a
+       Where a.c_mktsegment = 'BUILDING' and a.c_nation = s.s_nation)
+      Union All
+      (Select b.c_acctbal From customers b
+       Where b.c_mktsegment = 'AUTOMOBILE' and b.c_nation = s.s_nation)
+     ) As ddt(bal)
+  ) As dt(sumbal)
+Where s.s_region = 'EUROPE'`
+
+// Query3Distinct is Query3 with UNION instead of UNION ALL, exercising the
+// distinct-union absorption path.
+const Query3Distinct = `
+Select s.s_name, s.s_acctbal, dt.sumbal
+From suppliers s,
+  (Select sum(ddt.bal) From
+     ((Select a.c_acctbal From customers a
+       Where a.c_mktsegment = 'BUILDING' and a.c_nation = s.s_nation)
+      Union
+      (Select b.c_acctbal From customers b
+       Where b.c_mktsegment = 'AUTOMOBILE' and b.c_nation = s.s_nation)
+     ) As ddt(bal)
+  ) As dt(sumbal)
+Where s.s_region = 'EUROPE'`
