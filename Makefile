@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test bench fmt
+
+# check is the CI gate: static analysis, a full build, and the test suite
+# under the race detector.
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# bench regenerates every paper figure as a Go benchmark (shortened).
+bench:
+	$(GO) test -short -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l -w .

@@ -1,6 +1,8 @@
 package decorr
 
 import (
+	"io"
+
 	"decorr/internal/core"
 	"decorr/internal/engine"
 	"decorr/internal/exec"
@@ -9,6 +11,7 @@ import (
 	"decorr/internal/sqltypes"
 	"decorr/internal/storage"
 	"decorr/internal/tpcd"
+	"decorr/internal/trace"
 )
 
 // Core query-processing types.
@@ -133,6 +136,42 @@ type (
 	// makespan.
 	ParallelMetrics = parallel.Metrics
 )
+
+// Observability: end-to-end pipeline tracing and process metrics (see
+// docs/observability.md).
+type (
+	// Tracer threads span/event tracing through parse, semant, rewrite
+	// rules, decorrelation, and per-box execution; assign one to
+	// Engine.Tracer. A nil Tracer is fully disabled at zero cost.
+	Tracer = trace.Tracer
+	// TraceEvent is one finished span or instant event.
+	TraceEvent = trace.Event
+	// TraceSink receives finished trace events.
+	TraceSink = trace.Sink
+	// MetricsRegistry holds named monotonic counters and gauges with a
+	// snapshot/diff API.
+	MetricsRegistry = trace.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = trace.Snapshot
+)
+
+// Metrics is the process-wide registry the engine, executor, and parallel
+// simulator publish into.
+var Metrics = trace.Metrics
+
+// NewTracer creates a tracer emitting into sink.
+func NewTracer(sink TraceSink) *Tracer { return trace.New(sink) }
+
+// NewRingSink creates an in-memory sink holding the most recent limit
+// events (non-positive means 4096).
+func NewRingSink(limit int) *trace.RingSink { return trace.NewRingSink(limit) }
+
+// NewJSONLSink creates a sink streaming one JSON object per event to w.
+func NewJSONLSink(w io.Writer) *trace.JSONLSink { return trace.NewJSONLSink(w) }
+
+// NewChromeSink creates a sink that writes a Chrome trace-event JSON
+// document (chrome://tracing / Perfetto compatible) on Flush.
+func NewChromeSink(w io.Writer) *trace.ChromeSink { return trace.NewChromeSink(w) }
 
 // Parallel placements.
 const (

@@ -219,6 +219,40 @@ func BenchmarkAblationExistentialKnob(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures the execution hot path with tracing
+// disabled versus enabled. The disabled case is the contract: the tracer
+// hooks are guarded by nil checks, so allocs/op must not exceed the
+// pre-instrumentation baseline (compare the sub-benchmarks' allocs/op to
+// see the tracing cost land only on the enabled side).
+func BenchmarkTraceOverhead(b *testing.B) {
+	e := decorr.NewEngine(decorr.EmpDept())
+	p, err := e.Prepare(decorr.ExampleQuery, decorr.Magic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		e.Tracer = nil
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		ring := decorr.NewRingSink(0)
+		e.Tracer = decorr.NewTracer(ring)
+		defer func() { e.Tracer = nil }()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+			ring.Reset()
+		}
+	})
+}
+
 // BenchmarkRewriteOverhead isolates the cost of the magic decorrelation
 // rewrite itself (parse + bind + decorrelate + cleanup).
 func BenchmarkRewriteOverhead(b *testing.B) {

@@ -7,9 +7,10 @@
 //
 // Examples:
 //
-//	decorr -query example -strategy magic -trace     # Figures 2–4 stages
-//	decorr -dataset tpcd -sf 0.1 -query q1 -compare  # one row per strategy
-//	decorr -dataset empdept "select count(*) from emp"
+//	decorr -query example -strategy magic -stages     # Figures 2–4 stages
+//	decorr -dataset tpcd -sf 0.1 -query q1 -compare   # one row per strategy
+//	decorr -query q1 -strategy magic -trace out.json  # chrome://tracing trace
+//	decorr -dataset empdept -metrics "select count(*) from emp"
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"decorr"
 	"decorr/internal/engine"
 	"decorr/internal/qgm"
+	"decorr/internal/trace"
 )
 
 var namedQueries = map[string]string{
@@ -47,7 +49,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print the (rewritten) QGM plan")
 	dot := flag.Bool("dot", false, "print the (rewritten) QGM as Graphviz DOT (paper Figure 1 style)")
 	analyze := flag.Bool("analyze", false, "run with per-box profiling and print the annotated plan")
-	trace := flag.Bool("trace", false, "print every rewrite stage (Figures 2-4)")
+	stages := flag.Bool("stages", false, "print every rewrite stage (Figures 2-4)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing) of the whole pipeline to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics-registry delta for this invocation")
 	stats := flag.Bool("stats", false, "print work counters")
 	compare := flag.Bool("compare", false, "run the query under every strategy")
 	interactive := flag.Bool("i", false, "interactive REPL (statements end with ';')")
@@ -58,9 +62,11 @@ func main() {
 	if !ok {
 		fatalf("unknown strategy %q", *strategy)
 	}
+	metricsBefore := trace.Metrics.Snapshot()
 	if *interactive || *script != "" {
 		db := buildDB(*dataset, *sf, *seed)
 		eng := decorr.NewEngine(db)
+		finishTrace := attachTracer(eng, *traceFile)
 		if *script != "" {
 			f, err := os.Open(*script)
 			if err != nil {
@@ -70,9 +76,13 @@ func main() {
 			if err := runScript(eng, f, s0); err != nil {
 				fatalf("%v", err)
 			}
+			finishTrace()
+			reportMetrics(*metrics, metricsBefore)
 			return
 		}
 		repl(eng, s0)
+		finishTrace()
+		reportMetrics(*metrics, metricsBefore)
 		return
 	}
 
@@ -97,15 +107,18 @@ func main() {
 
 	db := buildDB(*dataset, *sf, *seed)
 	eng := decorr.NewEngine(db)
+	finishTrace := attachTracer(eng, *traceFile)
 
 	if *compare {
 		for _, s := range engine.Strategies {
 			runOne(eng, sql, s, false, false, true)
 		}
+		finishTrace()
+		reportMetrics(*metrics, metricsBefore)
 		return
 	}
 	s := s0
-	if *trace {
+	if *stages {
 		p, err := eng.PrepareTraced(sql, s)
 		if err != nil {
 			fatalf("%v", err)
@@ -114,15 +127,14 @@ func main() {
 			fmt.Printf("--- stage %d: %s ---\n%s\n", i, st.Title, st.Plan)
 		}
 	}
-	if *dot {
+	switch {
+	case *dot:
 		p, err := eng.Prepare(sql, s)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Print(qgm.Dot(p.Graph))
-		return
-	}
-	if *analyze {
+	case *analyze:
 		p, err := eng.Prepare(sql, s)
 		if err != nil {
 			fatalf("%v", err)
@@ -132,9 +144,42 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Print(out)
+	default:
+		runOne(eng, sql, s, *explain, *stats, false)
+	}
+	finishTrace()
+	reportMetrics(*metrics, metricsBefore)
+}
+
+// attachTracer wires a Chrome trace-event sink writing to path onto eng;
+// the returned function flushes and closes it (a no-op for path == "").
+func attachTracer(eng *decorr.Engine, path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sink := trace.NewChromeSink(f)
+	eng.Tracer = trace.New(sink)
+	return func() {
+		if err := sink.Flush(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
+	}
+}
+
+// reportMetrics prints the registry delta accumulated since startup.
+func reportMetrics(enabled bool, before trace.Snapshot) {
+	if !enabled {
 		return
 	}
-	runOne(eng, sql, s, *explain, *stats, false)
+	fmt.Print("--- metrics ---\n" + trace.Metrics.Snapshot().Diff(before).String())
 }
 
 func runOne(eng *decorr.Engine, sql string, s decorr.Strategy, explain, stats, compact bool) {

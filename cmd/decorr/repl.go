@@ -9,16 +9,22 @@ import (
 	"time"
 
 	"decorr"
+	"decorr/internal/trace"
 )
 
 // repl reads semicolon-terminated statements interactively, executing each
 // under the session strategy. Meta commands: \strategy <name>, \explain,
-// \analyze, \timing, \quit.
+// \analyze, \timing, \trace, \metrics, \quit.
 func repl(eng *decorr.Engine, s decorr.Strategy) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	explain, analyze, timing := false, false, false
+	// \trace swaps the engine tracer for a ring buffer and prints the
+	// span tree after every statement; toggling off restores the tracer
+	// the session started with (e.g. a -trace file sink).
+	var ring *trace.RingSink
+	savedTracer := eng.Tracer
 	fmt.Println("decorr — Complex Query Decorrelation (ICDE 1996) reproduction")
 	fmt.Printf("strategy %s; end statements with ';', \\q quits, \\h for help\n", s)
 	prompt := func() {
@@ -42,6 +48,8 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
   \explain   toggle plan printing
   \analyze   toggle per-box profiles
   \timing    toggle wall-clock reporting
+  \trace     toggle per-statement pipeline traces
+  \metrics   print the process metrics registry
   \q         quit`)
 			case strings.HasPrefix(trimmed, "\\strategy"):
 				name := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\strategy"))
@@ -60,6 +68,17 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 			case trimmed == "\\timing":
 				timing = !timing
 				fmt.Printf("timing = %v\n", timing)
+			case trimmed == "\\trace":
+				if ring == nil {
+					ring = trace.NewRingSink(0)
+					eng.Tracer = trace.New(ring)
+				} else {
+					ring = nil
+					eng.Tracer = savedTracer
+				}
+				fmt.Printf("trace = %v\n", ring != nil)
+			case trimmed == "\\metrics":
+				fmt.Print(trace.Metrics.Snapshot().String())
 			default:
 				fmt.Printf("unknown meta command %q (\\h for help)\n", trimmed)
 			}
@@ -77,6 +96,10 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 			buf.WriteString(rest)
 			if strings.TrimSpace(stmt) != "" {
 				execStatement(eng, stmt, s, explain, analyze, timing)
+				if ring != nil {
+					fmt.Print(trace.FormatEvents(ring.Events(), true))
+					ring.Reset()
+				}
 			}
 		}
 		if strings.TrimSpace(buf.String()) == "" {

@@ -18,6 +18,7 @@ package core
 
 import (
 	"decorr/internal/qgm"
+	"decorr/internal/trace"
 )
 
 // Orderer supplies the nested-iteration join order of a select box's
@@ -45,6 +46,9 @@ type Options struct {
 	// Order overrides the join-order oracle; nil uses declared order with
 	// subqueries placed at their earliest dependency point.
 	Order Orderer
+	// Tracer, when non-nil, receives one instant event per decorrelation
+	// step (the same titles the Trace snapshots carry).
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions enables full decorrelation.
@@ -65,6 +69,10 @@ type Trace struct {
 }
 
 func (d *decorrelator) snap(title string) {
+	if t := d.opts.Tracer; t != nil {
+		t.Instant(title, "decorrelate",
+			trace.Int("boxes", int64(len(qgm.Boxes(d.g.Root)))))
+	}
 	if d.tr == nil {
 		return
 	}

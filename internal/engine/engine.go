@@ -17,6 +17,7 @@ import (
 	"decorr/internal/rewrite"
 	"decorr/internal/semant"
 	"decorr/internal/storage"
+	"decorr/internal/trace"
 )
 
 // Strategy selects how (whether) a correlated query is decorrelated before
@@ -91,6 +92,10 @@ type Engine struct {
 	// equi-joined into a block are restricted to the distinct join
 	// bindings before they aggregate.
 	MagicSets bool
+	// Tracer, when non-nil, threads span/event tracing through the whole
+	// pipeline: parse, semant, every rewrite rule, decorrelation steps,
+	// and per-box execution. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 
 	views semant.Views
 }
@@ -176,11 +181,29 @@ func (e *Engine) prepare(sql string, s Strategy, traced bool) (*Prepared, error)
 	if s == Auto {
 		return e.prepareAuto(sql, traced)
 	}
+	trace.Metrics.Counter("engine.prepares").Inc()
+	prep := e.Tracer.Begin("prepare", "engine", trace.Str("strategy", s.String()))
+	p, err := e.prepareStages(sql, s, traced)
+	if err != nil {
+		trace.Metrics.Counter("engine.prepare_errors").Inc()
+		prep.End(trace.Str("error", err.Error()))
+		return nil, err
+	}
+	prep.End()
+	return p, nil
+}
+
+// prepareStages runs the pipeline stages under the prepare span.
+func (e *Engine) prepareStages(sql string, s Strategy, traced bool) (*Prepared, error) {
+	sp := e.Tracer.Begin("parse", "prepare")
 	q, err := parser.Parse(sql)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = e.Tracer.Begin("semant", "prepare")
 	g, err := semant.BindWithViews(q, e.DB.Catalog, e.views)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +216,7 @@ func (e *Engine) prepare(sql string, s Strategy, traced bool) (*Prepared, error)
 	// decorrelation ... to all queries" (§5.1). Merging trivial wrapper
 	// boxes here also lets the FEED stage see aggregate subqueries
 	// directly instead of through projection shells.
-	if err := rewrite.NewCleanup().Run(g); err != nil {
+	if err := e.cleanup(g, "cleanup-pre"); err != nil {
 		return nil, err
 	}
 	switch s {
@@ -215,20 +238,24 @@ func (e *Engine) prepare(sql string, s Strategy, traced bool) (*Prepared, error)
 		opts := e.CoreOpts
 		opts.EliminateSupplementary = s == OptMagic
 		opts.Order = e.orderer()
-		if err := core.Decorrelate(g, opts, p.Trace); err != nil {
+		opts.Tracer = e.Tracer
+		sp = e.Tracer.Begin("decorrelate", "prepare", trace.Str("strategy", s.String()))
+		err := core.Decorrelate(g, opts, p.Trace)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", s)
 	}
-	if err := rewrite.NewCleanup().Run(g); err != nil {
+	if err := e.cleanup(g, "cleanup-post"); err != nil {
 		return nil, err
 	}
 	if e.MagicSets {
 		if err := core.ApplyMagicSets(g, e.orderer()); err != nil {
 			return nil, err
 		}
-		if err := rewrite.NewCleanup().Run(g); err != nil {
+		if err := e.cleanup(g, "cleanup-magicsets"); err != nil {
 			return nil, err
 		}
 	}
@@ -237,8 +264,18 @@ func (e *Engine) prepare(sql string, s Strategy, traced bool) (*Prepared, error)
 	}
 	p.Columns = g.Root.OutNames()
 	p.Chosen = s
+	sp = e.Tracer.Begin("plan-cost", "prepare")
 	p.EstimatedCost = exec.New(e.DB, exec.Options{MaterializeCSE: e.MaterializeCSE}).EstimateCost(g)
+	sp.End()
 	return p, nil
+}
+
+// cleanup runs the standard cleanup rule set under a named span.
+func (e *Engine) cleanup(g *qgm.Graph, stage string) error {
+	sp := e.Tracer.Begin(stage, "rewrite")
+	err := rewrite.NewCleanup().WithTracer(e.Tracer).Run(g)
+	sp.End()
+	return err
 }
 
 // prepareAuto implements §7's plan choice: prepare the query as written
@@ -272,14 +309,20 @@ func (e *Engine) orderer() core.Orderer {
 
 // Run executes the prepared query, returning rows and work counters.
 func (p *Prepared) Run() ([]storage.Row, *exec.Stats, error) {
+	trace.Metrics.Counter("engine.executions").Inc()
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
 		MemoizeCorrelated: p.Strategy == NIMemo,
+		Tracer:            p.engine.Tracer,
 	})
+	sp := p.engine.Tracer.Begin("execute", "engine", trace.Str("strategy", p.Strategy.String()))
 	rows, err := ex.Run(p.Graph)
 	if err != nil {
+		trace.Metrics.Counter("engine.execution_errors").Inc()
+		sp.End(trace.Str("error", err.Error()))
 		return nil, nil, err
 	}
+	sp.End(trace.Int("rows", int64(len(rows))))
 	return rows, &ex.Stats, nil
 }
 
@@ -294,9 +337,13 @@ func (p *Prepared) ExplainAnalyze() (string, error) {
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
 		MemoizeCorrelated: p.Strategy == NIMemo,
+		Tracer:            p.engine.Tracer,
 	})
 	ex.EnableProfiling()
-	if _, err := ex.Run(p.Graph); err != nil {
+	sp := p.engine.Tracer.Begin("explain-analyze", "engine", trace.Str("strategy", p.Strategy.String()))
+	_, err := ex.Run(p.Graph)
+	sp.End()
+	if err != nil {
 		return "", err
 	}
 	return ex.FormatProfile(p.Graph), nil

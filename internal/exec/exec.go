@@ -3,10 +3,12 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"decorr/internal/qgm"
 	"decorr/internal/sqltypes"
 	"decorr/internal/storage"
+	"decorr/internal/trace"
 )
 
 // Options select executor policies that the paper treats as system knobs.
@@ -19,6 +21,10 @@ type Options struct {
 	// MemoizeCorrelated caches correlated subquery results per binding —
 	// the NI-with-memo variant used as an extra baseline.
 	MemoizeCorrelated bool
+	// Tracer, when non-nil, receives one span per box evaluation with the
+	// box identity, produced rows, and wall time. The nil case is a single
+	// pointer check on the hot path (no timing, no allocations).
+	Tracer *trace.Tracer
 }
 
 // Exec evaluates QGM graphs against a database. An Exec is single-use per
@@ -57,6 +63,7 @@ func New(db *storage.DB, opts Options) *Exec {
 // Run evaluates the graph and returns the result rows (after any top-level
 // ORDER BY).
 func (ex *Exec) Run(g *qgm.Graph) ([]storage.Row, error) {
+	before := ex.Stats
 	ex.analyze(g.Root)
 	rows, err := ex.evalBox(g.Root, nil)
 	if err != nil {
@@ -68,7 +75,39 @@ func (ex *Exec) Run(g *qgm.Graph) ([]storage.Row, error) {
 	if g.Limit >= 0 && int64(len(rows)) > g.Limit {
 		rows = rows[:g.Limit]
 	}
+	publishStats(statsDelta(before, ex.Stats))
 	return rows, nil
+}
+
+func statsDelta(before, after Stats) Stats {
+	return Stats{
+		SubqueryInvocations: after.SubqueryInvocations - before.SubqueryInvocations,
+		DistinctInvocations: after.DistinctInvocations - before.DistinctInvocations,
+		MemoHits:            after.MemoHits - before.MemoHits,
+		BoxEvals:            after.BoxEvals - before.BoxEvals,
+		RowsScanned:         after.RowsScanned - before.RowsScanned,
+		IndexLookups:        after.IndexLookups - before.IndexLookups,
+		RowsJoined:          after.RowsJoined - before.RowsJoined,
+		RowsGrouped:         after.RowsGrouped - before.RowsGrouped,
+		HashBuilds:          after.HashBuilds - before.HashBuilds,
+		CSERecomputes:       after.CSERecomputes - before.CSERecomputes,
+	}
+}
+
+// publishStats folds one Run's counters into the process-wide registry —
+// once per Run, so the per-row paths stay registry-free.
+func publishStats(d Stats) {
+	trace.Metrics.Counter("exec.runs").Inc()
+	trace.Metrics.Counter("exec.subquery_invocations").Add(d.SubqueryInvocations)
+	trace.Metrics.Counter("exec.box_evals").Add(d.BoxEvals)
+	trace.Metrics.Counter("exec.rows_scanned").Add(d.RowsScanned)
+	trace.Metrics.Counter("exec.index_lookups").Add(d.IndexLookups)
+	trace.Metrics.Counter("exec.rows_joined").Add(d.RowsJoined)
+	trace.Metrics.Counter("exec.rows_grouped").Add(d.RowsGrouped)
+	trace.Metrics.Counter("exec.hash_builds").Add(d.HashBuilds)
+	trace.Metrics.Counter("exec.cse_recomputes").Add(d.CSERecomputes)
+	trace.Metrics.Counter("exec.memo_hits").Add(d.MemoHits)
+	trace.Metrics.Gauge("exec.last_work").Set(d.Work())
 }
 
 func sortRows(rows []storage.Row, keys []qgm.OrderKey) {
@@ -201,11 +240,27 @@ func (ex *Exec) evalBox(b *qgm.Box, env *Env) ([]storage.Row, error) {
 			ex.Stats.CSERecomputes++
 		}
 	}
+	// Timing is gated on a pointer check so that plain execution (no
+	// profile, no tracer) pays nothing here.
+	var sp *trace.Span
+	var start time.Time
+	if ex.opts.Tracer != nil {
+		sp = ex.opts.Tracer.Begin(boxSpanName(b), "exec",
+			trace.Int("box", int64(b.ID)), trace.Str("kind", b.Kind.String()))
+	}
+	if ex.profile != nil || sp != nil {
+		start = time.Now()
+	}
 	rows, err := ex.dispatch(b, env)
 	if err != nil {
+		sp.End(trace.Str("error", err.Error()))
 		return nil, err
 	}
-	ex.recordProfile(b, len(rows))
+	if ex.profile != nil || sp != nil {
+		elapsed := time.Since(start)
+		ex.recordProfile(b, len(rows), elapsed)
+		sp.End(trace.Int("rows", int64(len(rows))))
+	}
 	if uncorrelated && shared {
 		if _, ok := ex.cse[b]; !ok {
 			ex.cse[b] = rows

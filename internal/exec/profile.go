@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"decorr/internal/qgm"
 )
@@ -15,7 +16,13 @@ type BoxProfile struct {
 	Evals int64
 	// RowsOut is the total number of rows the box produced across evals.
 	RowsOut int64
+	// Nanos is the total wall-clock time spent evaluating the box
+	// (inclusive of its inputs, since box evaluation is recursive).
+	Nanos int64
 }
+
+// Elapsed returns the accumulated wall time as a duration.
+func (p BoxProfile) Elapsed() time.Duration { return time.Duration(p.Nanos) }
 
 // EnableProfiling starts collecting per-box counters for subsequent Runs.
 func (ex *Exec) EnableProfiling() {
@@ -24,7 +31,7 @@ func (ex *Exec) EnableProfiling() {
 	}
 }
 
-func (ex *Exec) recordProfile(b *qgm.Box, rows int) {
+func (ex *Exec) recordProfile(b *qgm.Box, rows int, elapsed time.Duration) {
 	if ex.profile == nil {
 		return
 	}
@@ -35,6 +42,7 @@ func (ex *Exec) recordProfile(b *qgm.Box, rows int) {
 	}
 	p.Evals++
 	p.RowsOut += int64(rows)
+	p.Nanos += elapsed.Nanoseconds()
 }
 
 // BoxProfileOf returns the collected counters for a box (zero value when
@@ -46,10 +54,22 @@ func (ex *Exec) BoxProfileOf(b *qgm.Box) BoxProfile {
 	return BoxProfile{}
 }
 
+// boxSpanName labels a box's execution span.
+func boxSpanName(b *qgm.Box) string {
+	if b.Label != "" {
+		return fmt.Sprintf("box %d %s [%s]", b.ID, b.Kind, b.Label)
+	}
+	if b.Kind == qgm.BoxBase && b.Table != nil {
+		return fmt.Sprintf("box %d %s(%s)", b.ID, b.Kind, b.Table.Name)
+	}
+	return fmt.Sprintf("box %d %s", b.ID, b.Kind)
+}
+
 // FormatProfile renders the plan with per-box runtime annotations — the
-// EXPLAIN ANALYZE view. Correlated subquery boxes show one eval per
+// timed EXPLAIN ANALYZE view. Correlated subquery boxes show one eval per
 // binding; the §5.1 CSE-recomputation behavior shows up as eval counts
-// above one on shared boxes.
+// above one on shared boxes; time is cumulative wall-clock (inclusive of
+// input evaluation).
 func (ex *Exec) FormatProfile(g *qgm.Graph) string {
 	var sb strings.Builder
 	for _, b := range qgm.Boxes(g.Root) {
@@ -58,7 +78,8 @@ func (ex *Exec) FormatProfile(g *qgm.Graph) string {
 		if tag != "" {
 			tag = " [" + tag + "]"
 		}
-		fmt.Fprintf(&sb, "Box %d: %s%s  evals=%d rows=%d\n", b.ID, b.Kind, tag, p.Evals, p.RowsOut)
+		fmt.Fprintf(&sb, "Box %d: %s%s  evals=%d rows=%d time=%s\n",
+			b.ID, b.Kind, tag, p.Evals, p.RowsOut, p.Elapsed().Round(time.Microsecond))
 	}
 	return sb.String()
 }

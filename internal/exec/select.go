@@ -254,7 +254,7 @@ func (ex *Exec) bindForEach(q *qgm.Quantifier, bound map[*qgm.Quantifier]bool, p
 			return nil, fmt.Errorf("exec: table %q has no storage", q.Input.Table.Name)
 		}
 		ex.Stats.RowsScanned += int64(len(tbl.Rows))
-		ex.recordProfile(q.Input, len(tbl.Rows))
+		ex.recordProfile(q.Input, len(tbl.Rows), 0)
 		rows = tbl.Rows
 	} else {
 		var err error
@@ -452,7 +452,7 @@ func (ex *Exec) indexBind(q *qgm.Quantifier, tbl *storage.Table, col int, other 
 		}
 	}
 	ex.Stats.RowsJoined += int64(len(out))
-	ex.recordProfile(q.Input, len(out))
+	ex.recordProfile(q.Input, len(out), 0)
 	return out, nil
 }
 

@@ -62,9 +62,9 @@ func (s Stats) Work() int64 {
 // String renders the counters compactly for CLI output.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "invocations=%d distinct=%d scanned=%d lookups=%d joined=%d grouped=%d boxes=%d cse-recomputes=%d",
+	fmt.Fprintf(&b, "invocations=%d distinct=%d scanned=%d lookups=%d joined=%d grouped=%d boxes=%d hash-builds=%d cse-recomputes=%d",
 		s.SubqueryInvocations, s.DistinctInvocations, s.RowsScanned, s.IndexLookups,
-		s.RowsJoined, s.RowsGrouped, s.BoxEvals, s.CSERecomputes)
+		s.RowsJoined, s.RowsGrouped, s.BoxEvals, s.HashBuilds, s.CSERecomputes)
 	if s.MemoHits > 0 {
 		fmt.Fprintf(&b, " memo-hits=%d", s.MemoHits)
 	}

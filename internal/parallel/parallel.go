@@ -31,6 +31,7 @@ import (
 
 	"decorr/internal/sqltypes"
 	"decorr/internal/storage"
+	"decorr/internal/trace"
 )
 
 // Placement selects how tables are partitioned across nodes.
@@ -174,6 +175,18 @@ func (s *sim) send(from, to int, rows int64) {
 	s.phase[to] += s.cfg.MsgCost
 }
 
+// publish folds one simulation's metrics into the process-wide registry.
+func (s *sim) publish(strategy string) {
+	trace.Metrics.Counter("parallel.runs").Inc()
+	trace.Metrics.Counter("parallel.runs." + strategy).Inc()
+	trace.Metrics.Counter("parallel.messages").Add(s.m.Messages)
+	trace.Metrics.Counter("parallel.rows_shipped").Add(s.m.RowsShipped)
+	trace.Metrics.Counter("parallel.fragments").Add(s.m.Fragments)
+	trace.Metrics.Counter("parallel.work").Add(s.m.Work)
+	trace.Metrics.Gauge("parallel.last_makespan").Set(s.m.Makespan)
+	trace.Metrics.Gauge("parallel.nodes").Set(int64(s.cfg.Nodes))
+}
+
 // RunNestedIteration simulates the §6.1 execution of the example query.
 func RunNestedIteration(db *storage.DB, cfg Config) (*Result, error) {
 	s, err := newSim(db, cfg)
@@ -207,6 +220,7 @@ func RunNestedIteration(db *storage.DB, cfg Config) (*Result, error) {
 		}
 		s.endPhase()
 		sort.Strings(answers)
+		s.publish("ni")
 		return &Result{Rows: answers, Metrics: s.m}, nil
 	}
 
@@ -244,6 +258,7 @@ func RunNestedIteration(db *storage.DB, cfg Config) (*Result, error) {
 	}
 	s.endPhase()
 	sort.Strings(answers)
+	s.publish("ni")
 	return &Result{Rows: answers, Metrics: s.m}, nil
 }
 
@@ -333,5 +348,6 @@ func RunMagic(db *storage.DB, cfg Config) (*Result, error) {
 	}
 	s.endPhase()
 	sort.Strings(answers)
+	s.publish("magic")
 	return &Result{Rows: answers, Metrics: s.m}, nil
 }

@@ -1,0 +1,76 @@
+package rewrite_test
+
+import (
+	"strings"
+	"testing"
+
+	"decorr/internal/qgm"
+	"decorr/internal/rewrite"
+	"decorr/internal/trace"
+)
+
+// alwaysChanges claims progress on every application, so the engine can
+// never reach a fixpoint.
+type alwaysChanges struct{}
+
+func (alwaysChanges) Name() string                     { return "always-changes" }
+func (alwaysChanges) Apply(g *qgm.Graph) (bool, error) { return true, nil }
+
+func TestRunErrorsWhenFixpointNotReached(t *testing.T) {
+	g := bind(t, "select name from dept")
+	ring := trace.NewRingSink(0)
+	e := &rewrite.Engine{
+		Rules:     []rewrite.Rule{alwaysChanges{}},
+		MaxPasses: 3,
+		Tracer:    trace.New(ring),
+	}
+	err := e.Run(g)
+	if err == nil {
+		t.Fatal("Run returned nil after exhausting MaxPasses without a fixpoint")
+	}
+	if !strings.Contains(err.Error(), "no fixpoint after 3 passes") {
+		t.Errorf("error %q does not name the exhausted pass budget", err)
+	}
+	// The event must also land in the trace.
+	var found bool
+	for _, ev := range ring.Events() {
+		if ev.Name == "fixpoint-exhausted" {
+			found = true
+			if len(ev.Args) == 0 || ev.Args[0].Key != "max_passes" || ev.Args[0].Value != int64(3) {
+				t.Errorf("fixpoint-exhausted args = %v", ev.Args)
+			}
+		}
+	}
+	if !found {
+		t.Error("fixpoint-exhausted event missing from trace")
+	}
+}
+
+func TestRunConvergesAndTracesRules(t *testing.T) {
+	g := bind(t, "select name from (select name from dept) d")
+	ring := trace.NewRingSink(0)
+	if err := rewrite.NewCleanup().WithTracer(trace.New(ring)).Run(g); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for _, ev := range ring.Events() {
+		if !strings.HasPrefix(ev.Name, "rule:") {
+			continue
+		}
+		args := map[string]any{}
+		for _, a := range ev.Args {
+			args[a.Key] = a.Value
+		}
+		for _, key := range []string{"rule", "pass", "fired", "box_delta"} {
+			if _, ok := args[key]; !ok {
+				t.Fatalf("rule span %s missing %q: %v", ev.Name, key, ev.Args)
+			}
+		}
+		if args["fired"] == true {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Error("no rule fired on a mergeable derived table")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"decorr/internal/qgm"
+	"decorr/internal/trace"
 )
 
 // Rule is one rewrite rule.
@@ -28,6 +29,9 @@ type Engine struct {
 	// MaxPasses bounds fixpoint iteration (safety valve; the rules are
 	// strictly reducing so this should never bind).
 	MaxPasses int
+	// Tracer, when non-nil, receives one span per rule application
+	// (rule name, pass number, whether it fired, box-count delta).
+	Tracer *trace.Tracer
 }
 
 // NewCleanup returns the standard cleanup engine.
@@ -42,7 +46,15 @@ func NewCleanup() *Engine {
 	}
 }
 
-// Run applies all rules to a fixpoint.
+// WithTracer attaches a tracer and returns e (chainable after NewCleanup).
+func (e *Engine) WithTracer(t *trace.Tracer) *Engine {
+	e.Tracer = t
+	return e
+}
+
+// Run applies all rules to a fixpoint. It fails when MaxPasses is
+// exhausted without reaching one: a rule set that never converges is a
+// bug, and returning the final graph silently would hide it.
 func (e *Engine) Run(g *qgm.Graph) error {
 	max := e.MaxPasses
 	if max <= 0 {
@@ -51,22 +63,45 @@ func (e *Engine) Run(g *qgm.Graph) error {
 	for pass := 0; pass < max; pass++ {
 		changed := false
 		for _, r := range e.Rules {
-			c, err := r.Apply(g)
+			c, err := e.applyRule(g, r, pass)
 			if err != nil {
-				return fmt.Errorf("rewrite: rule %s: %w", r.Name(), err)
+				return err
 			}
-			if c {
-				if err := qgm.Validate(g); err != nil {
-					return fmt.Errorf("rewrite: rule %s left inconsistent graph: %w", r.Name(), err)
-				}
-				changed = true
-			}
+			changed = changed || c
 		}
 		if !changed {
 			return nil
 		}
 	}
-	return nil
+	e.Tracer.Instant("fixpoint-exhausted", "rewrite", trace.Int("max_passes", int64(max)))
+	return fmt.Errorf("rewrite: no fixpoint after %d passes (a rule keeps reporting changes; rule set does not converge)", max)
+}
+
+// applyRule runs one rule over the graph, emitting its trace span.
+func (e *Engine) applyRule(g *qgm.Graph, r Rule, pass int) (bool, error) {
+	var sp *trace.Span
+	var boxesBefore int
+	if e.Tracer != nil {
+		boxesBefore = len(qgm.Boxes(g.Root))
+		sp = e.Tracer.Begin("rule:"+r.Name(), "rewrite",
+			trace.Str("rule", r.Name()), trace.Int("pass", int64(pass)))
+	}
+	c, err := r.Apply(g)
+	if err != nil {
+		sp.End(trace.Str("error", err.Error()))
+		return false, fmt.Errorf("rewrite: rule %s: %w", r.Name(), err)
+	}
+	if c {
+		if err := qgm.Validate(g); err != nil {
+			sp.End(trace.Str("error", err.Error()))
+			return false, fmt.Errorf("rewrite: rule %s left inconsistent graph: %w", r.Name(), err)
+		}
+	}
+	if sp != nil {
+		sp.End(trace.Bool("fired", c),
+			trace.Int("box_delta", int64(len(qgm.Boxes(g.Root))-boxesBefore)))
+	}
+	return c, nil
 }
 
 // MergeSPJ merges a non-shared, non-distinct SELECT child into its SELECT

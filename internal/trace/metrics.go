@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-wide table of named counters and gauges. Counters
+// are monotonic (Add panics on negative deltas); gauges are set-to-value.
+// Instruments are created on first use and live forever, so hot paths can
+// cache the *Counter and pay one atomic add per update.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+}
+
+// Metrics is the default process-wide registry that engine, exec, and
+// parallel publish into.
+var Metrics = NewRegistry()
+
+// Counter is a monotonically increasing instrument.
+type Counter struct{ v atomic.Int64 }
+
+// Add increases the counter by delta (panics if delta < 0: counters are
+// monotonic; use a Gauge for values that move both ways).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("trace: negative counter delta %d", delta))
+	}
+	c.v.Add(delta)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value instrument.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Snapshot is a point-in-time copy of every instrument's value.
+type Snapshot map[string]int64
+
+// Snapshot captures all instruments. Counter and gauge names share one
+// namespace in the snapshot; gauges carry a "gauge:" prefix so a diff
+// never subtracts a last-value instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := make(Snapshot, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		s[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s["gauge:"+name] = g.Value()
+	}
+	return s
+}
+
+// Diff returns the change from earlier to s: counter entries subtract
+// (new instruments count from zero), gauge entries keep their latest
+// value. Entries whose delta is zero are omitted.
+func (s Snapshot) Diff(earlier Snapshot) Snapshot {
+	out := Snapshot{}
+	for name, v := range s {
+		if strings.HasPrefix(name, "gauge:") {
+			if v != earlier[name] {
+				out[name] = v
+			}
+			continue
+		}
+		if d := v - earlier[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// String renders the snapshot as sorted "name=value" lines.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s=%d\n", name, s[name])
+	}
+	return sb.String()
+}

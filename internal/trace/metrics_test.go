@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("exec.rows_scanned")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("exec.rows_scanned") != c {
+		t.Error("Counter is not idempotent per name")
+	}
+	g := r.Gauge("parallel.nodes")
+	g.Set(8)
+	g.Set(4)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestCounterRejectsNegativeDelta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c").Add(-1)
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(10)
+	r.Gauge("g").Set(5)
+	before := r.Snapshot()
+	r.Counter("a").Add(7)
+	r.Counter("b").Add(3) // created after the first snapshot
+	r.Gauge("g").Set(9)
+	diff := r.Snapshot().Diff(before)
+	if diff["a"] != 7 || diff["b"] != 3 || diff["gauge:g"] != 9 {
+		t.Errorf("diff = %v", diff)
+	}
+	// An unchanged registry diffs to empty.
+	if d := r.Snapshot().Diff(r.Snapshot()); len(d) != 0 {
+		t.Errorf("no-op diff = %v", d)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	got := r.Snapshot().String()
+	if got != "a=1\nb=2\n" {
+		t.Errorf("String = %q", got)
+	}
+	if strings.Contains(got, "gauge:") {
+		t.Errorf("unexpected gauge entries: %q", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("last").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("shared").Value(); v != 8000 {
+		t.Errorf("shared = %d, want 8000", v)
+	}
+}

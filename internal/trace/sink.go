@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sink receives finished events. Spans arrive when they End, so arrival
+// order is completion order; sort by Seq to recover begin order. Emit is
+// called under the tracer's lock — implementations need no extra locking
+// when used through a Tracer.
+type Sink interface {
+	Emit(ev Event)
+	// Flush finalizes any buffered output (a no-op for in-memory sinks).
+	Flush() error
+}
+
+// RingSink keeps the most recent events in memory — the REPL's \trace
+// view and the golden tests use it.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	wrap  bool
+	limit int
+}
+
+// NewRingSink creates a ring holding at most limit events (a non-positive
+// limit defaults to 4096).
+func NewRingSink(limit int) *RingSink {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &RingSink{buf: make([]Event, 0, min(limit, 64)), limit: limit}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < r.limit {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % r.limit
+	r.wrap = true
+}
+
+// Flush implements Sink.
+func (r *RingSink) Flush() error { return nil }
+
+// Events returns the retained events sorted by Seq (begin order).
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, 0, len(r.buf))
+	if r.wrap {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset drops all retained events.
+func (r *RingSink) Reset() {
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.wrap = false
+	r.mu.Unlock()
+}
+
+// JSONLSink streams one JSON object per event to w as events finish.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink creates a JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+type jsonlEvent struct {
+	Seq     int64          `json:"seq"`
+	Name    string         `json:"name"`
+	Cat     string         `json:"cat"`
+	Phase   string         `json:"ph"`
+	StartUs float64        `json:"ts"`
+	DurUs   float64        `json:"dur,omitempty"`
+	Depth   int            `json:"depth"`
+	Args    map[string]any `json:"args,omitempty"`
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	_ = s.enc.Encode(jsonlEvent{
+		Seq:     ev.Seq,
+		Name:    ev.Name,
+		Cat:     ev.Cat,
+		Phase:   string(rune(ev.Phase)),
+		StartUs: micros(ev.Start),
+		DurUs:   micros(ev.Dur),
+		Depth:   ev.Depth,
+		Args:    argsMap(ev.Args),
+	})
+}
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error { return nil }
+
+// ChromeSink accumulates events and writes a Chrome trace-event JSON
+// document on Flush; open the file in chrome://tracing or Perfetto.
+type ChromeSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	evs []Event
+}
+
+// NewChromeSink creates a Chrome trace-event sink over w.
+func NewChromeSink(w io.Writer) *ChromeSink { return &ChromeSink{w: w} }
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, ev)
+	s.mu.Unlock()
+}
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Flush implements Sink, writing the whole trace document.
+func (s *ChromeSink) Flush() error {
+	s.mu.Lock()
+	evs := append([]Event(nil), s.evs...)
+	s.mu.Unlock()
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(evs)), DisplayTimeUnit: "ms"}
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Name:  ev.Name,
+			Cat:   ev.Cat,
+			Phase: string(rune(ev.Phase)),
+			TS:    micros(ev.Start),
+			PID:   1,
+			TID:   1,
+			Args:  argsMap(ev.Args),
+		}
+		if ev.Phase == PhaseSpan {
+			ce.Dur = micros(ev.Dur)
+		} else {
+			ce.Scope = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(s.w)
+	return enc.Encode(doc)
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func argsMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// FormatEvents renders events as a depth-indented tree in begin order.
+// With timing=false the output is deterministic for a deterministic
+// pipeline (names, categories, nesting, and annotations only), which is
+// what the golden-file tests pin down.
+func FormatEvents(evs []Event, timing bool) string {
+	sorted := append([]Event(nil), evs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+	var sb strings.Builder
+	for _, ev := range sorted {
+		sb.WriteString(strings.Repeat("  ", ev.Depth))
+		if ev.Phase == PhaseInstant {
+			sb.WriteString("* ")
+		}
+		fmt.Fprintf(&sb, "[%s] %s", ev.Cat, ev.Name)
+		for _, a := range ev.Args {
+			fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value)
+		}
+		if timing && ev.Phase == PhaseSpan {
+			fmt.Fprintf(&sb, " (%s)", ev.Dur.Round(time.Microsecond))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

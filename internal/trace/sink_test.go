@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func emitN(s Sink, n int) {
+	tr := New(s)
+	for i := 0; i < n; i++ {
+		tr.Begin("ev", "test", Int("i", int64(i))).End()
+	}
+}
+
+func TestRingSinkWraps(t *testing.T) {
+	ring := NewRingSink(4)
+	emitN(ring, 10)
+	evs := ring.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	// The four newest survive, in begin order.
+	for i, ev := range evs {
+		if want := int64(6 + i + 1); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	ring.Reset()
+	if len(ring.Events()) != 0 {
+		t.Error("Reset left events behind")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var sb strings.Builder
+	emitN(NewJSONLSink(&sb), 3)
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	lines := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		if obj["name"] != "ev" || obj["ph"] != "X" {
+			t.Errorf("line %d = %v", lines, obj)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("got %d JSONL lines, want 3", lines)
+	}
+}
+
+func TestChromeSinkProducesValidTrace(t *testing.T) {
+	var sb strings.Builder
+	sink := NewChromeSink(&sb)
+	tr := New(sink)
+	sp := tr.Begin("parse", "prepare")
+	tr.Instant("fired", "rewrite", Str("rule", "merge-spj"))
+	sp.End()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d traceEvents, want 2", len(doc.TraceEvents))
+	}
+	// Seq order: the span began before the instant, even though it was
+	// emitted after.
+	if doc.TraceEvents[0].Name != "parse" || doc.TraceEvents[0].Phase != "X" {
+		t.Errorf("first event = %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Phase != "i" || doc.TraceEvents[1].Args["rule"] != "merge-spj" {
+		t.Errorf("second event = %+v", doc.TraceEvents[1])
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.PID != 1 {
+			t.Errorf("event %q pid = %d, want 1", ev.Name, ev.PID)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace is the engine's observability substrate: a lightweight
+// span/event tracer threaded through the whole pipeline (parse → semant →
+// rewrite rules → decorrelation → planning → per-box execution) plus a
+// process-wide metrics registry.
+//
+// The tracer is designed so that a disabled tracer costs nothing on the
+// execution hot path: every method is safe on a nil *Tracer (and nil
+// *Span), so call sites guard with a single pointer comparison and perform
+// no allocations when tracing is off.
+//
+// Events flow into a pluggable Sink; three implementations ship with the
+// package: an in-memory ring buffer (REPL \trace, tests), a JSONL stream,
+// and Chrome trace-event format, which chrome://tracing and Perfetto load
+// directly.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on an event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// Phase distinguishes event kinds, mirroring the Chrome trace-event "ph"
+// field.
+type Phase byte
+
+const (
+	// PhaseSpan is a complete span with a start offset and duration.
+	PhaseSpan Phase = 'X'
+	// PhaseInstant is a point-in-time event.
+	PhaseInstant Phase = 'i'
+)
+
+// Event is one finished trace record.
+type Event struct {
+	// Seq orders events by when they *began* (deterministic across runs
+	// for a deterministic pipeline, unlike wall-clock offsets).
+	Seq int64
+	// Name labels the event; Cat groups it by pipeline stage ("prepare",
+	// "rewrite", "decorrelate", "exec", ...).
+	Name string
+	Cat  string
+	// Phase is PhaseSpan or PhaseInstant.
+	Phase Phase
+	// Start is the offset from the tracer's epoch; Dur the span length
+	// (zero for instants).
+	Start time.Duration
+	Dur   time.Duration
+	// Depth is the span-nesting depth at which the event began.
+	Depth int
+	// Args are the event's annotations, in the order they were added.
+	Args []Attr
+}
+
+// Tracer collects spans and events into a Sink. The zero of *Tracer (nil)
+// is a valid, disabled tracer: all methods no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  Sink
+	epoch time.Time
+	seq   int64
+	depth int
+}
+
+// New creates a tracer emitting into sink.
+func New(sink Sink) *Tracer {
+	return &Tracer{sink: sink, epoch: time.Now()}
+}
+
+// Enabled reports whether the tracer collects anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Begin opens a span. It returns nil (still safe to End) on a nil tracer.
+func (t *Tracer) Begin(name, cat string, args ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.seq++
+	sp := &Span{
+		t: t,
+		ev: Event{
+			Seq:   t.seq,
+			Name:  name,
+			Cat:   cat,
+			Phase: PhaseSpan,
+			Start: now.Sub(t.epoch),
+			Depth: t.depth,
+			Args:  args,
+		},
+		start: now,
+	}
+	t.depth++
+	t.mu.Unlock()
+	return sp
+}
+
+// Instant records a point event at the current nesting depth.
+func (t *Tracer) Instant(name, cat string, args ...Attr) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.seq++
+	ev := Event{
+		Seq:   t.seq,
+		Name:  name,
+		Cat:   cat,
+		Phase: PhaseInstant,
+		Start: now.Sub(t.epoch),
+		Depth: t.depth,
+		Args:  args,
+	}
+	if t.sink != nil {
+		t.sink.Emit(ev)
+	}
+	t.mu.Unlock()
+}
+
+// Span is an open interval; close it with End. A nil *Span (from a nil
+// tracer) ignores all calls.
+type Span struct {
+	t     *Tracer
+	ev    Event
+	start time.Time
+	done  bool
+}
+
+// Attrs appends annotations to the span before it ends.
+func (s *Span) Attrs(args ...Attr) {
+	if s == nil {
+		return
+	}
+	s.ev.Args = append(s.ev.Args, args...)
+}
+
+// End closes the span, appending any final annotations, and emits it.
+// Calling End twice emits once.
+func (s *Span) End(args ...Attr) {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.ev.Dur = time.Since(s.start)
+	s.ev.Args = append(s.ev.Args, args...)
+	t := s.t
+	t.mu.Lock()
+	t.depth--
+	if t.depth < 0 {
+		t.depth = 0
+	}
+	if t.sink != nil {
+		t.sink.Emit(s.ev)
+	}
+	t.mu.Unlock()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanNestingAndOrder(t *testing.T) {
+	ring := NewRingSink(0)
+	tr := New(ring)
+	outer := tr.Begin("outer", "test")
+	inner := tr.Begin("inner", "test", Str("k", "v"))
+	tr.Instant("mark", "test")
+	inner.End(Int("rows", 3))
+	outer.End()
+
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Seq order is begin order: outer, inner, mark.
+	if evs[0].Name != "outer" || evs[1].Name != "inner" || evs[2].Name != "mark" {
+		t.Fatalf("wrong order: %q %q %q", evs[0].Name, evs[1].Name, evs[2].Name)
+	}
+	if evs[0].Depth != 0 || evs[1].Depth != 1 || evs[2].Depth != 2 {
+		t.Errorf("depths = %d %d %d, want 0 1 2", evs[0].Depth, evs[1].Depth, evs[2].Depth)
+	}
+	if evs[2].Phase != PhaseInstant {
+		t.Errorf("mark phase = %c, want i", evs[2].Phase)
+	}
+	var keys []string
+	for _, a := range evs[1].Args {
+		keys = append(keys, a.Key)
+	}
+	if strings.Join(keys, ",") != "k,rows" {
+		t.Errorf("inner args = %v", keys)
+	}
+}
+
+func TestDoubleEndEmitsOnce(t *testing.T) {
+	ring := NewRingSink(0)
+	tr := New(ring)
+	sp := tr.Begin("once", "test")
+	sp.End()
+	sp.End()
+	if n := len(ring.Events()); n != 1 {
+		t.Fatalf("double End emitted %d events, want 1", n)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Begin("x", "y")
+	sp.Attrs(Str("a", "b"))
+	sp.End()
+	tr.Instant("x", "y")
+}
+
+// The disabled tracer must cost nothing on the execution hot path: a
+// plain nil check plus no allocations.
+func TestNilTracerNoAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr != nil {
+			sp := tr.Begin("box", "exec")
+			sp.End()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestFormatEvents(t *testing.T) {
+	ring := NewRingSink(0)
+	tr := New(ring)
+	outer := tr.Begin("prepare", "engine", Str("strategy", "Mag"))
+	inner := tr.Begin("parse", "prepare")
+	inner.End()
+	outer.End()
+	got := FormatEvents(ring.Events(), false)
+	want := "[engine] prepare strategy=Mag\n  [prepare] parse\n"
+	if got != want {
+		t.Errorf("FormatEvents = %q, want %q", got, want)
+	}
+	timed := FormatEvents(ring.Events(), true)
+	if !strings.Contains(timed, "(") {
+		t.Errorf("timed rendering lacks durations: %q", timed)
+	}
+}
