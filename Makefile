@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench fmt
+.PHONY: check vet build test bench fmt fuzz-smoke
 
 # check is the CI gate: static analysis, a full build, and the test suite
 # under the race detector.
@@ -18,6 +18,13 @@ test:
 # bench regenerates every paper figure as a Go benchmark (shortened).
 bench:
 	$(GO) test -short -bench=. -benchmem ./...
+
+# fuzz-smoke runs the differential correctness harness deterministically:
+# a fixed seed, 200 generated queries, every strategy and knob combination
+# cross-checked against nested iteration. Exit 1 on any unallowlisted
+# divergence (the output contains the shrunk reproducer to pin).
+fuzz-smoke:
+	$(GO) run ./cmd/decorr fuzz -seed 42 -n 200
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"decorr"
+	"decorr/internal/qgm"
+	"decorr/internal/rewrite"
+)
+
+func TestRunFuzzClean(t *testing.T) {
+	var out strings.Builder
+	code := runFuzz([]string{"-seed", "42", "-n", "15"}, &out)
+	if code != 0 {
+		t.Fatalf("fuzz smoke returned %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("missing PASS line:\n%s", out.String())
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if got := exitCode(errors.New("parse error")); got != 1 {
+		t.Errorf("plain error: exit code %d, want 1", got)
+	}
+	wrapped := fmt.Errorf("rewrite: no fixpoint after 64 passes: %w", rewrite.ErrNoFixpoint)
+	if got := exitCode(wrapped); got != 2 {
+		t.Errorf("fixpoint error: exit code %d, want 2", got)
+	}
+}
+
+// churn flips a box label back and forth, so it always reports a change
+// and the rule set can never converge.
+type churn struct{}
+
+func (churn) Name() string { return "churn" }
+func (churn) Apply(g *qgm.Graph) (bool, error) {
+	if g.Root.Label == "A" {
+		g.Root.Label = "B"
+	} else {
+		g.Root.Label = "A"
+	}
+	return true, nil
+}
+
+func nonConvergingEngine() *decorr.Engine {
+	eng := decorr.NewEngine(decorr.EmpDept())
+	eng.CleanupFactory = func() *rewrite.Engine {
+		e := rewrite.NewCleanup()
+		e.Rules = append(e.Rules, churn{})
+		return e
+	}
+	return eng
+}
+
+// TestExecStatementSurfacesNoFixpoint checks the REPL path: a rule set that
+// never converges must be returned to the caller (for the exit code), not
+// swallowed after printing.
+func TestExecStatementSurfacesNoFixpoint(t *testing.T) {
+	eng := nonConvergingEngine()
+	err := execStatement(eng, "select name from dept", decorr.Magic, false, false, false)
+	if !errors.Is(err, rewrite.ErrNoFixpoint) {
+		t.Fatalf("execStatement returned %v, want ErrNoFixpoint", err)
+	}
+}
+
+// TestRunScriptAbortsOnNoFixpoint checks that script mode stops at the
+// engine bug and propagates it, instead of continuing with later
+// statements.
+func TestRunScriptAbortsOnNoFixpoint(t *testing.T) {
+	eng := nonConvergingEngine()
+	script := "select name from dept; select budget from dept;"
+	err := runScript(eng, strings.NewReader(script), decorr.Magic)
+	if !errors.Is(err, rewrite.ErrNoFixpoint) {
+		t.Fatalf("runScript returned %v, want ErrNoFixpoint", err)
+	}
+}
+
+// TestRunScriptContinuesOnOrdinaryErrors keeps the long-standing behaviour
+// for plain statement errors: print, continue, return nil.
+func TestRunScriptContinuesOnOrdinaryErrors(t *testing.T) {
+	eng := decorr.NewEngine(decorr.EmpDept())
+	script := "select nonsense from nowhere; select name from dept;"
+	if err := runScript(eng, strings.NewReader(script), decorr.NI); err != nil {
+		t.Fatalf("runScript returned %v, want nil", err)
+	}
+}
+
+func TestRunFuzzUsageError(t *testing.T) {
+	// Unknown flags exit via flag.ExitOnError in real runs; here we only
+	// check the happy parse of every supported flag.
+	var out strings.Builder
+	code := runFuzz([]string{"-seed", "7", "-n", "3", "-size", "4", "-v"}, &out)
+	if code != 0 {
+		t.Fatalf("fuzz with all flags returned %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "case 0") {
+		t.Errorf("verbose run did not log cases:\n%s", out.String())
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	decorr [flags] [SQL]
+//	decorr fuzz [-seed N] [-n QUERIES]
 //
 // Examples:
 //
@@ -11,9 +12,14 @@
 //	decorr -dataset tpcd -sf 0.1 -query q1 -compare   # one row per strategy
 //	decorr -query q1 -strategy magic -trace out.json  # chrome://tracing trace
 //	decorr -dataset empdept -metrics "select count(*) from emp"
+//	decorr fuzz -seed 42 -n 200                       # differential harness
+//
+// Exit codes: 0 success, 1 error, 2 a rewrite rule set failed to converge
+// (an engine bug — the statement is a reproducer worth reporting).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +29,7 @@ import (
 	"decorr"
 	"decorr/internal/engine"
 	"decorr/internal/qgm"
+	"decorr/internal/rewrite"
 	"decorr/internal/trace"
 )
 
@@ -41,6 +48,7 @@ var strategies = map[string]decorr.Strategy{
 }
 
 func main() {
+	fuzzMain()
 	dataset := flag.String("dataset", "empdept", "dataset: empdept or tpcd")
 	sf := flag.Float64("sf", 0.1, "TPC-D scale factor (dataset=tpcd)")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -74,7 +82,7 @@ func main() {
 			}
 			defer f.Close()
 			if err := runScript(eng, f, s0); err != nil {
-				fatalf("%v", err)
+				fatalErr(err)
 			}
 			finishTrace()
 			reportMetrics(*metrics, metricsBefore)
@@ -110,18 +118,26 @@ func main() {
 	finishTrace := attachTracer(eng, *traceFile)
 
 	if *compare {
+		noFixpoint := false
 		for _, s := range engine.Strategies {
-			runOne(eng, sql, s, false, false, true)
+			if err := runOne(eng, sql, s, false, false, true); errors.Is(err, rewrite.ErrNoFixpoint) {
+				noFixpoint = true
+			}
 		}
 		finishTrace()
 		reportMetrics(*metrics, metricsBefore)
+		if noFixpoint {
+			// A strategy row already shows the error; the exit code makes
+			// the engine bug visible to scripts too.
+			os.Exit(2)
+		}
 		return
 	}
 	s := s0
 	if *stages {
 		p, err := eng.PrepareTraced(sql, s)
 		if err != nil {
-			fatalf("%v", err)
+			fatalErr(err)
 		}
 		for i, st := range p.Trace.Steps {
 			fmt.Printf("--- stage %d: %s ---\n%s\n", i, st.Title, st.Plan)
@@ -131,13 +147,13 @@ func main() {
 	case *dot:
 		p, err := eng.Prepare(sql, s)
 		if err != nil {
-			fatalf("%v", err)
+			fatalErr(err)
 		}
 		fmt.Print(qgm.Dot(p.Graph))
 	case *analyze:
 		p, err := eng.Prepare(sql, s)
 		if err != nil {
-			fatalf("%v", err)
+			fatalErr(err)
 		}
 		out, err := p.ExplainAnalyze()
 		if err != nil {
@@ -182,25 +198,25 @@ func reportMetrics(enabled bool, before trace.Snapshot) {
 	fmt.Print("--- metrics ---\n" + trace.Metrics.Snapshot().Diff(before).String())
 }
 
-func runOne(eng *decorr.Engine, sql string, s decorr.Strategy, explain, stats, compact bool) {
+func runOne(eng *decorr.Engine, sql string, s decorr.Strategy, explain, stats, compact bool) error {
 	p, err := eng.Prepare(sql, s)
 	if err != nil {
 		if compact {
 			fmt.Printf("%-8s %v\n", s, err)
-			return
+			return err
 		}
-		fatalf("%s: %v", s, err)
+		fatalf2(exitCode(err), "%s: %v", s, err)
 	}
 	if explain {
 		fmt.Println(p.Explain())
 	}
 	rows, st, err := p.Run()
 	if err != nil {
-		fatalf("%s: %v", s, err)
+		fatalf2(exitCode(err), "%s: %v", s, err)
 	}
 	if compact {
 		fmt.Printf("%-8s rows=%-6d %s\n", s, len(rows), st.String())
-		return
+		return nil
 	}
 	fmt.Println(strings.Join(p.Columns, " | "))
 	for _, r := range rows {
@@ -214,6 +230,7 @@ func runOne(eng *decorr.Engine, sql string, s decorr.Strategy, explain, stats, c
 	if stats {
 		fmt.Println(st.String())
 	}
+	return nil
 }
 
 func buildDB(dataset string, sf float64, seed int64) *decorr.DB {
@@ -228,6 +245,25 @@ func buildDB(dataset string, sf float64, seed int64) *decorr.DB {
 }
 
 func fatalf(format string, args ...any) {
+	fatalf2(1, format, args...)
+}
+
+func fatalf2(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "decorr: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
+}
+
+// fatalErr exits with the code classifying err.
+func fatalErr(err error) {
+	fatalf2(exitCode(err), "%v", err)
+}
+
+// exitCode maps an engine error to the process exit code: a rewrite rule
+// set that failed to reach a fixpoint is an engine bug, distinguished as 2
+// so scripts (and CI) can tell it from an ordinary bad statement.
+func exitCode(err error) int {
+	if errors.Is(err, rewrite.ErrNoFixpoint) {
+		return 2
+	}
+	return 1
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"decorr"
+	"decorr/internal/rewrite"
 	"decorr/internal/trace"
 )
 
@@ -109,7 +111,10 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 	}
 }
 
-// runScript executes a file of semicolon-separated statements.
+// runScript executes a file of semicolon-separated statements. Statement
+// errors print and continue, except a rewrite-convergence failure: that is
+// an engine bug, so the script aborts and the error is returned for the
+// exit code.
 func runScript(eng *decorr.Engine, r io.Reader, s decorr.Strategy) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -120,31 +125,44 @@ func runScript(eng *decorr.Engine, r io.Reader, s decorr.Strategy) error {
 		stmt, rest, ok := splitStatement(src)
 		if !ok {
 			if strings.TrimSpace(src) != "" {
-				execStatement(eng, src, s, false, false, false)
+				return execStatement(eng, src, s, false, false, false)
 			}
 			return nil
 		}
 		if strings.TrimSpace(stmt) != "" {
-			execStatement(eng, stmt, s, false, false, false)
+			if err := execStatement(eng, stmt, s, false, false, false); errors.Is(err, rewrite.ErrNoFixpoint) {
+				return err
+			}
 		}
 		src = rest
 	}
 }
 
-func execStatement(eng *decorr.Engine, stmt string, s decorr.Strategy, explain, analyze, timing bool) {
+// reportError prints a statement failure. A fixpoint exhaustion gets a
+// distinct message: no plan exists at that point (executing or printing a
+// half-rewritten graph would be misleading), and the statement itself is a
+// reproducer worth keeping.
+func reportError(err error) error {
+	if errors.Is(err, rewrite.ErrNoFixpoint) {
+		fmt.Printf("engine bug: %v\nno plan was produced; please keep the statement as a reproducer\n", err)
+		return err
+	}
+	fmt.Printf("error: %v\n", err)
+	return err
+}
+
+func execStatement(eng *decorr.Engine, stmt string, s decorr.Strategy, explain, analyze, timing bool) error {
 	lower := strings.ToLower(strings.TrimSpace(stmt))
 	if strings.HasPrefix(lower, "create view") {
 		if err := eng.CreateView(stmt); err != nil {
-			fmt.Printf("error: %v\n", err)
-			return
+			return reportError(err)
 		}
 		fmt.Println("view created")
-		return
+		return nil
 	}
 	p, err := eng.Prepare(stmt, s)
 	if err != nil {
-		fmt.Printf("error: %v\n", err)
-		return
+		return reportError(err)
 	}
 	if explain {
 		fmt.Print(p.Explain())
@@ -152,16 +170,14 @@ func execStatement(eng *decorr.Engine, stmt string, s decorr.Strategy, explain, 
 	if analyze {
 		out, err := p.ExplainAnalyze()
 		if err != nil {
-			fmt.Printf("error: %v\n", err)
-			return
+			return reportError(err)
 		}
 		fmt.Print(out)
 	}
 	start := time.Now()
 	rows, stats, err := p.Run()
 	if err != nil {
-		fmt.Printf("error: %v\n", err)
-		return
+		return reportError(err)
 	}
 	fmt.Println(strings.Join(p.Columns, " | "))
 	for _, r := range rows {
@@ -175,6 +191,7 @@ func execStatement(eng *decorr.Engine, stmt string, s decorr.Strategy, explain, 
 	if timing {
 		fmt.Printf("time: %s  %s\n", time.Since(start).Round(10*time.Microsecond), stats)
 	}
+	return nil
 }
 
 // splitStatement returns the first semicolon-terminated statement and the

@@ -381,8 +381,10 @@ func (d *decorrelator) feed(cur *qgm.Box, q *qgm.Quantifier) error {
 
 	// 5. OptMag: when the correlation attributes form a key of SUPP and no
 	// compensation is needed, use SUPP itself as the magic table and drop
-	// the duplicate reference entirely.
-	if d.opts.EliminateSupplementary && !comp.need && qgm.KeyWithin(supp, corrSet) {
+	// the duplicate reference entirely. Only a row-contributing quantifier
+	// can take over SUPP's role: an existential one feeds no rows to the
+	// outer block, which would be left without a range.
+	if d.opts.EliminateSupplementary && !comp.need && !q.Kind.IsSubquery() && qgm.KeyWithin(supp, corrSet) {
 		return d.optFeed(cur, q, qsupp, supp, corrCols)
 	}
 
@@ -413,7 +415,11 @@ func (d *decorrelator) feed(cur *qgm.Box, q *qgm.Quantifier) error {
 		qbm := d.g.AddQuant(bug, qgm.QForEach, magic)
 		qbr := d.g.AddQuant(bug, qgm.QForEach, child)
 		for j := range corrCols {
-			bug.Preds = append(bug.Preds, qgm.NewEq(qgm.Ref(qbm, j), qgm.Ref(qbr, magicPos[j])))
+			// Grouping equality, not comparison equality: NULL is a distinct
+			// binding of MAGIC, and when the correlation reaches the child
+			// only through a nested subquery the absorbed view carries a
+			// NULL-keyed group that must re-join it.
+			bug.Preds = append(bug.Preds, qgm.NewNullEq(qgm.Ref(qbm, j), qgm.Ref(qbr, magicPos[j])))
 		}
 		for i := 0; i < w; i++ {
 			var e qgm.Expr = qgm.Ref(qbr, i)
@@ -438,7 +444,13 @@ func (d *decorrelator) feed(cur *qgm.Box, q *qgm.Quantifier) error {
 		if comp.need {
 			tiePos = w + j
 		}
-		cur.Preds = append(cur.Preds, qgm.NewEq(qgm.Ref(qsupp, c), qgm.Ref(q, tiePos)))
+		// The tie is grouping equality too: the decorrelated view partitions
+		// its rows by binding, NULL bindings included (nested iteration ran
+		// the subquery for them like any other, and a correlation used only
+		// inside a nested subquery does not filter them out). Comparison
+		// equality would be UNKNOWN on NULL = NULL and silently drop those
+		// outer rows — the NULL cousin of the COUNT bug.
+		cur.Preds = append(cur.Preds, qgm.NewNullEq(qgm.Ref(qsupp, c), qgm.Ref(q, tiePos)))
 	}
 	if q.Kind == qgm.QScalar {
 		q.Kind = qgm.QForEach

@@ -1,0 +1,160 @@
+package differ
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"decorr/internal/engine"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+func row(vals ...sqltypes.Value) storage.Row { return storage.Row(vals) }
+
+func TestBagHelpers(t *testing.T) {
+	i := sqltypes.NewInt
+	f := sqltypes.NewFloat
+	n := sqltypes.Null
+	a := bagOf([]storage.Row{row(i(1), n), row(i(1), n), row(f(2), i(3))})
+	b := bagOf([]storage.Row{row(f(2), i(3)), row(i(1), n), row(i(1), n)})
+	if !bagsEqual(a, b) {
+		t.Fatal("identical multisets in different order must compare equal")
+	}
+	// Bag equality is the grouping notion: INT 3 and DOUBLE 3.0 coincide.
+	if !bagsEqual(bagOf([]storage.Row{row(i(3))}), bagOf([]storage.Row{row(f(3))})) {
+		t.Fatal("int 3 and float 3.0 rows must land on the same bag key")
+	}
+	c := bagOf([]storage.Row{row(i(1), n)})
+	if !bagSubset(c, a) {
+		t.Fatal("c is a sub-multiset of a")
+	}
+	if bagSubset(a, c) {
+		t.Fatal("a exceeds c's multiplicities")
+	}
+	if bagsEqual(a, c) {
+		t.Fatal("different cardinalities must not compare equal")
+	}
+}
+
+// TestGeneratorValid runs many generated statements through the oracle:
+// every statement must parse, bind, and execute. Generator drift (emitting
+// SQL the engine rejects) would silently hollow out the fuzzer.
+func TestGeneratorValid(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		schemaName := SchemaNames[seed%2]
+		q := Generate(rand.New(rand.NewSource(seed)), schemaName)
+		sql := q.SQL()
+		db := DBSpec{Schema: schemaName, Seed: seed, Size: 4}.Build()
+		if _, _, err := engine.New(db).Query(sql, engine.NI); err != nil {
+			t.Fatalf("seed %d: oracle rejects generated statement: %v\nsql: %s", seed, err, sql)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Generate(rand.New(rand.NewSource(seed)), "tpcd").SQL()
+		b := Generate(rand.New(rand.NewSource(seed)), "tpcd").SQL()
+		if a != b {
+			t.Fatalf("seed %d: generator not deterministic:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestShrink drives the shrinker with a synthetic failure predicate: the
+// "bug" persists as long as the query still contains its subquery and the
+// database has at least two rows. The minimum must drop everything else.
+func TestShrink(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var q Query
+	for {
+		q = Generate(r, "empdept")
+		if q.Outer.Sub != nil && (len(q.Outer.Preds) > 0 || len(q.Outer.Cols) > 1) {
+			break
+		}
+	}
+	db := DBSpec{Schema: "empdept", Seed: 7, Size: 16}
+	stillFails := func(d DBSpec, c Query) bool {
+		return c.Outer.Sub != nil && d.Size >= 2
+	}
+	sdb, sq := Shrink(db, q, stillFails)
+	if sdb.Size != 2 {
+		t.Errorf("size not minimized: got %d, want 2", sdb.Size)
+	}
+	if sq.Outer.Sub == nil {
+		t.Fatal("shrinker removed the failing feature")
+	}
+	if len(sq.Outer.Preds) != 0 {
+		t.Errorf("outer predicates not dropped: %v", sq.Outer.Preds)
+	}
+	if len(sq.Outer.Preds)+len(sq.Outer.Sub.Inner.Preds) != 0 {
+		t.Errorf("inner predicates not dropped: %v", sq.Outer.Sub.Inner.Preds)
+	}
+	if sq.Outer.Sub.Inner.Sub != nil {
+		t.Error("nested subquery not dropped")
+	}
+	// Original query untouched (Clone isolation).
+	if q.Outer.Sub == nil {
+		t.Error("shrinking mutated the original query")
+	}
+}
+
+func TestReproTestRendering(t *testing.T) {
+	d := &Divergence{
+		Variant:   "magic-noexist",
+		ShrunkDB:  DBSpec{Schema: "tpcd", Seed: 42, Size: 2},
+		ShrunkSQL: "select o.p_size from parts o",
+	}
+	got := reproTest(d)
+	for _, want := range []string{
+		"func TestDifferRegression_magic_noexist_tpcd_42(t *testing.T)",
+		`differ.DBSpec{Schema: "tpcd", Seed: 42, Size: 2}`,
+		"`select o.p_size from parts o`",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repro test missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestVariantByName(t *testing.T) {
+	for _, v := range Variants() {
+		got, ok := VariantByName(v.Name)
+		if !ok || got.Name != v.Name {
+			t.Errorf("VariantByName(%q) failed", v.Name)
+		}
+	}
+	if _, ok := VariantByName("nonesuch"); ok {
+		t.Error("unknown variant resolved")
+	}
+}
+
+// TestSmoke is the deterministic tier-1 fuzz gate: a fixed seed, enough
+// statements to exercise every form and both schemas, zero unallowlisted
+// divergences. CI runs the same configuration via `make fuzz-smoke`.
+func TestSmoke(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 20
+	}
+	rep := Run(Config{Seed: 42, N: n})
+	if !rep.Clean() {
+		for _, d := range rep.Divergences {
+			t.Errorf("divergence:\n%s\nrepro:\n%s", d, d.ReproTest)
+		}
+	}
+	if rep.OracleSkips > 0 {
+		t.Errorf("oracle skipped %d statements (generator drift)", rep.OracleSkips)
+	}
+	if rep.Comparisons == 0 {
+		t.Error("no comparisons ran")
+	}
+	t.Logf("%s", rep)
+}
+
+func TestParallelAgreement(t *testing.T) {
+	if err := ParallelAgreement(); err != nil {
+		t.Errorf("parallel simulator disagrees with engine: %v", err)
+	}
+}

@@ -1,0 +1,334 @@
+package differ
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Form enumerates where and how a subquery attaches to its parent block.
+type Form int
+
+const (
+	// FormScalarWhere is "operand cmp (select agg ...)" in WHERE.
+	FormScalarWhere Form = iota
+	// FormScalarSelect is "(select agg ...)" in the SELECT list.
+	FormScalarSelect
+	// FormExists is "exists (select * ...)".
+	FormExists
+	// FormNotExists is "not exists (select * ...)".
+	FormNotExists
+	// FormIn is "operand in (select col ...)".
+	FormIn
+	// FormNotIn is "operand not in (select col ...)".
+	FormNotIn
+	// FormAny is "operand cmp any (select col ...)".
+	FormAny
+	// FormAll is "operand cmp all (select col ...)".
+	FormAll
+	// FormLateral is a correlated aggregating derived table in FROM.
+	FormLateral
+)
+
+// Block is one SELECT block over a single base table. Preds are rendered
+// conjuncts the shrinker can drop one at a time.
+type Block struct {
+	Table string
+	Alias string
+	Cols  []string // rendered projections (outer block only)
+	Preds []string
+	Sub   *Sub
+}
+
+// Sub is a subquery attached to a Block. Operand/Cmp/Col are rendered
+// fragments whose use depends on Form; Corr is the correlation conjunct
+// living inside the inner block's WHERE ("" = uncorrelated).
+type Sub struct {
+	Form    Form
+	Agg     string
+	Operand string
+	Cmp     string
+	Col     string
+	Corr    string
+	Inner   Block
+}
+
+// Query is one shrinkable generated statement.
+type Query struct {
+	Outer Block
+}
+
+func (s *Sub) clone() *Sub {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Inner = s.Inner.clone()
+	return &c
+}
+
+func (b Block) clone() Block {
+	b.Cols = append([]string(nil), b.Cols...)
+	b.Preds = append([]string(nil), b.Preds...)
+	b.Sub = b.Sub.clone()
+	return b
+}
+
+// Clone deep-copies q so shrink candidates can mutate freely.
+func (q Query) Clone() Query { return Query{Outer: q.Outer.clone()} }
+
+// SQL renders the query in the engine's dialect.
+func (q Query) SQL() string {
+	b := q.Outer
+	sel := append([]string(nil), b.Cols...)
+	if b.Sub != nil && b.Sub.Form == FormScalarSelect {
+		sel = append(sel, "("+subSelect(b.Sub)+")")
+	}
+	from := b.Table + " " + b.Alias
+	if b.Sub != nil && b.Sub.Form == FormLateral {
+		from += ", (" + subSelect(b.Sub) + ") as x(v)"
+	}
+	sql := "select " + strings.Join(sel, ", ") + " from " + from
+	if w := conjuncts(b); len(w) > 0 {
+		sql += " where " + strings.Join(w, " and ")
+	}
+	return sql
+}
+
+// conjuncts returns the block's WHERE conjuncts, including the one the
+// subquery contributes in the WHERE-attached forms.
+func conjuncts(b Block) []string {
+	out := append([]string(nil), b.Preds...)
+	s := b.Sub
+	if s == nil {
+		return out
+	}
+	switch s.Form {
+	case FormScalarWhere:
+		out = append(out, s.Operand+" "+s.Cmp+" ("+subSelect(s)+")")
+	case FormExists:
+		out = append(out, "exists ("+subSelect(s)+")")
+	case FormNotExists:
+		out = append(out, "not exists ("+subSelect(s)+")")
+	case FormIn:
+		out = append(out, s.Operand+" in ("+subSelect(s)+")")
+	case FormNotIn:
+		out = append(out, s.Operand+" not in ("+subSelect(s)+")")
+	case FormAny:
+		out = append(out, s.Operand+" "+s.Cmp+" any ("+subSelect(s)+")")
+	case FormAll:
+		out = append(out, s.Operand+" "+s.Cmp+" all ("+subSelect(s)+")")
+	}
+	return out
+}
+
+func subSelect(s *Sub) string {
+	var item string
+	switch s.Form {
+	case FormScalarWhere, FormScalarSelect, FormLateral:
+		item = s.Agg
+	case FormExists, FormNotExists:
+		item = "*"
+	default:
+		item = s.Col
+	}
+	where := conjuncts(s.Inner)
+	if s.Corr != "" {
+		where = append(where, s.Corr)
+	}
+	sql := "select " + item + " from " + s.Inner.Table + " " + s.Inner.Alias
+	if len(where) > 0 {
+		sql += " where " + strings.Join(where, " and ")
+	}
+	return sql
+}
+
+// HasScalarAggSub reports whether the query contains a scalar aggregate
+// subquery — the shape Kim's method rewrites, and therefore the shape on
+// which Kim's documented empty-group (COUNT bug) wrongness is expected.
+func (q Query) HasScalarAggSub() bool {
+	for s := q.Outer.Sub; s != nil; s = s.Inner.Sub {
+		switch s.Form {
+		case FormScalarWhere, FormScalarSelect, FormLateral:
+			return true
+		}
+	}
+	return false
+}
+
+var cmpOps = []string{"=", "<>", "<", "<=", ">", ">="}
+
+// Generate emits one random query over the named schema. All randomness
+// flows from r, so (schema, seed) reproduces the statement exactly.
+func Generate(r *rand.Rand, schemaName string) Query {
+	s := schemas[schemaName]
+	g := &gen{r: r, s: s}
+	outer := s.tables[s.order[r.Intn(len(s.order))]]
+	b := Block{Table: outer.name, Alias: "o"}
+	// Project one or two columns; the first stays through shrinking.
+	nCols := 1 + r.Intn(2)
+	perm := r.Perm(len(outer.cols))
+	for i := 0; i < nCols && i < len(perm); i++ {
+		b.Cols = append(b.Cols, "o."+outer.cols[perm[i]].name)
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		b.Preds = append(b.Preds, g.randPred(outer, "o"))
+	}
+	b.Sub = g.genSub(1, []frame{{alias: "o", table: outer}})
+	q := Query{Outer: b}
+	if q.Outer.Sub != nil && q.Outer.Sub.Form == FormLateral {
+		q.Outer.Cols = append(q.Outer.Cols, "x.v")
+	}
+	return q
+}
+
+// frame is one ancestor block a deeper subquery may correlate to,
+// nearest first.
+type frame struct {
+	alias string
+	table *tableInfo
+}
+
+type gen struct {
+	r *rand.Rand
+	s *schemaInfo
+}
+
+// genSub builds a subquery at the given depth (1 or 2). The immediate
+// parent is ancestors[0].
+func (g *gen) genSub(depth int, ancestors []frame) *Sub {
+	r := g.r
+	alias := [...]string{"", "i1", "i2"}[depth]
+	// Pick the correlation target: the immediate parent, or (in nested
+	// subqueries) sometimes the grandparent — the multi-level correlation
+	// the paper's §4.3 absorbs level by level.
+	target := ancestors[0]
+	if len(ancestors) > 1 && r.Intn(2) == 0 {
+		target = ancestors[1]
+	}
+	edges := g.s.edgesFrom(target.table.name)
+	if len(edges) == 0 {
+		target = ancestors[0]
+		edges = g.s.edgesFrom(target.table.name)
+	}
+	var inner *tableInfo
+	corr := ""
+	if len(edges) == 0 || r.Float64() < 0.08 {
+		// Uncorrelated subquery over a random table.
+		inner = g.s.tables[g.s.order[r.Intn(len(g.s.order))]]
+	} else {
+		e := edges[r.Intn(len(edges))]
+		inner = g.s.tables[e.innerTable]
+		corr = alias + "." + e.innerCol + " = " + target.alias + "." + e.outerCol
+	}
+
+	var form Form
+	if depth == 1 {
+		form = Form(r.Intn(int(FormLateral) + 1))
+	} else {
+		// Deeper levels attach as WHERE conjuncts only.
+		form = [...]Form{FormScalarWhere, FormExists, FormNotExists, FormIn, FormNotIn}[r.Intn(5)]
+	}
+
+	sub := &Sub{Form: form, Corr: corr}
+	sub.Inner = Block{Table: inner.name, Alias: alias}
+	for i := r.Intn(3); i > 0; i-- {
+		sub.Inner.Preds = append(sub.Inner.Preds, g.randPred(inner, alias))
+	}
+	if depth == 1 && r.Float64() < 0.45 {
+		sub.Inner.Sub = g.genSub(depth+1, append([]frame{{alias: alias, table: inner}}, ancestors...))
+	}
+
+	parent := ancestors[0]
+	switch form {
+	case FormScalarWhere, FormScalarSelect, FormLateral:
+		sub.Agg = g.randAgg(inner, alias)
+		sub.Cmp = cmpOps[r.Intn(len(cmpOps))]
+		sub.Operand = g.randOperand(parent, 'i', 'f')
+	case FormIn, FormNotIn, FormAny, FormAll:
+		c := inner.cols[r.Intn(len(inner.cols))]
+		sub.Col = alias + "." + c.name
+		sub.Cmp = cmpOps[r.Intn(len(cmpOps))]
+		sub.Operand = g.randOperandKind(parent, c)
+	}
+	return sub
+}
+
+// randAgg renders an aggregate over the table: COUNT(*), COUNT(col), or
+// SUM/AVG over a numeric column, MIN/MAX over any column.
+func (g *gen) randAgg(t *tableInfo, alias string) string {
+	r := g.r
+	switch r.Intn(5) {
+	case 0:
+		return "count(*)"
+	case 1:
+		return "count(" + alias + "." + t.cols[r.Intn(len(t.cols))].name + ")"
+	case 2, 3:
+		if nc := t.numericCols(); len(nc) > 0 {
+			op := [...]string{"sum", "avg"}[r.Intn(2)]
+			return op + "(" + alias + "." + nc[r.Intn(len(nc))].name + ")"
+		}
+		return "count(*)"
+	default:
+		op := [...]string{"min", "max"}[r.Intn(2)]
+		return op + "(" + alias + "." + t.cols[r.Intn(len(t.cols))].name + ")"
+	}
+}
+
+// randOperand renders a comparison operand from the parent block: a column
+// of one of the given kinds, or a small integer constant.
+func (g *gen) randOperand(parent frame, kinds ...byte) string {
+	var cands []colInfo
+	for _, c := range parent.table.cols {
+		for _, k := range kinds {
+			if c.kind == k {
+				cands = append(cands, c)
+			}
+		}
+	}
+	if len(cands) == 0 || g.r.Intn(4) == 0 {
+		return [...]string{"0", "1", "2", "3"}[g.r.Intn(4)]
+	}
+	return parent.alias + "." + cands[g.r.Intn(len(cands))].name
+}
+
+// randOperandKind renders an operand type-compatible with the subquery
+// output column c: a parent column of the same kind, or one of c's
+// constants.
+func (g *gen) randOperandKind(parent frame, c colInfo) string {
+	kind := c.kind
+	if kind == 'f' {
+		kind = 'i' // numeric cross-kind comparisons are the point
+		if g.r.Intn(2) == 0 {
+			kind = 'f'
+		}
+	}
+	var cands []colInfo
+	for _, pc := range parent.table.cols {
+		if pc.kind == kind || (pc.kind == 'f' && kind == 'i') || (pc.kind == 'i' && kind == 'f') {
+			cands = append(cands, pc)
+		}
+	}
+	if len(cands) == 0 || g.r.Intn(4) == 0 {
+		return c.consts[g.r.Intn(len(c.consts))]
+	}
+	return parent.alias + "." + cands[g.r.Intn(len(cands))].name
+}
+
+// randPred renders one plain conjunct over the table.
+func (g *gen) randPred(t *tableInfo, alias string) string {
+	r := g.r
+	c := t.cols[r.Intn(len(t.cols))]
+	ref := alias + "." + c.name
+	switch r.Intn(5) {
+	case 0:
+		return ref + " is null"
+	case 1:
+		return ref + " is not null"
+	case 2:
+		c2 := t.cols[r.Intn(len(t.cols))]
+		return "(" + ref + " " + cmpOps[r.Intn(len(cmpOps))] + " " + c.consts[r.Intn(len(c.consts))] +
+			" or " + alias + "." + c2.name + " is null)"
+	default:
+		return ref + " " + cmpOps[r.Intn(len(cmpOps))] + " " + c.consts[r.Intn(len(c.consts))]
+	}
+}

@@ -1,0 +1,117 @@
+package differ_test
+
+// Shrunk reproducers found by `decorr fuzz` during development, pinned
+// exactly as the harness emitted them. Each one was a real divergence from
+// the nested-iteration oracle before its fix landed:
+//
+//   - The NULL-binding ties: decorrelation joined the outer block back to
+//     the decorrelated view (and MAGIC to the compensation join) with
+//     comparison equality, so outer rows whose correlation column is NULL
+//     were silently dropped — the NULL cousin of the COUNT bug. Fixed by
+//     using grouping equality (IS NOT DISTINCT FROM) for tie and
+//     compensation predicates (internal/core/decorrelate.go).
+//
+//   - The nested-subquery binding flow: when the correlation reaches the
+//     child only through a nested NOT EXISTS, the decorrelated view holds a
+//     NULL-keyed group with a real aggregate; the compensation join must
+//     re-find it instead of NULL-extending. Same fix.
+//
+//   - OptMag over existential quantifiers: eliminating the supplementary
+//     table is only sound when the fed quantifier contributes rows;
+//     doing it for IN/EXISTS left the outer block with no range and an
+//     invalid graph. Fixed by gating optFeed on row-contributing kinds.
+
+import (
+	"testing"
+
+	"decorr/internal/differ"
+)
+
+func TestDifferRegression_magic_empdept_16000090(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "empdept", Seed: 16000090, Size: 4},
+		"magic",
+		`select o.building, (select count(i1.building) from dept i1 where i1.num_emps <= (select count(*) from dept i2 where i2.building = o.building)) from emp o`)
+}
+
+func TestDifferRegression_magic_empdept_20000102(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "empdept", Seed: 20000102, Size: 2},
+		"magic",
+		`select x.v from emp o, (select avg(i1.budget) from dept i1 where i1.building = o.building) as x(v)`)
+}
+
+func TestDifferRegression_gw_empdept_26000120(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "empdept", Seed: 26000120, Size: 4},
+		"gw",
+		`select o.budget from dept o where 0 <= (select count(*) from emp i1 where i1.building = o.building)`)
+}
+
+func TestDifferRegression_magic_empdept_26000120(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "empdept", Seed: 26000120, Size: 4},
+		"magic",
+		`select o.budget from dept o where 0 <= (select count(*) from emp i1 where i1.building = o.building)`)
+}
+
+func TestDifferRegression_magic_empdept_28000126(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "empdept", Seed: 28000126, Size: 2},
+		"magic",
+		`select o.building, (select count(*) from dept i1 where i1.name in (select i2.name from dept i2 where i2.building = o.building)) from emp o`)
+}
+
+func TestDifferRegression_magic_empdept_48000186(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "empdept", Seed: 48000186, Size: 2},
+		"magic",
+		`select o.building from emp o where 0 >= (select count(i1.budget) from dept i1 where i1.budget > (select avg(i2.num_emps) from dept i2 where i2.building = o.building))`)
+}
+
+func TestDifferRegression_magic_tpcd_29000129(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "tpcd", Seed: 29000129, Size: 4},
+		"magic",
+		`select o.l_suppkey, (select max(i1.ps_supplycost) from partsupp i1 where not exists (select * from partsupp i2 where i2.ps_suppkey = o.l_suppkey)) from lineitem o`)
+}
+
+func TestDifferRegression_magic_tpcd_55000207(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "tpcd", Seed: 55000207, Size: 2},
+		"magic",
+		`select o.s_acctbal, (select avg(i1.c_custkey) from customers i1 where i1.c_nation = o.s_nation) from suppliers o`)
+}
+
+func TestDifferRegression_gw_tpcd_55000207(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "tpcd", Seed: 55000207, Size: 2},
+		"gw",
+		`select o.s_acctbal, (select avg(i1.c_custkey) from customers i1 where i1.c_nation = o.s_nation) from suppliers o`)
+}
+
+func TestDifferRegression_optmagic_tpcd_55000207(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "tpcd", Seed: 55000207, Size: 2},
+		"optmagic",
+		`select o.s_acctbal, (select avg(i1.c_custkey) from customers i1 where i1.c_nation = o.s_nation) from suppliers o`)
+}
+
+// The next two pinned OptMag's invalid-graph failure ("select box has no
+// row-contributing quantifier"): the fed quantifier is existential, so the
+// supplementary table must not be eliminated. CheckSQL fails loudly on any
+// strategy error, so these assert the graph stays valid.
+
+func TestDifferRegression_optmagic_tpcd_57000213(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "tpcd", Seed: 57000213, Size: 8},
+		"optmagic",
+		`select o.p_container, o.p_brand from parts o where not exists (select * from partsupp i1 where (i1.ps_suppkey = 1 or i1.ps_supplycost is null) and 'AFRICA' in (select i2.s_region from suppliers i2 where i2.s_acctbal < 2 and i2.s_suppkey = i1.ps_suppkey) and i1.ps_partkey = o.p_partkey)`)
+}
+
+func TestDifferRegression_optmagic_tpcd_59000219(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: "tpcd", Seed: 59000219, Size: 8},
+		"optmagic",
+		`select o.p_brand from parts o where o.p_retailprice <> 0.5 and (o.p_container < 'MED BOX' or o.p_retailprice is null) and o.p_retailprice in (select i1.l_suppkey from lineitem i1 where i1.l_quantity is not null and i1.l_partkey = o.p_partkey)`)
+}

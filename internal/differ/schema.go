@@ -1,0 +1,173 @@
+// Package differ is the differential correctness harness: it generates
+// random correlated queries over the EMP/DEPT and TPC-D schemas, executes
+// every statement under nested iteration (the oracle) and under every
+// applicable decorrelation strategy and knob combination, and compares the
+// answers under NULL-aware bag equality. On a mismatch it shrinks the
+// query and data to a minimal reproducer and emits a ready-to-paste
+// regression test. The paper's Figures 5–9 compare only costs because all
+// five strategies are assumed answer-equivalent; this package checks that
+// assumption continuously.
+package differ
+
+import (
+	"fmt"
+
+	"decorr/internal/storage"
+	"decorr/internal/tpcd"
+)
+
+// DBSpec names a reproducible fuzz database: a schema, a generator seed,
+// and a size knob (the shrinker halves Size while a failure persists).
+type DBSpec struct {
+	Schema string // "empdept" or "tpcd"
+	Seed   int64
+	Size   int
+}
+
+// Build materializes the database.
+func (d DBSpec) Build() *storage.DB {
+	size := d.Size
+	if size < 1 {
+		size = 1
+	}
+	switch d.Schema {
+	case "empdept":
+		return tpcd.EmpDeptRandom(d.Seed, size, 2*size, 4)
+	case "tpcd":
+		return tpcd.TPCDMini(d.Seed, size)
+	}
+	panic(fmt.Sprintf("differ: unknown schema %q", d.Schema))
+}
+
+func (d DBSpec) String() string {
+	return fmt.Sprintf("%s(seed=%d, size=%d)", d.Schema, d.Seed, d.Size)
+}
+
+// colInfo describes one usable column: its type class and a few rendered
+// constants from the generator's value domain (so predicates actually
+// select and reject rows instead of being vacuous).
+type colInfo struct {
+	name   string
+	kind   byte // 'i' int, 'f' float, 's' string
+	consts []string
+}
+
+type tableInfo struct {
+	name string
+	cols []colInfo
+}
+
+func (t *tableInfo) numericCols() []colInfo {
+	var out []colInfo
+	for _, c := range t.cols {
+		if c.kind == 'i' || c.kind == 'f' {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// pairInfo is one correlatable equality: a.ca = b.cb joins table a to b.
+// Pairs are usable in either direction.
+type pairInfo struct {
+	a, ca, b, cb string
+}
+
+type schemaInfo struct {
+	name   string
+	tables map[string]*tableInfo
+	order  []string // deterministic table pick order
+	pairs  []pairInfo
+}
+
+// corrEdge is a correlation opportunity seen from one side: innerTable's
+// innerCol equi-joins the given outer column.
+type corrEdge struct {
+	innerTable, innerCol, outerCol string
+}
+
+// edgesFrom lists correlation edges whose outer side is outerTable.
+func (s *schemaInfo) edgesFrom(outerTable string) []corrEdge {
+	var out []corrEdge
+	for _, p := range s.pairs {
+		if p.a == outerTable {
+			out = append(out, corrEdge{innerTable: p.b, innerCol: p.cb, outerCol: p.ca})
+		}
+		if p.b == outerTable {
+			out = append(out, corrEdge{innerTable: p.a, innerCol: p.ca, outerCol: p.cb})
+		}
+	}
+	return out
+}
+
+var schemas = map[string]*schemaInfo{
+	"empdept": {
+		name: "empdept",
+		tables: map[string]*tableInfo{
+			"dept": {name: "dept", cols: []colInfo{
+				{name: "name", kind: 's', consts: []string{"'dept-0'", "'dept-1'"}},
+				{name: "budget", kind: 'i', consts: []string{"0", "2000", "5000"}},
+				{name: "num_emps", kind: 'i', consts: []string{"0", "1", "2", "3"}},
+				{name: "building", kind: 's', consts: []string{"'B0'", "'B1'", "'B3'"}},
+			}},
+			"emp": {name: "emp", cols: []colInfo{
+				{name: "name", kind: 's', consts: []string{"'emp-0'", "'emp-1'"}},
+				{name: "building", kind: 's', consts: []string{"'B0'", "'B1'", "'B3'"}},
+			}},
+		},
+		order: []string{"dept", "emp"},
+		pairs: []pairInfo{{a: "dept", ca: "building", b: "emp", cb: "building"}},
+	},
+	"tpcd": {
+		name: "tpcd",
+		tables: map[string]*tableInfo{
+			"parts": {name: "parts", cols: []colInfo{
+				{name: "p_partkey", kind: 'i', consts: []string{"1", "2", "3"}},
+				{name: "p_size", kind: 'i', consts: []string{"1", "2", "3"}},
+				{name: "p_retailprice", kind: 'f', consts: []string{"0.5", "1", "2"}},
+				{name: "p_brand", kind: 's', consts: []string{"'Brand#1'", "'Brand#2'"}},
+				{name: "p_container", kind: 's', consts: []string{"'SM CASE'", "'MED BOX'"}},
+			}},
+			"suppliers": {name: "suppliers", cols: []colInfo{
+				{name: "s_suppkey", kind: 'i', consts: []string{"1", "2"}},
+				{name: "s_acctbal", kind: 'f', consts: []string{"0.5", "1.5", "2"}},
+				{name: "s_nation", kind: 's', consts: []string{"'ALGERIA'", "'ARGENTINA'"}},
+				{name: "s_region", kind: 's', consts: []string{"'AFRICA'", "'AMERICA'"}},
+			}},
+			"partsupp": {name: "partsupp", cols: []colInfo{
+				{name: "ps_partkey", kind: 'i', consts: []string{"1", "2", "3"}},
+				{name: "ps_suppkey", kind: 'i', consts: []string{"1", "2"}},
+				{name: "ps_availqty", kind: 'i', consts: []string{"0", "1", "2", "3"}},
+				{name: "ps_supplycost", kind: 'f', consts: []string{"0.5", "1", "1.5"}},
+			}},
+			"lineitem": {name: "lineitem", cols: []colInfo{
+				{name: "l_orderkey", kind: 'i', consts: []string{"1", "2"}},
+				{name: "l_partkey", kind: 'i', consts: []string{"1", "2", "3"}},
+				{name: "l_suppkey", kind: 'i', consts: []string{"1", "2"}},
+				{name: "l_quantity", kind: 'i', consts: []string{"1", "2", "3"}},
+				{name: "l_extendedprice", kind: 'f', consts: []string{"0.5", "1.5", "2.5"}},
+			}},
+			"customers": {name: "customers", cols: []colInfo{
+				{name: "c_custkey", kind: 'i', consts: []string{"1", "2"}},
+				{name: "c_acctbal", kind: 'f', consts: []string{"0.5", "1.5", "2"}},
+				{name: "c_mktsegment", kind: 's', consts: []string{"'AUTOMOBILE'", "'BUILDING'"}},
+				{name: "c_nation", kind: 's', consts: []string{"'ALGERIA'", "'ARGENTINA'"}},
+				{name: "c_region", kind: 's', consts: []string{"'AFRICA'", "'AMERICA'"}},
+			}},
+		},
+		order: []string{"parts", "suppliers", "partsupp", "lineitem", "customers"},
+		pairs: []pairInfo{
+			{a: "parts", ca: "p_partkey", b: "partsupp", cb: "ps_partkey"},
+			{a: "parts", ca: "p_partkey", b: "lineitem", cb: "l_partkey"},
+			{a: "suppliers", ca: "s_suppkey", b: "partsupp", cb: "ps_suppkey"},
+			{a: "suppliers", ca: "s_suppkey", b: "lineitem", cb: "l_suppkey"},
+			{a: "partsupp", ca: "ps_partkey", b: "lineitem", cb: "l_partkey"},
+			{a: "partsupp", ca: "ps_suppkey", b: "lineitem", cb: "l_suppkey"},
+			{a: "customers", ca: "c_nation", b: "suppliers", cb: "s_nation"},
+			{a: "customers", ca: "c_region", b: "suppliers", cb: "s_region"},
+		},
+	},
+}
+
+// SchemaNames lists the generator's schemas in deterministic order.
+var SchemaNames = []string{"empdept", "tpcd"}

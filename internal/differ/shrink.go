@@ -1,0 +1,177 @@
+package differ
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"decorr/internal/classic"
+	"decorr/internal/engine"
+)
+
+// Shrink minimizes a failing (database, query) pair: it repeatedly tries
+// the one-step reductions — drop a predicate, drop the correlation
+// conjunct, drop a nesting level, narrow the projection, halve the data —
+// keeping any candidate for which stillFails holds, until none applies.
+// stillFails must be deterministic.
+func Shrink(db DBSpec, q Query, stillFails func(DBSpec, Query) bool) (DBSpec, Query) {
+	for steps := 0; steps < 200; steps++ {
+		reduced := false
+		// Data first: smaller databases make every later check cheaper.
+		for db.Size > 1 {
+			half := db
+			half.Size = db.Size / 2
+			if !stillFails(half, q) {
+				break
+			}
+			db = half
+			reduced = true
+		}
+		for _, cand := range reductions(q) {
+			if stillFails(db, cand) {
+				q = cand
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			return db, q
+		}
+	}
+	return db, q
+}
+
+// reductions enumerates every one-step syntactic reduction of q.
+func reductions(q Query) []Query {
+	var out []Query
+	// Drop one outer predicate.
+	for i := range q.Outer.Preds {
+		c := q.Clone()
+		c.Outer.Preds = append(c.Outer.Preds[:i], c.Outer.Preds[i+1:]...)
+		out = append(out, c)
+	}
+	if s := q.Outer.Sub; s != nil {
+		// Drop one depth-1 inner predicate.
+		for i := range s.Inner.Preds {
+			c := q.Clone()
+			c.Outer.Sub.Inner.Preds = append(c.Outer.Sub.Inner.Preds[:i], c.Outer.Sub.Inner.Preds[i+1:]...)
+			out = append(out, c)
+		}
+		// Uncorrelate the subquery.
+		if s.Corr != "" {
+			c := q.Clone()
+			c.Outer.Sub.Corr = ""
+			out = append(out, c)
+		}
+		if s2 := s.Inner.Sub; s2 != nil {
+			// Drop the nested level entirely.
+			c := q.Clone()
+			c.Outer.Sub.Inner.Sub = nil
+			out = append(out, c)
+			// Or reduce inside it.
+			for i := range s2.Inner.Preds {
+				c := q.Clone()
+				c.Outer.Sub.Inner.Sub.Inner.Preds = append(
+					c.Outer.Sub.Inner.Sub.Inner.Preds[:i],
+					c.Outer.Sub.Inner.Sub.Inner.Preds[i+1:]...)
+				out = append(out, c)
+			}
+			if s2.Corr != "" {
+				c := q.Clone()
+				c.Outer.Sub.Inner.Sub.Corr = ""
+				out = append(out, c)
+			}
+		}
+	}
+	// Narrow the projection to the first column (keep x.v for laterals —
+	// dropping it would orphan the derived table, which is fine, but the
+	// first column may BE x.v only if it was the sole projection).
+	if len(q.Outer.Cols) > 1 {
+		c := q.Clone()
+		c.Outer.Cols = c.Outer.Cols[:1]
+		if q.Outer.Sub != nil && q.Outer.Sub.Form == FormLateral {
+			// Keep the lateral output referenced so the plan shape under
+			// test survives the projection shrink.
+			c.Outer.Cols = []string{"x.v"}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// shrinkDivergence minimizes d in place and attaches the reproducer test.
+func shrinkDivergence(d *Divergence, q Query, v Variant) {
+	errMode := d.Err != nil
+	fails := func(db DBSpec, cand Query) bool {
+		sql := cand.SQL()
+		dbi := db.Build()
+		want, _, err := engine.New(dbi).Query(sql, engine.NI)
+		if err != nil {
+			return false // oracle must keep working on the reproducer
+		}
+		got, err := runVariant(dbi, v, sql)
+		if err != nil {
+			// An error reproduces an error-divergence; applicability
+			// refusals reproduce nothing.
+			return errMode && !(v.Tolerant && errors.Is(err, classic.ErrNotApplicable))
+		}
+		if errMode {
+			return false
+		}
+		gotBag, wantBag := bagOf(got), bagOf(want)
+		if bagsEqual(gotBag, wantBag) {
+			return false
+		}
+		// The reproducer must stay an unallowlisted divergence.
+		return !allowlistedKim(v, cand, gotBag, wantBag)
+	}
+	sdb, sq := Shrink(d.DB, q, fails)
+	d.ShrunkDB = sdb
+	d.ShrunkSQL = sq.SQL()
+	d.ReproTest = reproTest(d)
+}
+
+// reproTest renders a ready-to-paste regression test pinning the shrunk
+// reproducer (destination: internal/differ/regression_test.go).
+func reproTest(d *Divergence) string {
+	name := fmt.Sprintf("%s_%s_%d", strings.NewReplacer("-", "_").Replace(d.Variant), d.ShrunkDB.Schema, d.ShrunkDB.Seed)
+	return fmt.Sprintf(`func TestDifferRegression_%s(t *testing.T) {
+	differ.CheckSQL(t,
+		differ.DBSpec{Schema: %q, Seed: %d, Size: %d},
+		%q,
+		`+"`%s`"+`)
+}
+`, name, d.ShrunkDB.Schema, d.ShrunkDB.Seed, d.ShrunkDB.Size, d.Variant, d.ShrunkSQL)
+}
+
+// TB is the subset of *testing.T CheckSQL needs (kept tiny so the package
+// does not import "testing" into non-test binaries).
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
+
+// CheckSQL pins one differential comparison: the named variant must agree
+// with the nested-iteration oracle on sql over the given database. Pinned
+// reproducers call it from regression tests.
+func CheckSQL(t TB, dbs DBSpec, variant, sql string) {
+	t.Helper()
+	v, ok := VariantByName(variant)
+	if !ok {
+		t.Fatalf("unknown variant %q", variant)
+	}
+	db := dbs.Build()
+	want, _, err := engine.New(db).Query(sql, engine.NI)
+	if err != nil {
+		t.Fatalf("NI oracle failed on %s: %v\nsql: %s", dbs, err, sql)
+	}
+	got, err := runVariant(db, v, sql)
+	if err != nil {
+		t.Fatalf("%s failed on %s: %v\nsql: %s", variant, dbs, err, sql)
+	}
+	if !bagsEqual(bagOf(got), bagOf(want)) {
+		t.Errorf("%s diverges from NI on %s\nsql: %s\nwant %v\ngot  %v",
+			variant, dbs, sql, renderSorted(want), renderSorted(got))
+	}
+}

@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -96,6 +97,11 @@ type Engine struct {
 	// pipeline: parse, semant, every rewrite rule, decorrelation steps,
 	// and per-box execution. Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// CleanupFactory overrides the cleanup rewrite engine run before and
+	// after the strategy rewrite; nil means rewrite.NewCleanup(). The
+	// differential harness uses it to re-check strategies with individual
+	// cleanup rules disabled.
+	CleanupFactory func() *rewrite.Engine
 
 	views semant.Views
 }
@@ -270,10 +276,14 @@ func (e *Engine) prepareStages(sql string, s Strategy, traced bool) (*Prepared, 
 	return p, nil
 }
 
-// cleanup runs the standard cleanup rule set under a named span.
+// cleanup runs the cleanup rule set under a named span.
 func (e *Engine) cleanup(g *qgm.Graph, stage string) error {
 	sp := e.Tracer.Begin(stage, "rewrite")
-	err := rewrite.NewCleanup().WithTracer(e.Tracer).Run(g)
+	re := rewrite.NewCleanup()
+	if e.CleanupFactory != nil {
+		re = e.CleanupFactory()
+	}
+	err := re.WithTracer(e.Tracer).Run(g)
 	sp.End()
 	return err
 }
@@ -288,6 +298,12 @@ func (e *Engine) prepareAuto(sql string, traced bool) (*Prepared, error) {
 	}
 	mag, err := e.prepare(sql, OptMagic, traced)
 	if err != nil {
+		// A non-converging rewrite rule set is an engine bug, not a query
+		// the strategy merely cannot handle: surface it instead of
+		// silently executing the NI plan.
+		if errors.Is(err, rewrite.ErrNoFixpoint) {
+			return nil, err
+		}
 		// Decorrelation failing is not fatal for Auto; fall back to NI.
 		ni.Strategy = Auto
 		return ni, nil

@@ -1,0 +1,115 @@
+package exec_test
+
+import (
+	"testing"
+
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// threeVLDB builds:
+//
+//	t(name, x):  a→1, b→2, c→NULL
+//	s(y):        1, 3, NULL
+//	empty(y):    no rows
+//
+// The NULL in s is what makes NOT IN / ALL three-valued: x NOT IN (1,3,NULL)
+// is UNKNOWN for every x that is not 1 or 3 (x <> NULL is UNKNOWN), never
+// TRUE — a filter that must reject the row, same as FALSE, but crucially a
+// NOT IN that an engine folds to "x <> 1 AND x <> 3" would wrongly accept.
+func threeVLDB() *storage.DB {
+	db := storage.NewDB()
+	tt := db.Create(schema.NewTable("t",
+		schema.Column{Name: "name", Type: schema.TString},
+		schema.Column{Name: "x", Type: schema.TInt},
+	))
+	for _, r := range []struct {
+		name string
+		x    sqltypes.Value
+	}{
+		{"a", sqltypes.NewInt(1)},
+		{"b", sqltypes.NewInt(2)},
+		{"c", sqltypes.Null},
+	} {
+		if err := tt.Insert(storage.Row{sqltypes.NewString(r.name), r.x}); err != nil {
+			panic(err)
+		}
+	}
+	ss := db.Create(schema.NewTable("s", schema.Column{Name: "y", Type: schema.TInt}))
+	for _, v := range []sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(3), sqltypes.Null} {
+		if err := ss.Insert(storage.Row{v}); err != nil {
+			panic(err)
+		}
+	}
+	db.Create(schema.NewTable("empty", schema.Column{Name: "y", Type: schema.TInt}))
+	return db
+}
+
+func TestNotInNullOperandAndMembers(t *testing.T) {
+	db := threeVLDB()
+	// s holds {1, 3, NULL}: x=1 is FALSE (member), x=2 is UNKNOWN (2 <> NULL),
+	// x=NULL is UNKNOWN. Nothing may qualify.
+	got := run(t, db, `select name from t where x not in (select y from s)`)
+	expectRows(t, got, []string{})
+}
+
+func TestNotInWithoutNullInSubquery(t *testing.T) {
+	db := threeVLDB()
+	// Restricting s to non-NULL rows restores two-valued logic: only x=2
+	// is outside {1, 3}; x=NULL stays UNKNOWN.
+	got := run(t, db, `select name from t where x not in (select y from s where y is not null)`)
+	expectRows(t, got, []string{"b"})
+}
+
+func TestNotInEmptySubquery(t *testing.T) {
+	db := threeVLDB()
+	// NOT IN over the empty set is vacuously TRUE — even for x = NULL.
+	got := run(t, db, `select name from t where x not in (select y from empty)`)
+	expectRows(t, got, []string{"a", "b", "c"})
+}
+
+func TestInWithNullInSubquery(t *testing.T) {
+	db := threeVLDB()
+	// x=1 finds a member (TRUE); x=2 and x=NULL are UNKNOWN, not FALSE —
+	// indistinguishable in a WHERE filter, but both must be rejected.
+	got := run(t, db, `select name from t where x in (select y from s)`)
+	expectRows(t, got, []string{"a"})
+}
+
+func TestAllWithNullInSubquery(t *testing.T) {
+	db := threeVLDB()
+	// x <> ALL {1,3,NULL}: the NULL comparison is UNKNOWN, so no row can
+	// reach TRUE (this is exactly NOT IN, tied through QAll + <>).
+	got := run(t, db, `select name from t where x <> all (select y from s)`)
+	expectRows(t, got, []string{})
+	// x >= ALL: 1>=1 TRUE, 1>=3 FALSE short-circuits x=1 to FALSE before
+	// the NULL matters; x=2 likewise; nothing qualifies, but for x=2 the
+	// reason is FALSE (2>=3), not UNKNOWN.
+	got = run(t, db, `select name from t where x >= all (select y from s)`)
+	expectRows(t, got, []string{})
+}
+
+func TestAllEmptySubquery(t *testing.T) {
+	db := threeVLDB()
+	got := run(t, db, `select name from t where x > all (select y from empty)`)
+	expectRows(t, got, []string{"a", "b", "c"})
+}
+
+func TestAnyWithNullInSubquery(t *testing.T) {
+	db := threeVLDB()
+	// x >= ANY {1,3,NULL}: x=1 and x=2 find 1 (TRUE); x=NULL is UNKNOWN
+	// against every member.
+	got := run(t, db, `select name from t where x >= any (select y from s)`)
+	expectRows(t, got, []string{"a", "b"})
+	// x > ANY {1,3,NULL}: only x=2 exceeds a member; x=1 is UNKNOWN (1>NULL)
+	// — rejected like FALSE, which is the observable 3VL requirement here.
+	got = run(t, db, `select name from t where x > any (select y from s)`)
+	expectRows(t, got, []string{"b"})
+}
+
+func TestAnyEmptySubquery(t *testing.T) {
+	db := threeVLDB()
+	got := run(t, db, `select name from t where x = any (select y from empty)`)
+	expectRows(t, got, []string{})
+}

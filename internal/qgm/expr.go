@@ -165,6 +165,17 @@ func (*Agg) qexpr()    {}
 // NewEq builds an equality comparison.
 func NewEq(l, r Expr) Expr { return &Bin{Op: OpEq, L: l, R: r} }
 
+// NewNullEq builds a NULL-aware equality (IS NOT DISTINCT FROM): TRUE when
+// both sides are NULL, never UNKNOWN. Decorrelation tie predicates need it
+// wherever a NULL correlation binding must re-find its compensated row.
+func NewNullEq(l, r Expr) Expr {
+	return &Bin{Op: OpOr,
+		L: &Bin{Op: OpEq, L: l, R: r},
+		R: &Bin{Op: OpAnd,
+			L: &IsNull{E: CloneExpr(l)},
+			R: &IsNull{E: CloneExpr(r)}}}
+}
+
 // Ref builds a column reference.
 func Ref(q *Quantifier, col int) *ColRef { return &ColRef{Q: q, Col: col} }
 

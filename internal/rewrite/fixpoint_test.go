@@ -1,6 +1,7 @@
 package rewrite_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -31,6 +32,9 @@ func TestRunErrorsWhenFixpointNotReached(t *testing.T) {
 	if !strings.Contains(err.Error(), "no fixpoint after 3 passes") {
 		t.Errorf("error %q does not name the exhausted pass budget", err)
 	}
+	if !errors.Is(err, rewrite.ErrNoFixpoint) {
+		t.Errorf("error %q does not wrap ErrNoFixpoint", err)
+	}
 	// The event must also land in the trace.
 	var found bool
 	for _, ev := range ring.Events() {
@@ -43,6 +47,28 @@ func TestRunErrorsWhenFixpointNotReached(t *testing.T) {
 	}
 	if !found {
 		t.Error("fixpoint-exhausted event missing from trace")
+	}
+}
+
+func TestNewCleanupWithout(t *testing.T) {
+	full := rewrite.NewCleanup()
+	trimmed := rewrite.NewCleanupWithout("push-predicates", "prune-projections")
+	if len(trimmed.Rules) != len(full.Rules)-2 {
+		names := make([]string, len(trimmed.Rules))
+		for i, r := range trimmed.Rules {
+			names[i] = r.Name()
+		}
+		t.Fatalf("expected %d rules after dropping two, got %v", len(full.Rules)-2, names)
+	}
+	for _, r := range trimmed.Rules {
+		if r.Name() == "push-predicates" || r.Name() == "prune-projections" {
+			t.Errorf("rule %s not dropped", r.Name())
+		}
+	}
+	// The trimmed engine must still converge on an ordinary query.
+	g := bind(t, "select name from (select name from dept) d")
+	if err := trimmed.Run(g); err != nil {
+		t.Fatalf("trimmed cleanup failed: %v", err)
 	}
 }
 

@@ -8,11 +8,19 @@
 package rewrite
 
 import (
+	"errors"
 	"fmt"
 
 	"decorr/internal/qgm"
 	"decorr/internal/trace"
 )
+
+// ErrNoFixpoint is wrapped by Run when MaxPasses is exhausted before the
+// rule set converges. Callers (the REPL, the CLI, Auto-strategy fallback)
+// match it with errors.Is to distinguish "the rewrite engine itself is
+// broken" from an unsupported query: the graph may be half-rewritten, so
+// no plan derived from it should be shown or executed.
+var ErrNoFixpoint = errors.New("rewrite rule set did not converge")
 
 // Rule is one rewrite rule.
 type Rule interface {
@@ -46,6 +54,27 @@ func NewCleanup() *Engine {
 	}
 }
 
+// NewCleanupWithout returns the standard cleanup engine minus the named
+// rules. The differential harness uses it to cross-check strategy results
+// with individual cleanup rules (predicate pushdown, projection pruning)
+// disabled: a rewrite whose correctness silently depends on a later
+// cleanup pass is a bug this exposes.
+func NewCleanupWithout(names ...string) *Engine {
+	drop := map[string]bool{}
+	for _, n := range names {
+		drop[n] = true
+	}
+	e := NewCleanup()
+	kept := e.Rules[:0:0]
+	for _, r := range e.Rules {
+		if !drop[r.Name()] {
+			kept = append(kept, r)
+		}
+	}
+	e.Rules = kept
+	return e
+}
+
 // WithTracer attaches a tracer and returns e (chainable after NewCleanup).
 func (e *Engine) WithTracer(t *trace.Tracer) *Engine {
 	e.Tracer = t
@@ -74,7 +103,7 @@ func (e *Engine) Run(g *qgm.Graph) error {
 		}
 	}
 	e.Tracer.Instant("fixpoint-exhausted", "rewrite", trace.Int("max_passes", int64(max)))
-	return fmt.Errorf("rewrite: no fixpoint after %d passes (a rule keeps reporting changes; rule set does not converge)", max)
+	return fmt.Errorf("rewrite: no fixpoint after %d passes (a rule keeps reporting changes): %w", max, ErrNoFixpoint)
 }
 
 // applyRule runs one rule over the graph, emitting its trace span.

@@ -1,0 +1,106 @@
+package sqltypes
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCompareMixedNumeric pins the ordering of mixed int/float operand
+// pairs, including integers beyond 2^53 where promotion to float64 would
+// round and report false equality.
+func TestCompareMixedNumeric(t *testing.T) {
+	const big = int64(1) << 62 // not representable as float64
+	cases := []struct {
+		name string
+		a, b Value
+		c    int
+		ok   bool
+	}{
+		{"int=int", NewInt(3), NewInt(3), 0, true},
+		{"int<float", NewInt(3), NewFloat(3.5), -1, true},
+		{"int>float", NewInt(4), NewFloat(3.5), 1, true},
+		{"int=float", NewInt(3), NewFloat(3.0), 0, true},
+		{"float<int", NewFloat(2.5), NewInt(3), -1, true},
+		{"negfrac", NewInt(-3), NewFloat(-3.5), 1, true},
+		{"negfrac2", NewInt(-4), NewFloat(-3.5), -1, true},
+		{"zero=negzero", NewInt(0), NewFloat(math.Copysign(0, -1)), 0, true},
+		// 2^62 rounds to itself? No: 2^62 is a power of two, exactly
+		// representable. Use 2^62+1, which rounds to 2^62 under float64.
+		{"bigint>roundedfloat", NewInt(big + 1), NewFloat(float64(big)), 1, true},
+		{"bigint=exactfloat", NewInt(big), NewFloat(float64(big)), 0, true},
+		{"roundedfloat<bigint", NewFloat(float64(big)), NewInt(big + 1), -1, true},
+		// 2^53+1 is the smallest positive integer float64 cannot hold.
+		{"2^53+1 vs 2^53.0", NewInt(1<<53 + 1), NewFloat(1 << 53), 1, true},
+		{"maxint<+inf", NewInt(math.MaxInt64), NewFloat(math.Inf(1)), -1, true},
+		{"minint>-inf", NewInt(math.MinInt64), NewFloat(math.Inf(-1)), 1, true},
+		{"minint=-2^63.0", NewInt(math.MinInt64), NewFloat(-9223372036854775808.0), 0, true},
+		{"int-nan", NewInt(1), NewFloat(math.NaN()), 0, false},
+		{"nan-nan", NewFloat(math.NaN()), NewFloat(math.NaN()), 0, false},
+		{"null", Null, NewInt(1), 0, false},
+		{"crosskind", NewInt(1), NewString("1"), 0, false},
+	}
+	for _, tc := range cases {
+		c, ok := Compare(tc.a, tc.b)
+		if c != tc.c || ok != tc.ok {
+			t.Errorf("%s: Compare(%v, %v) = (%d, %v), want (%d, %v)",
+				tc.name, tc.a, tc.b, c, ok, tc.c, tc.ok)
+		}
+	}
+}
+
+// TestCompareKeyConsistency: Identical(a, b) must hold exactly when the
+// canonical Key encodings agree — hash joins and grouping rely on it.
+func TestCompareKeyConsistency(t *testing.T) {
+	vals := []Value{
+		Null, NewInt(0), NewInt(3), NewInt(-3), NewFloat(3), NewFloat(3.5),
+		NewFloat(math.Copysign(0, -1)), NewFloat(0),
+		NewInt(1<<53 + 1), NewFloat(1 << 53), NewInt(1 << 53),
+		NewInt(1<<62 + 1), NewFloat(1 << 62), NewInt(1 << 62),
+		NewInt(math.MaxInt64), NewInt(math.MinInt64),
+		NewFloat(-9223372036854775808.0),
+		NewString("3"), NewString(""), NewBool(true), NewBool(false),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			id := Identical(a, b)
+			keyEq := Key([]Value{a}) == Key([]Value{b})
+			if id != keyEq {
+				t.Errorf("Identical(%v, %v) = %v but key equality = %v", a, b, id, keyEq)
+			}
+		}
+	}
+}
+
+// TestCompareAvgVsInt mimics the executor comparing an AVG result (always
+// DOUBLE) against an integer column.
+func TestCompareAvgVsInt(t *testing.T) {
+	avg := func(sum, n int64) Value { return NewFloat(float64(sum) / float64(n)) }
+	cases := []struct {
+		name   string
+		column Value
+		avg    Value
+		c      int
+		ok     bool
+	}{
+		{"col<avg", NewInt(2), avg(5, 2), -1, true}, // 2 vs 2.5
+		{"col>avg", NewInt(3), avg(5, 2), 1, true},
+		{"col=avg", NewInt(3), avg(6, 2), 0, true},
+		{"col=avg-exact-third", NewInt(1), avg(10, 3), -1, true}, // 1 vs 3.33
+		{"null-col", Null, avg(6, 2), 0, false},
+	}
+	for _, tc := range cases {
+		c, ok := Compare(tc.column, tc.avg)
+		if c != tc.c || ok != tc.ok {
+			t.Errorf("%s: Compare(%v, %v) = (%d, %v), want (%d, %v)",
+				tc.name, tc.column, tc.avg, c, ok, tc.c, tc.ok)
+		}
+	}
+	// Antisymmetry on the mixed pairs.
+	for _, tc := range cases {
+		c1, ok1 := Compare(tc.column, tc.avg)
+		c2, ok2 := Compare(tc.avg, tc.column)
+		if ok1 != ok2 || c1 != -c2 {
+			t.Errorf("%s: Compare not antisymmetric: (%d,%v) vs (%d,%v)", tc.name, c1, ok1, c2, ok2)
+		}
+	}
+}

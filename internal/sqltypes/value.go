@@ -179,12 +179,26 @@ func Compare(a, b Value) (int, bool) {
 			}
 			return 0, true
 		}
-		af, bf := a.AsFloat(), b.AsFloat()
+		// Mixed int/float: compare exactly. Promoting the integer to
+		// float64 would round values beyond 2^53 and disagree with the
+		// exact AppendKey encoding (Identical must match Key equality).
+		if a.K == KindInt {
+			c, ok := compareIntFloat(a.I, b.F)
+			return c, ok
+		}
+		if b.K == KindInt {
+			c, ok := compareIntFloat(b.I, a.F)
+			return -c, ok
+		}
+		af, bf := a.F, b.F
 		switch {
 		case af < bf:
 			return -1, true
 		case af > bf:
 			return 1, true
+		}
+		if af != bf { // NaN on either side: incomparable
+			return 0, false
 		}
 		return 0, true
 	}
@@ -205,6 +219,38 @@ func Compare(a, b Value) (int, bool) {
 		return ai - bi, true
 	}
 	return 0, false
+}
+
+// compareIntFloat orders an int64 against a float64 without converting the
+// integer to float (which rounds beyond 2^53). ok=false only for NaN.
+func compareIntFloat(i int64, f float64) (int, bool) {
+	if math.IsNaN(f) {
+		return 0, false
+	}
+	// Every int64 is < 2^63 ≤ f here; the negative bound -2^63 is itself
+	// exactly representable, so values below it are strictly smaller.
+	if f >= 9223372036854775808.0 { // 2^63
+		return -1, true
+	}
+	if f < -9223372036854775808.0 { // < -2^63
+		return 1, true
+	}
+	t := int64(f) // exact truncation toward zero: |f| < 2^63
+	switch {
+	case i < t:
+		return -1, true
+	case i > t:
+		return 1, true
+	}
+	// Integer parts agree; the fraction decides.
+	frac := f - float64(t)
+	switch {
+	case frac > 0:
+		return -1, true
+	case frac < 0:
+		return 1, true
+	}
+	return 0, true
 }
 
 // Equal reports SQL equality as a Tri (Unknown when either side is NULL).

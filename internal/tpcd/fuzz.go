@@ -1,0 +1,197 @@
+package tpcd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// The fuzz instances below feed the differential harness (internal/differ).
+// They keep the paper's schemas but shrink the value domains so duplicates,
+// empty correlation groups and NULLs all occur within a handful of rows,
+// and they honor the declared keys (Dayal's rewrite groups by them, so a
+// key column with duplicates would turn data bugs into phantom engine
+// bugs).
+
+// EmpDeptRandom builds a random EMP/DEPT instance with NULLs in every
+// non-key column. nDept and nEmp are the row-count knobs the shrinker
+// turns; buildings span a domain of nBuildings values of which employees
+// only use three quarters, so COUNT-bug witnesses (departments in
+// employee-free buildings) keep appearing at every size.
+func EmpDeptRandom(seed int64, nDept, nEmp, nBuildings int) *storage.DB {
+	rng := rand.New(rand.NewSource(seed))
+	if nBuildings < 1 {
+		nBuildings = 1
+	}
+	db := storage.NewDB()
+	dept := db.Create(deptDef())
+	emp := db.Create(empDef())
+	maybe := func(p float64, v sqltypes.Value) sqltypes.Value {
+		if rng.Float64() < p {
+			return sqltypes.Null
+		}
+		return v
+	}
+	for i := 0; i < nDept; i++ {
+		must(dept.Insert(storage.Row{
+			sqltypes.NewString(fmt.Sprintf("dept-%d", i)),
+			maybe(0.15, sqltypes.NewInt(int64(rng.Intn(9)*1000))),
+			maybe(0.15, sqltypes.NewInt(int64(rng.Intn(6)))),
+			maybe(0.15, sqltypes.NewString(fmt.Sprintf("B%d", rng.Intn(nBuildings)))),
+		}))
+	}
+	empBuildings := nBuildings - nBuildings/4
+	if empBuildings < 1 {
+		empBuildings = 1
+	}
+	for i := 0; i < nEmp; i++ {
+		must(emp.Insert(storage.Row{
+			sqltypes.NewString(fmt.Sprintf("emp-%d", i)),
+			maybe(0.2, sqltypes.NewString(fmt.Sprintf("B%d", rng.Intn(empBuildings)))),
+		}))
+	}
+	if rng.Intn(2) == 0 {
+		must(emp.CreateIndex("building"))
+	}
+	return db
+}
+
+// TPCDMini builds a miniature TPC-D instance: the five tables of Generate
+// with roughly n rows each, tiny value domains, and NULLs in the non-key
+// columns. Floats land on halves so int/float comparisons hit equality.
+func TPCDMini(seed int64, n int) *storage.DB {
+	rng := rand.New(rand.NewSource(seed))
+	if n < 1 {
+		n = 1
+	}
+	db := storage.NewDB()
+	maybe := func(p float64, v sqltypes.Value) sqltypes.Value {
+		if rng.Float64() < p {
+			return sqltypes.Null
+		}
+		return v
+	}
+	halfFloat := func(max int) sqltypes.Value {
+		return sqltypes.NewFloat(float64(rng.Intn(2*max)) / 2)
+	}
+
+	parts := db.Create(schema.NewTable("parts",
+		schema.Column{Name: "p_partkey", Type: schema.TInt},
+		schema.Column{Name: "p_name", Type: schema.TString},
+		schema.Column{Name: "p_brand", Type: schema.TString},
+		schema.Column{Name: "p_type", Type: schema.TString},
+		schema.Column{Name: "p_size", Type: schema.TInt},
+		schema.Column{Name: "p_container", Type: schema.TString},
+		schema.Column{Name: "p_retailprice", Type: schema.TFloat},
+	))
+	parts.Def.AddKey("p_partkey")
+	for i := 0; i < n; i++ {
+		must(parts.Insert(storage.Row{
+			sqltypes.NewInt(int64(i + 1)),
+			sqltypes.NewString(fmt.Sprintf("part-%d", i+1)),
+			maybe(0.15, sqltypes.NewString(fmt.Sprintf("Brand#%d", 1+rng.Intn(3)))),
+			maybe(0.15, sqltypes.NewString(Metals[rng.Intn(2)])),
+			maybe(0.15, sqltypes.NewInt(int64(1+rng.Intn(4)))),
+			maybe(0.15, sqltypes.NewString(Containers[rng.Intn(2)])),
+			maybe(0.15, halfFloat(5)),
+		}))
+	}
+
+	suppliers := db.Create(schema.NewTable("suppliers",
+		schema.Column{Name: "s_suppkey", Type: schema.TInt},
+		schema.Column{Name: "s_name", Type: schema.TString},
+		schema.Column{Name: "s_acctbal", Type: schema.TFloat},
+		schema.Column{Name: "s_address", Type: schema.TString},
+		schema.Column{Name: "s_phone", Type: schema.TString},
+		schema.Column{Name: "s_comment", Type: schema.TString},
+		schema.Column{Name: "s_nation", Type: schema.TString},
+		schema.Column{Name: "s_region", Type: schema.TString},
+	))
+	suppliers.Def.AddKey("s_suppkey")
+	nSupp := n/2 + 1
+	for i := 0; i < nSupp; i++ {
+		nation, region := nationOf(rng.Intn(4))
+		must(suppliers.Insert(storage.Row{
+			sqltypes.NewInt(int64(i + 1)),
+			sqltypes.NewString(fmt.Sprintf("Supplier#%d", i+1)),
+			maybe(0.15, halfFloat(5)),
+			sqltypes.NewString(fmt.Sprintf("addr-%d", i+1)),
+			sqltypes.NewString("000"),
+			sqltypes.NewString("mini supplier"),
+			maybe(0.15, sqltypes.NewString(nation)),
+			maybe(0.15, sqltypes.NewString(region)),
+		}))
+	}
+
+	partsupp := db.Create(schema.NewTable("partsupp",
+		schema.Column{Name: "ps_partkey", Type: schema.TInt},
+		schema.Column{Name: "ps_suppkey", Type: schema.TInt},
+		schema.Column{Name: "ps_availqty", Type: schema.TInt},
+		schema.Column{Name: "ps_supplycost", Type: schema.TFloat},
+	))
+	partsupp.Def.AddKey("ps_partkey", "ps_suppkey")
+	// A random subset of (part, supplier) pairs, so some parts have no
+	// suppliers at all (empty correlation groups).
+	for p := 1; p <= n; p++ {
+		for s := 1; s <= nSupp; s++ {
+			if rng.Float64() > 0.4 {
+				continue
+			}
+			must(partsupp.Insert(storage.Row{
+				sqltypes.NewInt(int64(p)),
+				sqltypes.NewInt(int64(s)),
+				maybe(0.15, sqltypes.NewInt(int64(rng.Intn(5)))),
+				maybe(0.15, halfFloat(4)),
+			}))
+		}
+	}
+
+	lineitem := db.Create(schema.NewTable("lineitem",
+		schema.Column{Name: "l_orderkey", Type: schema.TInt},
+		schema.Column{Name: "l_partkey", Type: schema.TInt},
+		schema.Column{Name: "l_suppkey", Type: schema.TInt},
+		schema.Column{Name: "l_quantity", Type: schema.TInt},
+		schema.Column{Name: "l_extendedprice", Type: schema.TFloat},
+	))
+	lineitem.Def.AddKey("l_orderkey")
+	for i := 0; i < n; i++ {
+		must(lineitem.Insert(storage.Row{
+			sqltypes.NewInt(int64(i + 1)),
+			// Part keys range past n so some line items match no part.
+			maybe(0.1, sqltypes.NewInt(int64(1+rng.Intn(n+2)))),
+			maybe(0.1, sqltypes.NewInt(int64(1+rng.Intn(nSupp+1)))),
+			maybe(0.15, sqltypes.NewInt(int64(1+rng.Intn(4)))),
+			maybe(0.15, halfFloat(6)),
+		}))
+	}
+
+	customers := db.Create(schema.NewTable("customers",
+		schema.Column{Name: "c_custkey", Type: schema.TInt},
+		schema.Column{Name: "c_name", Type: schema.TString},
+		schema.Column{Name: "c_acctbal", Type: schema.TFloat},
+		schema.Column{Name: "c_mktsegment", Type: schema.TString},
+		schema.Column{Name: "c_nation", Type: schema.TString},
+		schema.Column{Name: "c_region", Type: schema.TString},
+	))
+	customers.Def.AddKey("c_custkey")
+	for i := 0; i < n/2+1; i++ {
+		nation, region := nationOf(rng.Intn(4))
+		must(customers.Insert(storage.Row{
+			sqltypes.NewInt(int64(i + 1)),
+			sqltypes.NewString(fmt.Sprintf("Customer#%d", i+1)),
+			maybe(0.15, halfFloat(5)),
+			maybe(0.15, sqltypes.NewString(Segments[rng.Intn(2)])),
+			maybe(0.15, sqltypes.NewString(nation)),
+			maybe(0.15, sqltypes.NewString(region)),
+		}))
+	}
+
+	if rng.Intn(2) == 0 {
+		must(partsupp.CreateIndex("ps_partkey"))
+		must(lineitem.CreateIndex("l_partkey"))
+	}
+	return db
+}
