@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench fmt fuzz-smoke
+.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke
 
 # check is the CI gate: static analysis, a full build, and the test suite
 # under the race detector.
@@ -18,6 +18,14 @@ test:
 # bench regenerates every paper figure as a Go benchmark (shortened).
 bench:
 	$(GO) test -short -bench=. -benchmem ./...
+
+# bench-smoke runs every paper figure benchmark once (-benchtime=1x) and
+# emits machine-readable results to BENCH_exec.json — a cheap CI check
+# that the measurement path itself works, not a performance gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure[5-9]' -benchtime=1x -short . \
+		| $(GO) run ./cmd/benchjson > BENCH_exec.json
+	@echo "wrote BENCH_exec.json ($$(wc -c < BENCH_exec.json) bytes)"
 
 # fuzz-smoke runs the differential correctness harness deterministically:
 # a fixed seed, 200 generated queries, every strategy and knob combination

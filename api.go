@@ -83,8 +83,10 @@ var (
 // NewEngine creates an execution engine over db with the paper's default
 // knobs (full decorrelation, outer joins available). Optional behavior is
 // toggled on the returned engine: CoreOpts (the §4.4 decorrelation knobs),
-// MaterializeCSE (§5.3 ablation), and MagicSets ([MFPR90] join-binding
-// propagation).
+// MaterializeCSE (§5.3 ablation), MagicSets ([MFPR90] join-binding
+// propagation), and Workers (intra-query parallelism: 0 = GOMAXPROCS,
+// 1 = single-threaded; results are identical at every setting — see
+// docs/parallel-execution.md).
 func NewEngine(db *DB) *Engine { return engine.New(db) }
 
 // NewDB creates an empty database.

@@ -12,8 +12,10 @@ package decorr_test
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"decorr"
 	"decorr/internal/classic"
@@ -100,6 +102,87 @@ func BenchmarkFigure8(b *testing.B) { benchFigure(b, tpcdOnce(), decorr.Query2) 
 // BenchmarkFigure9 — Query 3: non-linear UNION subquery, 5 distinct
 // bindings; Kim and Dayal are skipped (inapplicable).
 func BenchmarkFigure9(b *testing.B) { benchFigure(b, tpcdOnce(), decorr.Query3) }
+
+// BenchmarkParallelSpeedup measures the real multi-core gain of the morsel
+// scheduler: every Figure 5–9 workload, every strategy, workers=1 versus
+// workers=NumCPU, reporting the wall-clock ratio as a speedup/op metric
+// (1.0 on a single-CPU host — the scheduler degenerates to the inline
+// sequential path there). The first iteration also re-verifies the
+// determinism contract: both worker counts must produce identical rows in
+// identical order.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	ncpu := runtime.NumCPU()
+	figures := []struct {
+		name, sql string
+		db        func() *decorr.DB
+	}{
+		{"Figure5", decorr.Query1, tpcdOnce},
+		{"Figure6", decorr.Query1b, tpcdOnce},
+		{"Figure7", decorr.Query1b, tpcdNoIndexOnce},
+		{"Figure8", decorr.Query2, tpcdOnce},
+		{"Figure9", decorr.Query3, tpcdOnce},
+	}
+	for _, fig := range figures {
+		for _, s := range figureStrategies {
+			b.Run(fig.name+"/"+s.String(), func(b *testing.B) {
+				db := fig.db()
+				prep := func(workers int) (*decorr.Prepared, error) {
+					e := decorr.NewEngine(db)
+					e.Workers = workers
+					return e.Prepare(fig.sql, s)
+				}
+				p1, err := prep(1)
+				if errors.Is(err, classic.ErrNotApplicable) {
+					b.Skipf("%s: %v (matches the paper's missing bar)", s, err)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				pN, err := prep(ncpu)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows1, _, err := p1.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rowsN, _, err := pN.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows1) != len(rowsN) {
+					b.Fatalf("workers=1 produced %d rows, workers=%d produced %d", len(rows1), ncpu, len(rowsN))
+				}
+				for i := range rows1 {
+					for j := range rows1[i] {
+						if rows1[i][j].String() != rowsN[i][j].String() {
+							b.Fatalf("row %d col %d: workers=1 %q, workers=%d %q",
+								i, j, rows1[i][j], ncpu, rowsN[i][j])
+						}
+					}
+				}
+				var t1, tN time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					start := time.Now()
+					if _, _, err := p1.Run(); err != nil {
+						b.Fatal(err)
+					}
+					t1 += time.Since(start)
+					start = time.Now()
+					if _, _, err := pN.Run(); err != nil {
+						b.Fatal(err)
+					}
+					tN += time.Since(start)
+				}
+				if tN > 0 {
+					b.ReportMetric(float64(t1)/float64(tN), "speedup/op")
+				}
+				b.ReportMetric(float64(ncpu), "workers")
+			})
+		}
+	}
+}
 
 // BenchmarkExampleQuery — the §2 running example under every strategy
 // (including Ganski/Wong, which applies to its single-table outer block).

@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON array, one object per benchmark result:
+//
+//	go test -bench 'BenchmarkFigure[5-9]' -benchtime=1x . | benchjson > BENCH_exec.json
+//
+// Each object carries the benchmark name (procs suffix split off),
+// iteration count, ns/op, and every custom metric the benchmark reported
+// (rows/op, speedup/op, ...). Non-benchmark lines are passed through to
+// stderr so failures stay visible in CI logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var results []result
+	ok := true
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			fmt.Fprintln(os.Stderr, line)
+			if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+				ok = false
+			}
+			continue
+		}
+		if r, err := parseLine(line); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+		} else {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if results == nil {
+		results = []result{} // emit [] rather than null for empty runs
+	}
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one benchmark result line, e.g.
+//
+//	BenchmarkFigure5/magic-8  3  431002 ns/op  12.0 rows/op  2.1 speedup/op
+func parseLine(line string) (result, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return result{}, fmt.Errorf("too few fields")
+	}
+	r := result{Name: f[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(f[0], "-"); i >= 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			r.Name, r.Procs = f[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, fmt.Errorf("iterations: %w", err)
+	}
+	r.Iterations = iters
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, fmt.Errorf("value %q: %w", f[i], err)
+		}
+		if f[i+1] == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[f[i+1]] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, nil
+}

@@ -62,6 +62,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the metrics-registry delta for this invocation")
 	stats := flag.Bool("stats", false, "print work counters")
 	compare := flag.Bool("compare", false, "run the query under every strategy")
+	workers := flag.Int("workers", 0, "executor worker goroutines (0 = GOMAXPROCS, 1 = single-threaded)")
 	interactive := flag.Bool("i", false, "interactive REPL (statements end with ';')")
 	script := flag.String("f", "", "execute a file of semicolon-separated statements")
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 	if *interactive || *script != "" {
 		db := buildDB(*dataset, *sf, *seed)
 		eng := decorr.NewEngine(db)
+		eng.Workers = *workers
 		finishTrace := attachTracer(eng, *traceFile)
 		if *script != "" {
 			f, err := os.Open(*script)
@@ -115,6 +117,7 @@ func main() {
 
 	db := buildDB(*dataset, *sf, *seed)
 	eng := decorr.NewEngine(db)
+	eng.Workers = *workers
 	finishTrace := attachTracer(eng, *traceFile)
 
 	if *compare {

@@ -50,6 +50,7 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
   \explain   toggle plan printing
   \analyze   toggle per-box profiles
   \timing    toggle wall-clock reporting
+  \workers N set executor worker goroutines (0 = GOMAXPROCS, 1 = serial)
   \trace     toggle per-statement pipeline traces
   \metrics   print the process metrics registry
   \q         quit`)
@@ -70,6 +71,15 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 			case trimmed == "\\timing":
 				timing = !timing
 				fmt.Printf("timing = %v\n", timing)
+			case strings.HasPrefix(trimmed, "\\workers"):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\workers"))
+				var n int
+				if _, err := fmt.Sscanf(arg, "%d", &n); err != nil || n < 0 {
+					fmt.Printf("usage: \\workers N (0 = GOMAXPROCS, 1 = single-threaded)\n")
+				} else {
+					eng.Workers = n
+					fmt.Printf("workers = %d\n", n)
+				}
 			case trimmed == "\\trace":
 				if ring == nil {
 					ring = trace.NewRingSink(0)

@@ -165,6 +165,11 @@ func Run(cfg Config) *Report {
 	return rep
 }
 
+// parallelCheckWorkers is the worker count of the fuzzer's determinism
+// cross-check (>1 so morsels actually interleave, small so the single-CPU
+// CI runner is not oversubscribed).
+const parallelCheckWorkers = 4
+
 // runCase executes one statement under the oracle and all variants.
 func runCase(rep *Report, dbs DBSpec, q Query, out io.Writer) {
 	sql := q.SQL()
@@ -176,6 +181,11 @@ func runCase(rep *Report, dbs DBSpec, q Query, out io.Writer) {
 		rep.OracleSkips++
 		fmt.Fprintf(out, "oracle-skip [%s]: %v\n  sql: %s\n", dbs, err, sql)
 		return
+	}
+	if d := parallelCheck(rep, db, Variant{Name: "ni", Strategy: engine.NI}, sql, want); d != nil {
+		d.DB = dbs
+		rep.Divergences = append(rep.Divergences, d)
+		fmt.Fprintf(out, "DIVERGENCE %s\n%s\n", d.Variant, d)
 	}
 	wantBag := bagOf(want)
 	for _, v := range Variants() {
@@ -190,6 +200,13 @@ func runCase(rep *Report, dbs DBSpec, q Query, out io.Writer) {
 			rep.Divergences = append(rep.Divergences, d)
 			fmt.Fprintf(out, "DIVERGENCE %s\n%s\n", d.Variant, d)
 			continue
+		}
+		if v.Configure == nil {
+			if d := parallelCheck(rep, db, v, sql, got); d != nil {
+				d.DB = dbs
+				rep.Divergences = append(rep.Divergences, d)
+				fmt.Fprintf(out, "DIVERGENCE %s\n%s\n", d.Variant, d)
+			}
 		}
 		gotBag := bagOf(got)
 		if bagsEqual(gotBag, wantBag) {
@@ -206,6 +223,35 @@ func runCase(rep *Report, dbs DBSpec, q Query, out io.Writer) {
 		rep.Divergences = append(rep.Divergences, d)
 		fmt.Fprintf(out, "DIVERGENCE %s\n%s\nrepro:\n%s\n", d.Variant, d, d.ReproTest)
 	}
+}
+
+// parallelCheck re-runs the variant at workers>1 and compares against the
+// single-threaded rows — *ordered, unsorted* equality, because the engine's
+// contract is determinism at any worker count, not just the same bag. The
+// shrinker is skipped: the single-threaded run is the reference, so the
+// statement itself already is the reproducer.
+func parallelCheck(rep *Report, db *storage.DB, v Variant, sql string, seq []storage.Row) *Divergence {
+	e := engine.New(db)
+	e.Workers = parallelCheckWorkers
+	if v.Configure != nil {
+		v.Configure(e)
+	}
+	name := v.Name + "-parallel"
+	got, _, err := e.Query(sql, v.Strategy)
+	if err != nil {
+		return &Divergence{Variant: name, SQL: sql, Err: fmt.Errorf("workers=%d: %w", parallelCheckWorkers, err)}
+	}
+	wantR, gotR := renderOrdered(seq), renderOrdered(got)
+	if len(wantR) != len(gotR) {
+		return &Divergence{Variant: name, SQL: sql, Want: wantR, Got: gotR}
+	}
+	for i := range wantR {
+		if wantR[i] != gotR[i] {
+			return &Divergence{Variant: name, SQL: sql, Want: wantR, Got: gotR}
+		}
+	}
+	rep.Comparisons++
+	return nil
 }
 
 // allowlistedKim recognizes Kim's documented historical wrongness: scalar
@@ -261,6 +307,14 @@ func bagSubset(sub, super map[string]int) bool {
 }
 
 func renderSorted(rows []storage.Row) []string {
+	out := renderOrdered(rows)
+	sort.Strings(out)
+	return out
+}
+
+// renderOrdered renders rows preserving engine order (the parallel
+// determinism check compares order, not just contents).
+func renderOrdered(rows []storage.Row) []string {
 	out := make([]string, len(rows))
 	for i, r := range rows {
 		parts := make([]string, len(r))
@@ -269,7 +323,6 @@ func renderSorted(rows []storage.Row) []string {
 		}
 		out[i] = strings.Join(parts, "|")
 	}
-	sort.Strings(out)
 	return out
 }
 

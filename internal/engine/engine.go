@@ -93,9 +93,14 @@ type Engine struct {
 	// equi-joined into a block are restricted to the distinct join
 	// bindings before they aggregate.
 	MagicSets bool
+	// Workers bounds intra-query parallelism in the executor: 0 means
+	// GOMAXPROCS, 1 forces single-threaded execution. Results are
+	// bit-identical and identically ordered at every setting.
+	Workers int
 	// Tracer, when non-nil, threads span/event tracing through the whole
 	// pipeline: parse, semant, every rewrite rule, decorrelation steps,
-	// and per-box execution. Nil disables tracing at zero cost.
+	// and per-box execution. Nil disables tracing at zero cost. Attaching
+	// a tracer serializes execution (see exec.Options.Tracer).
 	Tracer *trace.Tracer
 	// CleanupFactory overrides the cleanup rewrite engine run before and
 	// after the strategy rewrite; nil means rewrite.NewCleanup(). The
@@ -329,6 +334,7 @@ func (p *Prepared) Run() ([]storage.Row, *exec.Stats, error) {
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
 		MemoizeCorrelated: p.Strategy == NIMemo,
+		Workers:           p.engine.Workers,
 		Tracer:            p.engine.Tracer,
 	})
 	sp := p.engine.Tracer.Begin("execute", "engine", trace.Str("strategy", p.Strategy.String()))
@@ -353,6 +359,7 @@ func (p *Prepared) ExplainAnalyze() (string, error) {
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
 		MemoizeCorrelated: p.Strategy == NIMemo,
+		Workers:           p.engine.Workers,
 		Tracer:            p.engine.Tracer,
 	})
 	ex.EnableProfiling()

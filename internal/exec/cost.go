@@ -29,13 +29,16 @@ func (ex *Exec) EstimateRows(b *qgm.Box) float64 { return ex.estBoxRows(b) }
 // inputs). Callers evaluating a whole graph should go through
 // EstimateCost, which primes the reference-count analysis.
 func (ex *Exec) EstimateBoxCost(b *qgm.Box) float64 {
+	ex.estMu.Lock()
 	if ex.costMemo == nil {
 		ex.costMemo = map[*qgm.Box]float64{}
 	}
 	if c, ok := ex.costMemo[b]; ok {
+		ex.estMu.Unlock()
 		return c
 	}
 	ex.costMemo[b] = 0 // cycle guard
+	ex.estMu.Unlock()
 	var c float64
 	switch b.Kind {
 	case qgm.BoxBase:
@@ -57,7 +60,9 @@ func (ex *Exec) EstimateBoxCost(b *qgm.Box) float64 {
 	if refs := ex.refCount[b]; refs > 1 && !ex.isCorrelated(b) && !ex.opts.MaterializeCSE {
 		c *= float64(refs)
 	}
+	ex.estMu.Lock()
 	ex.costMemo[b] = c
+	ex.estMu.Unlock()
 	return c
 }
 

@@ -20,12 +20,19 @@ const (
 	defaultNDVRatio = 10.0
 )
 
-// estBoxRows estimates the output cardinality of a box, memoized.
+// estBoxRows estimates the output cardinality of a box, memoized. analyze
+// warms the memo for every box reachable from the Run root before any
+// fan-out, so calls during parallel execution are pure memo hits and the
+// join order cannot depend on which worker resolved an estimate first; the
+// lock is for -race cleanliness on the estimation-only entry points.
 func (ex *Exec) estBoxRows(b *qgm.Box) float64 {
+	ex.estMu.Lock()
 	if v, ok := ex.est[b]; ok {
+		ex.estMu.Unlock()
 		return v
 	}
 	ex.est[b] = 1 // guard against cycles (impossible in valid graphs)
+	ex.estMu.Unlock()
 	var v float64
 	switch b.Kind {
 	case qgm.BoxBase:
@@ -69,7 +76,9 @@ func (ex *Exec) estBoxRows(b *qgm.Box) float64 {
 	default:
 		v = 1
 	}
+	ex.estMu.Lock()
 	ex.est[b] = v
+	ex.estMu.Unlock()
 	return v
 }
 

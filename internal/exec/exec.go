@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"decorr/internal/qgm"
@@ -21,6 +22,14 @@ type Options struct {
 	// MemoizeCorrelated caches correlated subquery results per binding —
 	// the NI-with-memo variant used as an extra baseline.
 	MemoizeCorrelated bool
+	// Workers bounds intra-query parallelism: the number of goroutines
+	// (including the caller) the morsel scheduler may use for one Run.
+	// Zero or negative selects runtime.GOMAXPROCS(0); one forces the
+	// classic single-threaded volcano behavior. Result rows are
+	// bit-identical and identically ordered at every setting — only wall
+	// clock (and scheduling-sensitive counters like CSERecomputes and
+	// MemoHits) changes. See docs/parallel-execution.md.
+	Workers int
 	// Tracer, when non-nil, receives one span per box evaluation with the
 	// box identity, produced rows, and wall time. The nil case is a single
 	// pointer check on the hot path (no timing, no allocations).
@@ -29,34 +38,58 @@ type Options struct {
 
 // Exec evaluates QGM graphs against a database. An Exec is single-use per
 // Run for statistics purposes but may be reused; counters accumulate.
+// One Run fans out internally across Options.Workers goroutines, but Run
+// itself must not be called concurrently on the same Exec.
 type Exec struct {
 	db    *storage.DB
 	opts  Options
 	Stats Stats
 
-	freeRefs  map[*qgm.Box][]qgm.RefKey
-	refCount  map[*qgm.Box]int
-	evalCount map[*qgm.Box]int
-	cse       map[*qgm.Box][]storage.Row
-	memo      map[*qgm.Box]map[string][]storage.Row
-	bindings  map[*qgm.Box]map[string]bool
-	est       map[*qgm.Box]float64
-	costMemo  map[*qgm.Box]float64
-	profile   map[*qgm.Box]*BoxProfile
+	workers int
+	sem     chan struct{} // worker tokens shared by nested parallel regions
+
+	// mu guards the cross-worker memo state (cse, memo, bindings) and the
+	// profile map. freeRefs and refCount are written only by analyze
+	// (before any fan-out) and read-only afterwards; est and costMemo have
+	// their own lock (estMu) because they are read from the scheduling
+	// hot path.
+	mu sync.Mutex
+
+	freeRefs map[*qgm.Box][]qgm.RefKey
+	refCount map[*qgm.Box]int
+	cse      map[*qgm.Box][]storage.Row
+	memo     map[*qgm.Box]map[string][]storage.Row
+	bindings map[*qgm.Box]map[string]bool
+
+	estMu    sync.Mutex
+	est      map[*qgm.Box]float64
+	costMemo map[*qgm.Box]float64
+
+	profile map[*qgm.Box]*BoxProfile
 }
 
 // New creates an executor over db.
 func New(db *storage.DB, opts Options) *Exec {
+	w := resolveWorkers(opts.Workers)
+	if opts.Tracer != nil {
+		// Span trees are part of the observability contract: the golden
+		// trace tests (and anyone reading a trace) expect parent/child
+		// nesting to mirror the plan. The tracer's LIFO depth tracking
+		// cannot express interleaved concurrent box spans, so attaching a
+		// tracer serializes execution. Profiling and metrics do not.
+		w = 1
+	}
 	return &Exec{
-		db:        db,
-		opts:      opts,
-		freeRefs:  map[*qgm.Box][]qgm.RefKey{},
-		refCount:  map[*qgm.Box]int{},
-		evalCount: map[*qgm.Box]int{},
-		cse:       map[*qgm.Box][]storage.Row{},
-		memo:      map[*qgm.Box]map[string][]storage.Row{},
-		bindings:  map[*qgm.Box]map[string]bool{},
-		est:       map[*qgm.Box]float64{},
+		db:       db,
+		opts:     opts,
+		workers:  w,
+		sem:      make(chan struct{}, w-1),
+		freeRefs: map[*qgm.Box][]qgm.RefKey{},
+		refCount: map[*qgm.Box]int{},
+		cse:      map[*qgm.Box][]storage.Row{},
+		memo:     map[*qgm.Box]map[string][]storage.Row{},
+		bindings: map[*qgm.Box]map[string]bool{},
+		est:      map[*qgm.Box]float64{},
 	}
 }
 
@@ -126,7 +159,12 @@ func sortRows(rows []storage.Row, keys []qgm.OrderKey) {
 	})
 }
 
-// analyze precomputes per-box free references and reference counts.
+// analyze precomputes per-box free references, reference counts, and
+// cardinality estimates. It runs single-threaded before any fan-out, so
+// that during execution the scheduler workers only ever *read* freeRefs,
+// refCount and (for join ordering) the primed est memo — keeping the join
+// order, and with it the output row order, identical at every worker
+// count.
 func (ex *Exec) analyze(root *qgm.Box) {
 	for _, b := range qgm.Boxes(root) {
 		if _, ok := ex.freeRefs[b]; !ok {
@@ -138,6 +176,9 @@ func (ex *Exec) analyze(root *qgm.Box) {
 		for _, q := range b.Quants {
 			ex.refCount[q.Input]++
 		}
+	}
+	for _, b := range qgm.Boxes(root) {
+		ex.estBoxRows(b)
 	}
 }
 
@@ -161,7 +202,9 @@ func dedupRefs(refs []*qgm.ColRef) []qgm.RefKey {
 }
 
 // isCorrelated reports whether box b has free references (i.e. needs outer
-// bindings to evaluate).
+// bindings to evaluate). Boxes reachable from the Run root are filled in by
+// analyze; the lazy path below only runs on the single-threaded estimation
+// entry points (EstimateCost and friends).
 func (ex *Exec) isCorrelated(b *qgm.Box) bool {
 	fr, ok := ex.freeRefs[b]
 	if !ok {
@@ -187,7 +230,10 @@ func (ex *Exec) bindingKey(b *qgm.Box, env *Env) (string, error) {
 
 // evalSubqueryInput evaluates the input box of a subquery-like quantifier
 // for one outer tuple, counting it as a correlated invocation when the box
-// is correlated, and applying the NI-memo knob.
+// is correlated, and applying the NI-memo knob. It is called concurrently
+// by scheduler workers fanning out over outer bindings; the bindings set
+// and memo cache are mutex-guarded, and a memo miss raced by two workers
+// computes the (identical) rows twice with the first store winning.
 func (ex *Exec) evalSubqueryInput(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	if !ex.isCorrelated(b) {
 		return ex.evalBox(b, env)
@@ -196,7 +242,8 @@ func (ex *Exec) evalSubqueryInput(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.Stats.SubqueryInvocations++
+	bump(&ex.Stats.SubqueryInvocations, 1)
+	ex.mu.Lock()
 	seen := ex.bindings[b]
 	if seen == nil {
 		seen = map[string]bool{}
@@ -204,23 +251,33 @@ func (ex *Exec) evalSubqueryInput(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	}
 	if !seen[key] {
 		seen[key] = true
-		ex.Stats.DistinctInvocations++
+		bump(&ex.Stats.DistinctInvocations, 1)
 	}
+	ex.mu.Unlock()
 	if ex.opts.MemoizeCorrelated {
+		ex.mu.Lock()
 		m := ex.memo[b]
 		if m == nil {
 			m = map[string][]storage.Row{}
 			ex.memo[b] = m
 		}
-		if rows, ok := m[key]; ok {
-			ex.Stats.MemoHits++
+		rows, ok := m[key]
+		ex.mu.Unlock()
+		if ok {
+			bump(&ex.Stats.MemoHits, 1)
 			return rows, nil
 		}
 		rows, err := ex.evalBox(b, env)
 		if err != nil {
 			return nil, err
 		}
-		m[key] = rows
+		ex.mu.Lock()
+		if prior, ok := m[key]; ok {
+			rows = prior // a racing worker stored the same result first
+		} else {
+			m[key] = rows
+		}
+		ex.mu.Unlock()
 		return rows, nil
 	}
 	return ex.evalBox(b, env)
@@ -229,15 +286,18 @@ func (ex *Exec) evalSubqueryInput(b *qgm.Box, env *Env) ([]storage.Row, error) {
 // evalBox evaluates any box under env, applying CSE policy for shared
 // uncorrelated boxes.
 func (ex *Exec) evalBox(b *qgm.Box, env *Env) ([]storage.Row, error) {
-	ex.Stats.BoxEvals++
+	bump(&ex.Stats.BoxEvals, 1)
 	shared := ex.refCount[b] > 1
 	uncorrelated := !ex.isCorrelated(b)
 	if uncorrelated && shared {
-		if rows, ok := ex.cse[b]; ok {
+		ex.mu.Lock()
+		rows, ok := ex.cse[b]
+		ex.mu.Unlock()
+		if ok {
 			if ex.opts.MaterializeCSE {
 				return rows, nil
 			}
-			ex.Stats.CSERecomputes++
+			bump(&ex.Stats.CSERecomputes, 1)
 		}
 	}
 	// Timing is gated on a pointer check so that plain execution (no
@@ -262,9 +322,11 @@ func (ex *Exec) evalBox(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		sp.End(trace.Int("rows", int64(len(rows))))
 	}
 	if uncorrelated && shared {
+		ex.mu.Lock()
 		if _, ok := ex.cse[b]; !ok {
 			ex.cse[b] = rows
 		}
+		ex.mu.Unlock()
 	}
 	return rows, nil
 }
@@ -276,7 +338,7 @@ func (ex *Exec) dispatch(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		if t == nil {
 			return nil, fmt.Errorf("exec: table %q has no storage", b.Table.Name)
 		}
-		ex.Stats.RowsScanned += int64(len(t.Rows))
+		bump(&ex.Stats.RowsScanned, int64(len(t.Rows)))
 		return t.Rows, nil
 	case qgm.BoxSelect:
 		return ex.evalSelect(b, env)
@@ -295,24 +357,34 @@ func (ex *Exec) dispatch(b *qgm.Box, env *Env) ([]storage.Row, error) {
 // evalSetDiff evaluates INTERSECT/EXCEPT with SQL multiset semantics:
 // INTERSECT ALL keeps min(countL, countR) copies, EXCEPT ALL keeps
 // max(0, countL - countR); the DISTINCT variants keep at most one copy of
-// each qualifying row.
+// each qualifying row. Both inputs evaluate in parallel; the count/emit
+// pass is sequential because each decision depends on how many copies
+// earlier (left-order) rows already emitted.
 func (ex *Exec) evalSetDiff(b *qgm.Box, env *Env) ([]storage.Row, error) {
-	left, err := ex.evalBox(b.Quants[0].Input, env)
+	ins, err := parallelChunks(ex, 2, 1, func(lo, _ int) ([]storage.Row, error) {
+		return ex.evalBox(b.Quants[lo].Input, env)
+	})
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.evalBox(b.Quants[1].Input, env)
+	left, right := ins[0], ins[1]
+	rowKey := func(r storage.Row) (string, error) { return sqltypes.Key(r), nil }
+	rKeys, err := parallelMap(ex, right, rowMorsel, rowKey)
+	if err != nil {
+		return nil, err
+	}
+	lKeys, err := parallelMap(ex, left, rowMorsel, rowKey)
 	if err != nil {
 		return nil, err
 	}
 	rCount := make(map[string]int, len(right))
-	for _, r := range right {
-		rCount[sqltypes.Key(r)]++
+	for _, k := range rKeys {
+		rCount[k]++
 	}
 	emitted := map[string]int{}
 	var out []storage.Row
-	for _, l := range left {
-		k := sqltypes.Key(l)
+	for i, l := range left {
+		k := lKeys[i]
 		n := emitted[k]
 		var keep bool
 		if b.Kind == qgm.BoxIntersect {
@@ -336,15 +408,18 @@ func (ex *Exec) evalSetDiff(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	return out, nil
 }
 
+// evalUnion evaluates every branch in parallel and concatenates the
+// results in declared branch order, so UNION ALL output — and the
+// first-occurrence order dedupeRows preserves for UNION DISTINCT — is the
+// same at any worker count.
 func (ex *Exec) evalUnion(b *qgm.Box, env *Env) ([]storage.Row, error) {
-	var out []storage.Row
-	for _, q := range b.Quants {
-		rows, err := ex.evalBox(q.Input, env)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rows...)
+	branches, err := parallelChunks(ex, len(b.Quants), 1, func(lo, _ int) ([]storage.Row, error) {
+		return ex.evalBox(b.Quants[lo].Input, env)
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := concat(branches)
 	if b.Distinct {
 		out = dedupeRows(out)
 	}
@@ -362,6 +437,12 @@ func dedupeRows(rows []storage.Row) []storage.Row {
 		}
 	}
 	return out
+}
+
+// groupState is one group's accumulation state during evalGroup.
+type groupState struct {
+	rep  *Env // representative binding for group expressions
+	accs []aggAcc
 }
 
 func (ex *Exec) evalGroup(b *qgm.Box, env *Env) ([]storage.Row, error) {
@@ -385,42 +466,15 @@ func (ex *Exec) evalGroup(b *qgm.Box, env *Env) ([]storage.Row, error) {
 			return true
 		})
 	}
-	type groupState struct {
-		rep  *Env // representative binding for group expressions
-		accs []aggAcc
-	}
-	groups := map[string]*groupState{}
+	var groups map[string]*groupState
 	var order []string
-	for _, row := range input {
-		renv := Bind(env, qg, row)
-		keyVals := make([]sqltypes.Value, len(b.GroupBy))
-		for i, ge := range b.GroupBy {
-			v, err := ex.EvalExpr(ge, renv)
-			if err != nil {
-				return nil, err
-			}
-			keyVals[i] = v
-		}
-		k := sqltypes.Key(keyVals)
-		gs := groups[k]
-		if gs == nil {
-			gs = &groupState{rep: renv, accs: make([]aggAcc, len(aggs))}
-			for i, a := range aggs {
-				gs.accs[i] = newAggAcc(a)
-			}
-			groups[k] = gs
-			order = append(order, k)
-		}
-		for i, a := range aggs {
-			var v sqltypes.Value
-			if a.Op != qgm.AggCountStar {
-				v, err = ex.EvalExpr(a.Arg, renv)
-				if err != nil {
-					return nil, err
-				}
-			}
-			gs.accs[i].add(v)
-		}
+	if mergeableAggs(aggs) {
+		groups, order, err = ex.groupByPartials(b, qg, aggs, input, env)
+	} else {
+		groups, order, err = ex.groupBySequentialFold(b, qg, aggs, input, env)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if len(input) == 0 && len(b.GroupBy) == 0 {
 		// Ungrouped aggregate over empty input yields exactly one row:
@@ -433,8 +487,7 @@ func (ex *Exec) evalGroup(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		groups[""] = gs
 		order = append(order, "")
 	}
-	out := make([]storage.Row, 0, len(groups))
-	for _, k := range order {
+	out, err := parallelMap(ex, order, rowMorsel, func(k string) (storage.Row, error) {
 		gs := groups[k]
 		row := make(storage.Row, len(b.Cols))
 		for i, c := range b.Cols {
@@ -444,10 +497,139 @@ func (ex *Exec) evalGroup(b *qgm.Box, env *Env) ([]storage.Row, error) {
 			}
 			row[i] = v
 		}
-		out = append(out, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	ex.Stats.RowsGrouped += int64(len(out))
+	bump(&ex.Stats.RowsGrouped, int64(len(out)))
 	return out, nil
+}
+
+// groupKeyVals evaluates the grouping key of one input row.
+func (ex *Exec) groupKeyVals(b *qgm.Box, renv *Env) (string, error) {
+	keyVals := make([]sqltypes.Value, len(b.GroupBy))
+	for i, ge := range b.GroupBy {
+		v, err := ex.EvalExpr(ge, renv)
+		if err != nil {
+			return "", err
+		}
+		keyVals[i] = v
+	}
+	return sqltypes.Key(keyVals), nil
+}
+
+// groupByPartials is the morsel-style aggregation path: each worker folds
+// its morsels into private partial groups, and the partials merge in morsel
+// order, preserving first-appearance group order. It requires every
+// aggregate to merge exactly (see mergeableAggs).
+func (ex *Exec) groupByPartials(b *qgm.Box, qg *qgm.Quantifier, aggs []*qgm.Agg, input []storage.Row, env *Env) (map[string]*groupState, []string, error) {
+	type partial struct {
+		groups map[string]*groupState
+		order  []string
+	}
+	parts, err := parallelChunks(ex, len(input), rowMorsel, func(lo, hi int) (partial, error) {
+		p := partial{groups: map[string]*groupState{}}
+		for _, row := range input[lo:hi] {
+			renv := Bind(env, qg, row)
+			k, err := ex.groupKeyVals(b, renv)
+			if err != nil {
+				return partial{}, err
+			}
+			gs := p.groups[k]
+			if gs == nil {
+				gs = &groupState{rep: renv, accs: make([]aggAcc, len(aggs))}
+				for i, a := range aggs {
+					gs.accs[i] = newAggAcc(a)
+				}
+				p.groups[k] = gs
+				p.order = append(p.order, k)
+			}
+			for i, a := range aggs {
+				var v sqltypes.Value
+				if a.Op != qgm.AggCountStar {
+					v, err = ex.EvalExpr(a.Arg, renv)
+					if err != nil {
+						return partial{}, err
+					}
+				}
+				gs.accs[i].add(v)
+			}
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := map[string]*groupState{}
+	var order []string
+	for _, p := range parts {
+		for _, k := range p.order {
+			pg := p.groups[k]
+			gs, ok := groups[k]
+			if !ok {
+				groups[k] = pg
+				order = append(order, k)
+				continue
+			}
+			for i := range gs.accs {
+				gs.accs[i].merge(pg.accs[i])
+			}
+		}
+	}
+	return groups, order, nil
+}
+
+// groupBySequentialFold parallelizes only the per-row expression work (key
+// and aggregate arguments) and folds the accumulators sequentially in input
+// row order. SUM and AVG take this path: they may accumulate doubles, and
+// floating-point addition order changes the last ulp, so merging per-worker
+// partials would break the engine's bit-identical-at-any-worker-count
+// guarantee (and silently diverge from the differential oracle).
+func (ex *Exec) groupBySequentialFold(b *qgm.Box, qg *qgm.Quantifier, aggs []*qgm.Agg, input []storage.Row, env *Env) (map[string]*groupState, []string, error) {
+	type rowEval struct {
+		key  string
+		renv *Env
+		args []sqltypes.Value
+	}
+	evals, err := parallelMap(ex, input, rowMorsel, func(row storage.Row) (rowEval, error) {
+		renv := Bind(env, qg, row)
+		k, err := ex.groupKeyVals(b, renv)
+		if err != nil {
+			return rowEval{}, err
+		}
+		args := make([]sqltypes.Value, len(aggs))
+		for i, a := range aggs {
+			if a.Op != qgm.AggCountStar {
+				v, err := ex.EvalExpr(a.Arg, renv)
+				if err != nil {
+					return rowEval{}, err
+				}
+				args[i] = v
+			}
+		}
+		return rowEval{key: k, renv: renv, args: args}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := map[string]*groupState{}
+	var order []string
+	for _, re := range evals {
+		gs := groups[re.key]
+		if gs == nil {
+			gs = &groupState{rep: re.renv, accs: make([]aggAcc, len(aggs))}
+			for i, a := range aggs {
+				gs.accs[i] = newAggAcc(a)
+			}
+			groups[re.key] = gs
+			order = append(order, re.key)
+		}
+		for i := range aggs {
+			gs.accs[i].add(re.args[i])
+		}
+	}
+	return groups, order, nil
 }
 
 // evalWithAggs evaluates a group-box output expression, substituting
@@ -496,14 +678,13 @@ func nullRow(width int) storage.Row {
 
 func (ex *Exec) evalLeftJoin(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	ql, qr := b.Quants[0], b.Quants[1]
-	left, err := ex.evalBox(ql.Input, env)
+	ins, err := parallelChunks(ex, 2, 1, func(lo, _ int) ([]storage.Row, error) {
+		return ex.evalBox(b.Quants[lo].Input, env)
+	})
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.evalBox(qr.Input, env)
-	if err != nil {
-		return nil, err
-	}
+	left, right := ins[0], ins[1]
 	// Split ON predicates into hashable equalities and residual filters.
 	var lKeys, rKeys []qgm.Expr
 	var residual []qgm.Expr
@@ -518,99 +699,110 @@ func (ex *Exec) evalLeftJoin(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	nullRight := nullRow(len(qr.Input.Cols))
 	var rHash map[string][]int
 	if len(lKeys) > 0 {
-		ex.Stats.HashBuilds++
-		rHash = make(map[string][]int, len(right))
-		for i, rr := range right {
+		bump(&ex.Stats.HashBuilds, 1)
+		// Build: key expressions evaluate in parallel; the table fills
+		// sequentially in row order so bucket chains are deterministic.
+		type buildKey struct {
+			key  string
+			skip bool
+		}
+		keys, err := parallelMap(ex, right, rowMorsel, func(rr storage.Row) (buildKey, error) {
 			renv := Bind(env, qr, rr)
-			keys := make([]sqltypes.Value, len(rKeys))
-			skip := false
-			for ki, ke := range rKeys {
-				v, err := ex.EvalExpr(ke, renv)
-				if err != nil {
-					return nil, err
-				}
-				if v.IsNull() {
-					skip = true // NULL join keys never match
-					break
-				}
-				keys[ki] = v
-			}
-			if skip {
-				continue
-			}
-			k := sqltypes.Key(keys)
-			rHash[k] = append(rHash[k], i)
-		}
-	}
-	var out []storage.Row
-	emit := func(lenv *Env, rrow storage.Row) error {
-		full := Bind(lenv, qr, rrow)
-		row := make(storage.Row, len(b.Cols))
-		for i, c := range b.Cols {
-			v, err := ex.EvalExpr(c.Expr, full)
+			key, null, err := ex.keyFor(rKeys, renv)
 			if err != nil {
-				return err
+				return buildKey{}, err
 			}
-			row[i] = v
+			return buildKey{key: key, skip: null}, nil // NULL join keys never match
+		})
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, row)
-		return nil
-	}
-	for _, lr := range left {
-		lenv := Bind(env, ql, lr)
-		matched := false
-		candidates := right
-		if rHash != nil {
-			keys := make([]sqltypes.Value, len(lKeys))
-			nullKey := false
-			for ki, ke := range lKeys {
-				v, err := ex.EvalExpr(ke, lenv)
-				if err != nil {
-					return nil, err
-				}
-				if v.IsNull() {
-					nullKey = true
-					break
-				}
-				keys[ki] = v
-			}
-			if nullKey {
-				candidates = nil
-			} else {
-				ids := rHash[sqltypes.Key(keys)]
-				candidates = make([]storage.Row, len(ids))
-				for i, id := range ids {
-					candidates[i] = right[id]
-				}
-			}
-		}
-		for _, rr := range candidates {
-			renv := Bind(lenv, qr, rr)
-			ok := sqltypes.True
-			for _, p := range residual {
-				t, err := ex.EvalPred(p, renv)
-				if err != nil {
-					return nil, err
-				}
-				ok = ok.And(t)
-				if ok != sqltypes.True {
-					break
-				}
-			}
-			if ok == sqltypes.True {
-				matched = true
-				if err := emit(lenv, rr); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if !matched {
-			if err := emit(lenv, nullRight); err != nil {
-				return nil, err
+		rHash = make(map[string][]int, len(right))
+		for i, bk := range keys {
+			if !bk.skip {
+				rHash[bk.key] = append(rHash[bk.key], i)
 			}
 		}
 	}
-	ex.Stats.RowsJoined += int64(len(out))
+	// Probe: each morsel of left rows emits into its own slot; slots
+	// concatenate in morsel order, preserving the left-to-right row order
+	// of the single-threaded join.
+	chunks, err := parallelChunks(ex, len(left), rowMorsel, func(lo, hi int) ([]storage.Row, error) {
+		var out []storage.Row
+		emit := func(lenv *Env, rrow storage.Row) error {
+			full := Bind(lenv, qr, rrow)
+			row := make(storage.Row, len(b.Cols))
+			for i, c := range b.Cols {
+				v, err := ex.EvalExpr(c.Expr, full)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+			out = append(out, row)
+			return nil
+		}
+		for _, lr := range left[lo:hi] {
+			lenv := Bind(env, ql, lr)
+			matched := false
+			candidates := right
+			if rHash != nil {
+				keys := make([]sqltypes.Value, len(lKeys))
+				nullKey := false
+				for ki, ke := range lKeys {
+					v, err := ex.EvalExpr(ke, lenv)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsNull() {
+						nullKey = true
+						break
+					}
+					keys[ki] = v
+				}
+				if nullKey {
+					candidates = nil
+				} else {
+					ids := rHash[sqltypes.Key(keys)]
+					candidates = make([]storage.Row, len(ids))
+					for i, id := range ids {
+						candidates[i] = right[id]
+					}
+				}
+			}
+			for _, rr := range candidates {
+				renv := Bind(lenv, qr, rr)
+				ok := sqltypes.True
+				for _, p := range residual {
+					t, err := ex.EvalPred(p, renv)
+					if err != nil {
+						return nil, err
+					}
+					ok = ok.And(t)
+					if ok != sqltypes.True {
+						break
+					}
+				}
+				if ok == sqltypes.True {
+					matched = true
+					if err := emit(lenv, rr); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if !matched {
+				if err := emit(lenv, nullRight); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := concat(chunks)
+	bump(&ex.Stats.RowsJoined, int64(len(out)))
 	return out, nil
 }
 

@@ -35,6 +35,8 @@ func (ex *Exec) recordProfile(b *qgm.Box, rows int, elapsed time.Duration) {
 	if ex.profile == nil {
 		return
 	}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
 	p := ex.profile[b]
 	if p == nil {
 		p = &BoxProfile{}
@@ -48,6 +50,11 @@ func (ex *Exec) recordProfile(b *qgm.Box, rows int, elapsed time.Duration) {
 // BoxProfileOf returns the collected counters for a box (zero value when
 // profiling was off or the box never evaluated).
 func (ex *Exec) BoxProfileOf(b *qgm.Box) BoxProfile {
+	if ex.profile == nil {
+		return BoxProfile{}
+	}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
 	if p, ok := ex.profile[b]; ok {
 		return *p
 	}

@@ -1,0 +1,210 @@
+package exec_test
+
+import (
+	"sync"
+	"testing"
+
+	"decorr/internal/exec"
+	"decorr/internal/parser"
+	"decorr/internal/qgm"
+	"decorr/internal/semant"
+	"decorr/internal/storage"
+	"decorr/internal/tpcd"
+)
+
+// runWorkers executes sql with a fixed worker count, returning rendered
+// rows in engine order (no sorting beyond the query's own ORDER BY).
+func runWorkers(t *testing.T, db *storage.DB, sql string, workers int, opts exec.Options) []string {
+	t.Helper()
+	g := mustBind(t, db, sql)
+	opts.Workers = workers
+	rows, err := exec.New(db, opts).Run(g)
+	if err != nil {
+		t.Fatalf("run %q workers=%d: %v", sql, workers, err)
+	}
+	return render(rows)
+}
+
+func mustBind(t *testing.T, db *storage.DB, sql string) *qgm.Graph {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	g, err := semant.Bind(q, db.Catalog)
+	if err != nil {
+		t.Fatalf("bind %q: %v", sql, err)
+	}
+	if err := qgm.Validate(g); err != nil {
+		t.Fatalf("validate %q: %v", sql, err)
+	}
+	return g
+}
+
+// TestParallelDeterminism pins the engine's central parallelism guarantee:
+// the same query produces the same rows in the same order at workers 1, 2,
+// and 8 — covering union dedup, both group-by paths (mergeable partials
+// and the SUM/AVG sequential fold), set operations, outer joins, and
+// correlated subquery fan-out. This is the regression test for the
+// dedupeRows/evalUnion/group-merge ordering requirement.
+func TestParallelDeterminism(t *testing.T) {
+	queries := []struct {
+		name, sql string
+	}{
+		{"union-distinct", `
+			select building from dept
+			union
+			select building from emp`},
+		{"union-all", `
+			select name from dept where budget > 100
+			union all
+			select name from emp`},
+		{"group-mergeable", `
+			select building, count(*), min(budget), max(budget)
+			from dept group by building`},
+		{"group-float-fold", `
+			select building, sum(budget), avg(budget)
+			from dept group by building`},
+		{"group-distinct", `
+			select building, count(distinct name) from emp group by building`},
+		{"select-distinct", `select distinct building from emp`},
+		{"intersect", `
+			select building from dept intersect select building from emp`},
+		{"except-all", `
+			select building from dept except all select building from emp`},
+		{"left-join", `
+			select d.name, e.name from dept d
+			left join emp e on d.building = e.building`},
+		{"correlated-exists", `
+			select name from dept d where exists
+			  (select * from emp e where e.building = d.building)`},
+		{"correlated-scalar", `
+			select d.name,
+			  (select count(*) from emp e where e.building = d.building)
+			from dept d`},
+		{"count-bug-witness", tpcd.ExampleQuery},
+		{"hash-join", `
+			select e.name, d.name from emp e, dept d
+			where e.building = d.building order by e.name, d.name`},
+	}
+	dbs := map[string]*storage.DB{
+		"empdept": tpcd.EmpDept(),
+		"sized":   tpcd.EmpDeptSized(60, 240, 7, 11),
+	}
+	for dbName, db := range dbs {
+		for _, q := range queries {
+			t.Run(dbName+"/"+q.name, func(t *testing.T) {
+				want := runWorkers(t, db, q.sql, 1, exec.Options{})
+				for _, w := range []int{2, 8} {
+					got := runWorkers(t, db, q.sql, w, exec.Options{})
+					if len(got) != len(want) {
+						t.Fatalf("workers=%d: %d rows, want %d", w, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("workers=%d row %d: got %q want %q", w, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDeterministicError pins sequential error semantics: the first
+// failing morsel in input order wins, so the reported error is identical at
+// any worker count.
+func TestParallelDeterministicError(t *testing.T) {
+	db := tpcd.EmpDept()
+	// The scalar subquery yields several rows for buildings housing more
+	// than one department — a per-tuple runtime error.
+	sql := `select e.name,
+	  (select d.name from dept d where d.building = e.building)
+	from emp e`
+	g := mustBind(t, db, sql)
+	_, err1 := exec.New(db, exec.Options{Workers: 1}).Run(g)
+	if err1 == nil {
+		t.Fatalf("expected a scalar-cardinality error")
+	}
+	for _, w := range []int{2, 8} {
+		_, err := exec.New(db, exec.Options{Workers: w}).Run(g)
+		if err == nil || err.Error() != err1.Error() {
+			t.Fatalf("workers=%d: error %v, want %v", w, err, err1)
+		}
+	}
+}
+
+// TestSchedulerHammer drives one Exec's scheduler hard under the race
+// detector: a correlated workload with memoization, CSE sharing, profiling
+// and per-Run metrics publication, repeated so every synchronized structure
+// (Stats atomics, memo/bindings/cse maps, profile map, estimator memos,
+// storage statistics caches) is hit from many workers. The assertions are
+// secondary; the point is `go test -race ./internal/exec`.
+func TestSchedulerHammer(t *testing.T) {
+	db := tpcd.EmpDeptSized(80, 400, 6, 7)
+	sql := `
+		select d.name,
+		  (select count(*) from emp e where e.building = d.building)
+		from dept d
+		where exists (select * from emp e2 where e2.building = d.building)
+		  and d.budget >= (select min(budget) from dept)`
+	g := mustBind(t, db, sql)
+	ex := exec.New(db, exec.Options{Workers: 8, MemoizeCorrelated: true})
+	ex.EnableProfiling()
+	var want []string
+	for i := 0; i < 6; i++ {
+		rows, err := ex.Run(g)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		got := render(rows)
+		if i == 0 {
+			want = got
+			if len(want) == 0 {
+				t.Fatalf("hammer query returned no rows")
+			}
+			continue
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("run %d row %d: got %q want %q", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestConcurrentExecsShareTables runs independent Execs over the same DB
+// concurrently (each itself parallel) — the storage statistics caches and
+// the process metrics registry are the shared state under test.
+func TestConcurrentExecsShareTables(t *testing.T) {
+	db := tpcd.EmpDeptSized(40, 160, 5, 3)
+	sql := `select building, count(*) from emp where name <> 'nobody' group by building`
+	g := mustBind(t, db, sql)
+	want := runWorkers(t, db, sql, 1, exec.Options{})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows, err := exec.New(db, exec.Options{Workers: 4}).Run(g)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got := render(rows)
+			for j := range got {
+				if got[j] != want[j] {
+					t.Errorf("exec %d row %d: got %q want %q", i, j, got[j], want[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("exec %d: %v", i, err)
+		}
+	}
+}

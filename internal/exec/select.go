@@ -78,15 +78,15 @@ func (ex *Exec) evalSelect(b *qgm.Box, env *Env) ([]storage.Row, error) {
 				continue
 			}
 			pi.applied = true
-			kept := tuples[:0:0]
-			for _, t := range tuples {
+			kept, err := parallelFilter(ex, tuples, rowMorsel, func(t *Env) (bool, error) {
 				tr, err := ex.EvalPred(pi.expr, t)
 				if err != nil {
-					return err
+					return false, err
 				}
-				if tr == sqltypes.True {
-					kept = append(kept, t)
-				}
+				return tr == sqltypes.True, nil
+			})
+			if err != nil {
+				return err
 			}
 			tuples = kept
 		}
@@ -139,8 +139,7 @@ func (ex *Exec) evalSelect(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		}
 	}
 
-	out := make([]storage.Row, 0, len(tuples))
-	for _, t := range tuples {
+	out, err := parallelMap(ex, tuples, rowMorsel, func(t *Env) (storage.Row, error) {
 		row := make(storage.Row, len(b.Cols))
 		for i, c := range b.Cols {
 			v, err := ex.EvalExpr(c.Expr, t)
@@ -149,7 +148,10 @@ func (ex *Exec) evalSelect(b *qgm.Box, env *Env) ([]storage.Row, error) {
 			}
 			row[i] = v
 		}
-		out = append(out, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if b.Distinct {
 		out = dedupeRows(out)
@@ -170,19 +172,25 @@ func ownDeps(q *qgm.Quantifier, own map[*qgm.Quantifier]bool) map[*qgm.Quantifie
 }
 
 // bindLateral joins a derived table that references sibling quantifiers
-// (the paper's Query 3 style), re-evaluating it per tuple.
+// (the paper's Query 3 style), re-evaluating it per tuple. The per-tuple
+// re-evaluations fan out across workers — this is the nested-iteration hot
+// loop, so one morsel is only a few tuples.
 func (ex *Exec) bindLateral(q *qgm.Quantifier, tuples []*Env) ([]*Env, error) {
-	var out []*Env
-	for _, t := range tuples {
+	out, err := parallelFlatMap(ex, tuples, subqMorsel, func(t *Env) ([]*Env, error) {
 		rows, err := ex.evalSubqueryInput(q.Input, t)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range rows {
-			out = append(out, Bind(t, q, r))
+		bound := make([]*Env, len(rows))
+		for i, r := range rows {
+			bound[i] = Bind(t, q, r)
 		}
+		return bound, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	ex.Stats.RowsJoined += int64(len(out))
+	bump(&ex.Stats.RowsJoined, int64(len(out)))
 	return out, nil
 }
 
@@ -206,8 +214,8 @@ func (ex *Exec) bindScalar(q *qgm.Quantifier, deps map[*qgm.Quantifier]bool, tup
 		}
 		return out, nil
 	}
-	out := make([]*Env, 0, len(tuples))
-	for _, t := range tuples {
+	// Correlated: one subquery evaluation per outer tuple, fanned out.
+	return parallelMap(ex, tuples, subqMorsel, func(t *Env) (*Env, error) {
 		rows, err := ex.evalSubqueryInput(q.Input, t)
 		if err != nil {
 			return nil, err
@@ -216,9 +224,8 @@ func (ex *Exec) bindScalar(q *qgm.Quantifier, deps map[*qgm.Quantifier]bool, tup
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Bind(t, q, row))
-	}
-	return out, nil
+		return Bind(t, q, row), nil
+	})
 }
 
 func scalarRow(rows []storage.Row, width int) (storage.Row, error) {
@@ -253,7 +260,7 @@ func (ex *Exec) bindForEach(q *qgm.Quantifier, bound map[*qgm.Quantifier]bool, p
 		if tbl == nil {
 			return nil, fmt.Errorf("exec: table %q has no storage", q.Input.Table.Name)
 		}
-		ex.Stats.RowsScanned += int64(len(tbl.Rows))
+		bump(&ex.Stats.RowsScanned, int64(len(tbl.Rows)))
 		ex.recordProfile(q.Input, len(tbl.Rows), 0)
 		rows = tbl.Rows
 	} else {
@@ -283,43 +290,64 @@ func (ex *Exec) bindForEach(q *qgm.Quantifier, bound map[*qgm.Quantifier]bool, p
 		}
 	}
 	if len(qSides) > 0 {
-		ex.Stats.HashBuilds++
-		h := make(map[string][]int, len(rows))
-		for i, r := range rows {
+		bump(&ex.Stats.HashBuilds, 1)
+		// Build side: hash keys evaluate in parallel, the table fills
+		// sequentially in row order so every bucket chain — and therefore
+		// probe emission order — is deterministic.
+		type buildKey struct {
+			key  string
+			skip bool
+		}
+		keys, err := parallelMap(ex, rows, rowMorsel, func(r storage.Row) (buildKey, error) {
 			renv := Bind(env, q, r)
 			key, null, err := ex.keyFor(qSides, renv)
 			if err != nil {
-				return nil, err
+				return buildKey{}, err
 			}
-			if null {
-				continue
-			}
-			h[key] = append(h[key], i)
+			return buildKey{key: key, skip: null}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		var out []*Env
-		for _, t := range tuples {
+		h := make(map[string][]int, len(rows))
+		for i, bk := range keys {
+			if !bk.skip {
+				h[bk.key] = append(h[bk.key], i)
+			}
+		}
+		out, err := parallelFlatMap(ex, tuples, rowMorsel, func(t *Env) ([]*Env, error) {
 			key, null, err := ex.keyFor(boundSides, t)
 			if err != nil {
 				return nil, err
 			}
 			if null {
-				continue
+				return nil, nil
 			}
-			for _, i := range h[key] {
-				out = append(out, Bind(t, q, rows[i]))
+			ids := h[key]
+			matched := make([]*Env, len(ids))
+			for i, id := range ids {
+				matched[i] = Bind(t, q, rows[id])
 			}
+			return matched, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		ex.Stats.RowsJoined += int64(len(out))
+		bump(&ex.Stats.RowsJoined, int64(len(out)))
 		return out, nil
 	}
 	// Nested-loop (cross product; residual predicates apply via applyReady).
-	out := make([]*Env, 0, len(tuples)*len(rows))
-	for _, t := range tuples {
-		for _, r := range rows {
-			out = append(out, Bind(t, q, r))
+	out, err := parallelFlatMap(ex, tuples, rowMorsel, func(t *Env) ([]*Env, error) {
+		joined := make([]*Env, len(rows))
+		for i, r := range rows {
+			joined[i] = Bind(t, q, r)
 		}
+		return joined, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	ex.Stats.RowsJoined += int64(len(out))
+	bump(&ex.Stats.RowsJoined, int64(len(out)))
 	return out, nil
 }
 
@@ -354,23 +382,21 @@ func (ex *Exec) filterLocal(q *qgm.Quantifier, preds []*selPred, rows []storage.
 	if len(local) == 0 {
 		return rows, nil
 	}
-	out := rows[:0:0]
-	for _, r := range rows {
+	out, err := parallelFilter(ex, rows, rowMorsel, func(r storage.Row) (bool, error) {
 		renv := Bind(env, q, r)
-		keep := true
 		for _, pi := range local {
 			tr, err := ex.EvalPred(pi.expr, renv)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			if tr != sqltypes.True {
-				keep = false
-				break
+				return false, nil
 			}
 		}
-		if keep {
-			out = append(out, r)
-		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, pi := range local {
 		pi.applied = true
@@ -422,8 +448,7 @@ func (ex *Exec) indexBind(q *qgm.Quantifier, tbl *storage.Table, col int, other 
 			pi.applied = true
 		}
 	}
-	var out []*Env
-	for _, t := range tuples {
+	out, err := parallelFlatMap(ex, tuples, rowMorsel, func(t *Env) ([]*Env, error) {
 		v, err := ex.EvalExpr(other, t)
 		if err != nil {
 			return nil, err
@@ -432,7 +457,8 @@ func (ex *Exec) indexBind(q *qgm.Quantifier, tbl *storage.Table, col int, other 
 		if !ok {
 			return nil, fmt.Errorf("exec: index on %s.%d vanished mid-plan", tbl.Def.Name, col)
 		}
-		ex.Stats.IndexLookups++
+		bump(&ex.Stats.IndexLookups, 1)
+		var matched []*Env
 		for _, id := range ids {
 			renv := Bind(t, q, tbl.Rows[id])
 			keep := true
@@ -447,11 +473,15 @@ func (ex *Exec) indexBind(q *qgm.Quantifier, tbl *storage.Table, col int, other 
 				}
 			}
 			if keep {
-				out = append(out, renv)
+				matched = append(matched, renv)
 			}
 		}
+		return matched, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	ex.Stats.RowsJoined += int64(len(out))
+	bump(&ex.Stats.RowsJoined, int64(len(out)))
 	ex.recordProfile(q.Input, len(out), 0)
 	return out, nil
 }

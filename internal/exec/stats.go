@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Stats are the work counters the benchmark harness reports alongside wall
@@ -37,6 +38,13 @@ type Stats struct {
 	// that a materializing optimizer would have cached (Starburst always
 	// recomputed; see §5.1).
 	CSERecomputes int64
+}
+
+// bump atomically increments one Stats counter. Every increment on a path
+// reachable from a parallel region goes through here; reading the struct
+// plainly is safe once the scheduler's WaitGroup has joined.
+func bump(c *int64, delta int64) {
+	atomic.AddInt64(c, delta)
 }
 
 // Add accumulates o into s.

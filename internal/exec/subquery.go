@@ -23,22 +23,15 @@ func (ex *Exec) bindSubqueryCheck(li *lateQuant, tuples []*Env, env *Env) ([]*En
 		}
 	}
 	if inputLocal {
-		// Correlated to sibling quantifiers: evaluate per tuple.
-		out := tuples[:0:0]
-		for _, t := range tuples {
+		// Correlated to sibling quantifiers: evaluate per tuple. This is
+		// the nested-iteration hot loop, fanned out over outer bindings.
+		return parallelFilter(ex, tuples, subqMorsel, func(t *Env) (bool, error) {
 			rows, err := ex.evalSubqueryInput(q.Input, t)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			pass, err := ex.quantCond(q, li.ties, rows, t)
-			if err != nil {
-				return nil, err
-			}
-			if pass {
-				out = append(out, t)
-			}
-		}
-		return out, nil
+			return ex.quantCond(q, li.ties, rows, t)
+		})
 	}
 
 	rows, err := ex.evalSubqueryInput(q.Input, env)
@@ -50,51 +43,48 @@ func (ex *Exec) bindSubqueryCheck(li *lateQuant, tuples []*Env, env *Env) ([]*En
 	// (bound/outer side) and a subquery-side expression.
 	probeExprs, subExprs, hashable := splitTies(li.ties, q)
 	if hashable && (q.Kind == qgm.QExists || q.Kind == qgm.QNotExists || q.Kind == qgm.QAny) {
-		ex.Stats.HashBuilds++
-		h := make(map[string]bool, len(rows))
-		for _, r := range rows {
+		bump(&ex.Stats.HashBuilds, 1)
+		type buildKey struct {
+			key  string
+			skip bool
+		}
+		keys, err := parallelMap(ex, rows, rowMorsel, func(r storage.Row) (buildKey, error) {
 			renv := Bind(env, q, r)
 			key, null, err := ex.keyFor(subExprs, renv)
 			if err != nil {
-				return nil, err
+				return buildKey{}, err
 			}
-			if null {
-				continue // a NULL component can never satisfy the equality
-			}
-			h[key] = true
-		}
-		out := tuples[:0:0]
-		for _, t := range tuples {
-			key, null, err := ex.keyFor(probeExprs, t)
-			if err != nil {
-				return nil, err
-			}
-			var pass bool
-			switch q.Kind {
-			case qgm.QExists, qgm.QAny:
-				pass = !null && h[key]
-			case qgm.QNotExists:
-				pass = null || !h[key]
-			}
-			if pass {
-				out = append(out, t)
-			}
-		}
-		return out, nil
-	}
-
-	// General slow path over the materialized rows.
-	out := tuples[:0:0]
-	for _, t := range tuples {
-		pass, err := ex.quantCond(q, li.ties, rows, t)
+			// A NULL component can never satisfy the equality.
+			return buildKey{key: key, skip: null}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		if pass {
-			out = append(out, t)
+		h := make(map[string]bool, len(rows))
+		for _, bk := range keys {
+			if !bk.skip {
+				h[bk.key] = true
+			}
 		}
+		return parallelFilter(ex, tuples, rowMorsel, func(t *Env) (bool, error) {
+			key, null, err := ex.keyFor(probeExprs, t)
+			if err != nil {
+				return false, err
+			}
+			switch q.Kind {
+			case qgm.QExists, qgm.QAny:
+				return !null && h[key], nil
+			case qgm.QNotExists:
+				return null || !h[key], nil
+			}
+			return false, nil
+		})
 	}
-	return out, nil
+
+	// General slow path over the materialized rows.
+	return parallelFilter(ex, tuples, rowMorsel, func(t *Env) (bool, error) {
+		return ex.quantCond(q, li.ties, rows, t)
+	})
 }
 
 // splitTies decomposes tie predicates into (probe, subquery-side) equality

@@ -27,6 +27,8 @@ func (t *Table) Histogram(col int) *Histogram {
 	if col < 0 || col >= len(t.Def.Columns) {
 		return nil
 	}
+	t.statMu.Lock()
+	defer t.statMu.Unlock()
 	if h, ok := t.histCache[col]; ok && h.Rows == len(t.Rows) {
 		return h.h
 	}

@@ -9,6 +9,7 @@ package storage
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"decorr/internal/schema"
 	"decorr/internal/sqltypes"
@@ -31,6 +32,11 @@ type Table struct {
 	Rows    []Row
 	indexes map[int]map[string][]int
 
+	// statMu guards the lazily built optimizer statistics below. The
+	// estimator runs on the execution path, so parallel query workers can
+	// race to fill these caches; rows and indexes stay lock-free because
+	// loads and queries never overlap.
+	statMu    sync.Mutex
 	ndvCache  map[int]ndvEntry
 	histCache map[int]histEntry
 }
@@ -46,6 +52,8 @@ func (t *Table) NDV(col int) int {
 	if col < 0 || col >= len(t.Def.Columns) {
 		return 1
 	}
+	t.statMu.Lock()
+	defer t.statMu.Unlock()
 	if e, ok := t.ndvCache[col]; ok && e.rows == len(t.Rows) {
 		return e.ndv
 	}

@@ -91,3 +91,39 @@ func TestFormatEvents(t *testing.T) {
 		t.Errorf("timed rendering lacks durations: %q", timed)
 	}
 }
+
+// TestTracerConcurrentEmission hammers one tracer (and its ring sink) from
+// many goroutines. The span *tree* is only meaningful for single-threaded
+// emitters — here we assert race-freedom and that no event is lost, which
+// is the contract the metrics/trace publication paths rely on when the
+// parallel executor reports per-Run results.
+func TestTracerConcurrentEmission(t *testing.T) {
+	ring := NewRingSink(0)
+	tr := New(ring)
+	const workers, perWorker = 8, 200
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Begin("work", "test", Int("i", int64(i)))
+				tr.Instant("tick", "test")
+				sp.End()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	evs := ring.Events()
+	if len(evs) != workers*perWorker*2 {
+		t.Fatalf("got %d events, want %d", len(evs), workers*perWorker*2)
+	}
+	seen := map[int64]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
