@@ -26,6 +26,9 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFigure[5-9]' -benchtime=1x -short . \
 		| $(GO) run ./cmd/benchjson > BENCH_exec.json
 	@echo "wrote BENCH_exec.json ($$(wc -c < BENCH_exec.json) bytes)"
+	$(GO) test -run '^$$' -bench 'BenchmarkPlanCache' -benchtime=100x -short . \
+		| $(GO) run ./cmd/benchjson > BENCH_plancache.json
+	@echo "wrote BENCH_plancache.json ($$(wc -c < BENCH_plancache.json) bytes)"
 
 # fuzz-smoke runs the differential correctness harness deterministically:
 # a fixed seed, 200 generated queries, every strategy and knob combination

@@ -7,6 +7,7 @@ import (
 	"decorr/internal/engine"
 	"decorr/internal/exec"
 	"decorr/internal/parallel"
+	"decorr/internal/plancache"
 	"decorr/internal/schema"
 	"decorr/internal/sqltypes"
 	"decorr/internal/storage"
@@ -84,10 +85,25 @@ var (
 // knobs (full decorrelation, outer joins available). Optional behavior is
 // toggled on the returned engine: CoreOpts (the §4.4 decorrelation knobs),
 // MaterializeCSE (§5.3 ablation), MagicSets ([MFPR90] join-binding
-// propagation), and Workers (intra-query parallelism: 0 = GOMAXPROCS,
+// propagation), Workers (intra-query parallelism: 0 = GOMAXPROCS,
 // 1 = single-threaded; results are identical at every setting — see
-// docs/parallel-execution.md).
+// docs/parallel-execution.md), and EnablePlanCache (a sharded LRU of
+// prepared plans keyed by statement text and knobs, invalidated by view
+// DDL — see docs/plan-cache.md).
+//
+// Statements may contain `?` placeholders bound at execution time via
+// Engine.ExecParams/QueryParams or Prepared.RunParams, so one cached plan
+// serves many bindings. An Engine is safe for concurrent use once
+// configured (set the knob fields before sharing it).
 func NewEngine(db *DB) *Engine { return engine.New(db) }
+
+// PlanCacheStats reports the process-wide plan-cache counters (hits,
+// misses, evictions, epoch invalidations); they also appear in Metrics
+// under plancache.*.
+type PlanCacheStats = plancache.Stats
+
+// PlanCacheStatsNow reads the current plan-cache counters.
+func PlanCacheStatsNow() PlanCacheStats { return plancache.StatsNow() }
 
 // NewDB creates an empty database.
 func NewDB() *DB { return storage.NewDB() }

@@ -351,6 +351,68 @@ func BenchmarkRewriteOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanCache measures the prepared-plan cache. ColdPrepare runs
+// the full parse → bind → rewrite → cost pipeline every iteration;
+// WarmPrepare serves the same statement from the cache (the interesting
+// ratio — the cache earns its keep at ≥5× here); WarmExec is the
+// end-to-end repeated-statement path with a `?` parameter rebound per
+// iteration; ConcurrentExec shares one cached engine across all procs.
+func BenchmarkPlanCache(b *testing.B) {
+	db := decorr.EmpDept()
+	const paramQ = "select name from emp where building = ?"
+	b.Run("ColdPrepare", func(b *testing.B) {
+		e := decorr.NewEngine(db)
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Prepare(decorr.ExampleQuery, decorr.Magic); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WarmPrepare", func(b *testing.B) {
+		e := decorr.NewEngine(db)
+		e.EnablePlanCache(64)
+		if _, err := e.PrepareCached(decorr.ExampleQuery, decorr.Magic); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.PrepareCached(decorr.ExampleQuery, decorr.Magic); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WarmExec", func(b *testing.B) {
+		e := decorr.NewEngine(db)
+		e.EnablePlanCache(64)
+		buildings := []decorr.Value{decorr.String("B1"), decorr.String("B2"), decorr.String("B3")}
+		if _, _, err := e.ExecParams(paramQ, decorr.Magic, buildings[:1]); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.ExecParams(paramQ, decorr.Magic, buildings[i%3:i%3+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ConcurrentExec", func(b *testing.B) {
+		e := decorr.NewEngine(db)
+		e.EnablePlanCache(64)
+		if _, _, err := e.ExecParams(paramQ, decorr.Magic, []decorr.Value{decorr.String("B1")}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			args := []decorr.Value{decorr.String("B2")}
+			for pb.Next() {
+				if _, _, err := e.ExecParams(paramQ, decorr.Magic, args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

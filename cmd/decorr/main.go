@@ -63,6 +63,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print work counters")
 	compare := flag.Bool("compare", false, "run the query under every strategy")
 	workers := flag.Int("workers", 0, "executor worker goroutines (0 = GOMAXPROCS, 1 = single-threaded)")
+	planCache := flag.Int("plancache", 0, "prepared-plan cache capacity (0 = disabled)")
 	interactive := flag.Bool("i", false, "interactive REPL (statements end with ';')")
 	script := flag.String("f", "", "execute a file of semicolon-separated statements")
 	flag.Parse()
@@ -71,11 +72,22 @@ func main() {
 	if !ok {
 		fatalf("unknown strategy %q", *strategy)
 	}
+	// Garbage knob values fail loudly here instead of being reinterpreted
+	// deep in the executor (which clamps defensively for library callers).
+	if *workers < 0 {
+		fatalf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *planCache < 0 {
+		fatalf("-plancache must be >= 0 (0 = disabled), got %d", *planCache)
+	}
 	metricsBefore := trace.Metrics.Snapshot()
 	if *interactive || *script != "" {
 		db := buildDB(*dataset, *sf, *seed)
 		eng := decorr.NewEngine(db)
 		eng.Workers = *workers
+		if *planCache > 0 {
+			eng.EnablePlanCache(*planCache)
+		}
 		finishTrace := attachTracer(eng, *traceFile)
 		if *script != "" {
 			f, err := os.Open(*script)
@@ -118,6 +130,9 @@ func main() {
 	db := buildDB(*dataset, *sf, *seed)
 	eng := decorr.NewEngine(db)
 	eng.Workers = *workers
+	if *planCache > 0 {
+		eng.EnablePlanCache(*planCache)
+	}
 	finishTrace := attachTracer(eng, *traceFile)
 
 	if *compare {

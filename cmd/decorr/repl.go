@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"decorr"
+	"decorr/internal/plancache"
 	"decorr/internal/rewrite"
 	"decorr/internal/trace"
 )
@@ -51,6 +52,7 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
   \analyze   toggle per-box profiles
   \timing    toggle wall-clock reporting
   \workers N set executor worker goroutines (0 = GOMAXPROCS, 1 = serial)
+  \plancache [N|off]  show plan-cache stats, set capacity, or disable
   \trace     toggle per-statement pipeline traces
   \metrics   print the process metrics registry
   \q         quit`)
@@ -79,6 +81,32 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 				} else {
 					eng.Workers = n
 					fmt.Printf("workers = %d\n", n)
+				}
+			case strings.HasPrefix(trimmed, "\\plancache"):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\plancache"))
+				switch {
+				case arg == "":
+					if c := eng.PlanCache(); c == nil {
+						fmt.Println("plancache = off")
+					} else {
+						st := plancache.StatsNow()
+						fmt.Printf("plancache = on (%d plans; hits=%d misses=%d evictions=%d invalidations=%d)\n",
+							c.Len(), st.Hits, st.Misses, st.Evictions, st.Invalidations)
+					}
+				case arg == "off":
+					eng.DisablePlanCache()
+					fmt.Println("plancache = off")
+				default:
+					var n int
+					if _, err := fmt.Sscanf(arg, "%d", &n); err != nil || n < 0 {
+						fmt.Printf("usage: \\plancache [N|off] (N > 0 sets capacity, 0 or off disables)\n")
+					} else if n == 0 {
+						eng.DisablePlanCache()
+						fmt.Println("plancache = off")
+					} else {
+						eng.EnablePlanCache(n)
+						fmt.Printf("plancache = on (capacity %d)\n", n)
+					}
 				}
 			case trimmed == "\\trace":
 				if ring == nil {
@@ -170,7 +198,9 @@ func execStatement(eng *decorr.Engine, stmt string, s decorr.Strategy, explain, 
 		fmt.Println("view created")
 		return nil
 	}
-	p, err := eng.Prepare(stmt, s)
+	// PrepareCached consults the session plan cache when one is enabled
+	// (\plancache) and degrades to a plain Prepare otherwise.
+	p, err := eng.PrepareCached(stmt, s)
 	if err != nil {
 		return reportError(err)
 	}

@@ -130,6 +130,11 @@ type StringLit struct{ V string }
 // NullLit is the NULL literal.
 type NullLit struct{}
 
+// Param is a `?` placeholder. Idx is the zero-based position of the
+// placeholder in the statement text; values are supplied at execution
+// time, so one prepared plan serves many bindings.
+type Param struct{ Idx int }
+
 // BoolLit is TRUE or FALSE.
 type BoolLit struct{ V bool }
 
@@ -272,6 +277,7 @@ func (*IntLit) expr()         {}
 func (*FloatLit) expr()       {}
 func (*StringLit) expr()      {}
 func (*NullLit) expr()        {}
+func (*Param) expr()          {}
 func (*BoolLit) expr()        {}
 func (*Bin) expr()            {}
 func (*Not) expr()            {}

@@ -144,6 +144,10 @@ func FormatExpr(e Expr) string {
 		return "'" + strings.ReplaceAll(x.V, "'", "''") + "'"
 	case *NullLit:
 		return "NULL"
+	case *Param:
+		// Placeholders are positional; re-parsing reassigns the same
+		// indexes in text order, so "?" round-trips.
+		return "?"
 	case *BoolLit:
 		if x.V {
 			return "TRUE"

@@ -1,0 +1,24 @@
+package differ
+
+import "testing"
+
+// The DDL-interleaving check must be clean across seeds covering both
+// schemas (the seed picks the schema).
+func TestDDLInterleavingClean(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		if err := DDLInterleaving(seed, 0); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// A dropped view must fail identically on both engines — pin the error
+// parity branch with a stream long enough to drop views.
+func TestDDLInterleavingLongStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stream")
+	}
+	if err := DDLInterleaving(12345, 400); err != nil {
+		t.Error(err)
+	}
+}

@@ -161,6 +161,16 @@ func Run(cfg Config) *Report {
 	} else {
 		rep.Comparisons++
 	}
+	if err := DDLInterleaving(cfg.Seed, 0); err != nil {
+		rep.Divergences = append(rep.Divergences, &Divergence{
+			Variant: "plancache-ddl",
+			SQL:     "(interleaved DDL stream)",
+			Err:     err,
+		})
+		fmt.Fprintf(out, "DIVERGENCE plancache-ddl: %v\n", err)
+	} else {
+		rep.Comparisons++
+	}
 	fmt.Fprintf(out, "%s\n", rep)
 	return rep
 }

@@ -8,15 +8,19 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"decorr/internal/ast"
 	"decorr/internal/classic"
 	"decorr/internal/core"
 	"decorr/internal/exec"
 	"decorr/internal/parser"
+	"decorr/internal/plancache"
 	"decorr/internal/qgm"
 	"decorr/internal/rewrite"
 	"decorr/internal/semant"
+	"decorr/internal/sqltypes"
 	"decorr/internal/storage"
 	"decorr/internal/trace"
 )
@@ -108,7 +112,22 @@ type Engine struct {
 	// cleanup rules disabled.
 	CleanupFactory func() *rewrite.Engine
 
-	views semant.Views
+	// viewMu guards views. The map is copy-on-write: DDL builds a fresh
+	// map under the write lock and publishes it with one assignment, and a
+	// published map is never mutated again, so a bind can keep using the
+	// snapshot it took without holding any lock.
+	viewMu sync.RWMutex
+	views  semant.Views
+	// epoch counts view DDL (CreateView/DropView). Cached plans record the
+	// epoch they were prepared under and are discarded when it moves, which
+	// is how the plan cache invalidates plans that inlined a stale view.
+	epoch atomic.Uint64
+
+	// planCache, when non-nil, memoizes Prepared plans across executions.
+	// Set it via EnablePlanCache before the engine is shared: the knob
+	// fields above are part of the cache key but are read unsynchronized,
+	// so the configure-then-share contract of the other knobs applies.
+	planCache *plancache.Cache
 }
 
 // New creates an engine with the paper's default knobs.
@@ -116,11 +135,37 @@ func New(db *storage.DB) *Engine {
 	return &Engine{DB: db, CoreOpts: core.DefaultOptions(), views: semant.Views{}}
 }
 
+// parseQuery and parseStatement are the engine's only parser entry points;
+// both count into engine.parses so redundant parsing is observable (tests
+// pin one parse per cold statement and zero on a warm cache hit).
+func parseQuery(sql string) (ast.QueryExpr, error) {
+	trace.Metrics.Counter("engine.parses").Inc()
+	return parser.Parse(sql)
+}
+
+func parseStatement(sql string) (ast.Statement, error) {
+	trace.Metrics.Counter("engine.parses").Inc()
+	return parser.ParseStatement(sql)
+}
+
+// viewsSnapshot returns the current view map. The returned map is
+// immutable (see viewMu): callers may read it indefinitely without locks.
+func (e *Engine) viewsSnapshot() semant.Views {
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+	return e.views
+}
+
+// Epoch reports the view-DDL epoch. It moves on every successful
+// CreateView/DropView; plan-cache entries prepared under an older epoch
+// are invalidated on their next lookup.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
 // CreateView registers a named view from a "CREATE VIEW name [(cols)] AS
 // query" statement. Views are expanded at bind time (the paper's §2.1
 // presents the decorrelated plan as exactly such a view stack).
 func (e *Engine) CreateView(sql string) error {
-	stmt, err := parser.ParseStatement(sql)
+	stmt, err := parseStatement(sql)
 	if err != nil {
 		return err
 	}
@@ -128,39 +173,105 @@ func (e *Engine) CreateView(sql string) error {
 	if !ok {
 		return fmt.Errorf("engine: not a CREATE VIEW statement")
 	}
+	return e.createViewParsed(cv)
+}
+
+// createViewParsed installs an already-parsed view definition: validate
+// against a copy of the view map, publish the copy, bump the epoch.
+func (e *Engine) createViewParsed(cv *ast.CreateView) error {
 	name := strings.ToLower(cv.Name)
 	if e.DB.Catalog.Lookup(name) != nil {
 		return fmt.Errorf("engine: view %q collides with a base table", name)
 	}
-	if e.views == nil {
-		e.views = semant.Views{}
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	next := make(semant.Views, len(e.views)+1)
+	for k, v := range e.views {
+		next[k] = v
 	}
-	e.views[name] = &semant.ViewDef{Cols: cv.Cols, Query: cv.Query}
+	next[name] = &semant.ViewDef{Cols: cv.Cols, Query: cv.Query}
 	// Validate eagerly: the definition must bind (it may reference
-	// earlier views but not itself).
-	if _, err := semant.BindWithViews(cv.Query, e.DB.Catalog, e.views); err != nil {
-		delete(e.views, name)
+	// earlier views but not itself), and it must not capture `?`
+	// placeholders — a view is shared by statements with unrelated
+	// parameter lists, so there is no sound position to bind them to.
+	g, err := semant.BindWithViews(cv.Query, e.DB.Catalog, next)
+	if err != nil {
 		return err
 	}
+	if g.Params > 0 {
+		return fmt.Errorf("engine: view %q must not contain ? parameters", name)
+	}
+	e.views = next
+	e.epoch.Add(1)
 	return nil
 }
 
 // DropView removes a view if present.
 func (e *Engine) DropView(name string) {
-	delete(e.views, strings.ToLower(name))
+	name = strings.ToLower(name)
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	if _, ok := e.views[name]; !ok {
+		return
+	}
+	next := make(semant.Views, len(e.views))
+	for k, v := range e.views {
+		if k != name {
+			next[k] = v
+		}
+	}
+	e.views = next
+	e.epoch.Add(1)
 }
 
 // Exec runs one statement: CREATE VIEW definitions return (nil, nil, nil);
-// queries behave like Query.
+// queries behave like Query. The statement is parsed exactly once, and not
+// at all when the plan cache holds a plan for its text.
 func (e *Engine) Exec(sql string, s Strategy) ([]storage.Row, *exec.Stats, error) {
-	stmt, err := parser.ParseStatement(sql)
+	return e.ExecParams(sql, s, nil)
+}
+
+// ExecParams is Exec with values for the statement's `?` placeholders, in
+// text order. With the plan cache enabled, a repeat of a statement the
+// cache still holds skips parsing, binding, and rewriting entirely — the
+// text itself is the fast-path key — so a parameterized statement pays for
+// preparation once across all its bindings.
+func (e *Engine) ExecParams(sql string, s Strategy, params []sqltypes.Value) ([]storage.Row, *exec.Stats, error) {
+	cached := e.cacheable()
+	var (
+		epoch  uint64
+		rawKey string
+	)
+	if cached {
+		epoch = e.epoch.Load()
+		rawKey = e.cacheKey(trimStatement(sql), s)
+		if v, ok := e.planCache.Get(rawKey, epoch); ok {
+			return v.(*Prepared).RunParams(params)
+		}
+	}
+	sp := e.Tracer.Begin("parse", "engine")
+	stmt, err := parseStatement(sql)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, ok := stmt.(*ast.CreateView); ok {
-		return nil, nil, e.CreateView(sql)
+	if cv, ok := stmt.(*ast.CreateView); ok {
+		return nil, nil, e.createViewParsed(cv)
 	}
-	return e.Query(sql, s)
+	q, ok := stmt.(ast.QueryExpr)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	var p *Prepared
+	if cached {
+		p, err = e.prepareAndCache(rawKey, q, s, epoch)
+	} else {
+		p, err = e.prepareParsed(q, s, false)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.RunParams(params)
 }
 
 // Prepared is a parsed, rewritten, validated query ready to run.
@@ -174,27 +285,39 @@ type Prepared struct {
 	Chosen Strategy
 	// EstimatedCost is the optimizer's abstract cost of the chosen plan.
 	EstimatedCost float64
-	engine        *Engine
+	// NumParams is the number of `?` placeholders the statement uses;
+	// RunParams must be given exactly that many values.
+	NumParams int
+	engine    *Engine
 }
 
 // Prepare parses sql and applies the strategy's rewrite.
 func (e *Engine) Prepare(sql string, s Strategy) (*Prepared, error) {
-	return e.prepare(sql, s, false)
+	return e.prepare(sql, nil, s, false)
 }
 
 // PrepareTraced is Prepare with rewrite tracing enabled (for Magic and
 // OptMagic the trace holds the Figure 2–4 stage snapshots).
 func (e *Engine) PrepareTraced(sql string, s Strategy) (*Prepared, error) {
-	return e.prepare(sql, s, true)
+	return e.prepare(sql, nil, s, true)
 }
 
-func (e *Engine) prepare(sql string, s Strategy, traced bool) (*Prepared, error) {
+// prepareParsed prepares an already-parsed query (no parse stage, no parse
+// span — used by Exec and the plan cache, which parse at most once).
+func (e *Engine) prepareParsed(q ast.QueryExpr, s Strategy, traced bool) (*Prepared, error) {
+	return e.prepare("", q, s, traced)
+}
+
+// prepare dispatches to the pipeline. Exactly one of sql/q is used: when q
+// is nil, sql is parsed inside the prepare span (so traces show the full
+// pipeline); otherwise the pre-parsed query is bound directly.
+func (e *Engine) prepare(sql string, q ast.QueryExpr, s Strategy, traced bool) (*Prepared, error) {
 	if s == Auto {
-		return e.prepareAuto(sql, traced)
+		return e.prepareAuto(sql, q, traced)
 	}
 	trace.Metrics.Counter("engine.prepares").Inc()
 	prep := e.Tracer.Begin("prepare", "engine", trace.Str("strategy", s.String()))
-	p, err := e.prepareStages(sql, s, traced)
+	p, err := e.prepareStages(sql, q, s, traced)
 	if err != nil {
 		trace.Metrics.Counter("engine.prepare_errors").Inc()
 		prep.End(trace.Str("error", err.Error()))
@@ -205,15 +328,18 @@ func (e *Engine) prepare(sql string, s Strategy, traced bool) (*Prepared, error)
 }
 
 // prepareStages runs the pipeline stages under the prepare span.
-func (e *Engine) prepareStages(sql string, s Strategy, traced bool) (*Prepared, error) {
-	sp := e.Tracer.Begin("parse", "prepare")
-	q, err := parser.Parse(sql)
-	sp.End()
-	if err != nil {
-		return nil, err
+func (e *Engine) prepareStages(sql string, q ast.QueryExpr, s Strategy, traced bool) (*Prepared, error) {
+	if q == nil {
+		sp := e.Tracer.Begin("parse", "prepare")
+		var err error
+		q, err = parseQuery(sql)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
 	}
-	sp = e.Tracer.Begin("semant", "prepare")
-	g, err := semant.BindWithViews(q, e.DB.Catalog, e.views)
+	sp := e.Tracer.Begin("semant", "prepare")
+	g, err := semant.BindWithViews(q, e.DB.Catalog, e.viewsSnapshot())
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -275,6 +401,7 @@ func (e *Engine) prepareStages(sql string, s Strategy, traced bool) (*Prepared, 
 	}
 	p.Columns = g.Root.OutNames()
 	p.Chosen = s
+	p.NumParams = g.Params
 	sp = e.Tracer.Begin("plan-cost", "prepare")
 	p.EstimatedCost = exec.New(e.DB, exec.Options{MaterializeCSE: e.MaterializeCSE}).EstimateCost(g)
 	sp.End()
@@ -295,13 +422,23 @@ func (e *Engine) cleanup(g *qgm.Graph, stage string) error {
 
 // prepareAuto implements §7's plan choice: prepare the query as written
 // (nested iteration) and magic decorrelated, estimate both, keep the
-// cheaper plan.
-func (e *Engine) prepareAuto(sql string, traced bool) (*Prepared, error) {
-	ni, err := e.prepare(sql, NI, false)
+// cheaper plan. The query is parsed once and bound twice (the binder
+// never mutates the AST).
+func (e *Engine) prepareAuto(sql string, q ast.QueryExpr, traced bool) (*Prepared, error) {
+	if q == nil {
+		sp := e.Tracer.Begin("parse", "engine")
+		var err error
+		q, err = parseQuery(sql)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+	ni, err := e.prepare("", q, NI, false)
 	if err != nil {
 		return nil, err
 	}
-	mag, err := e.prepare(sql, OptMagic, traced)
+	mag, err := e.prepare("", q, OptMagic, traced)
 	if err != nil {
 		// A non-converging rewrite rule set is an engine bug, not a query
 		// the strategy merely cannot handle: surface it instead of
@@ -328,14 +465,31 @@ func (e *Engine) orderer() core.Orderer {
 	return ex.JoinOrder
 }
 
-// Run executes the prepared query, returning rows and work counters.
+// Run executes the prepared query, returning rows and work counters. It
+// is RunParams with no parameter values; a statement containing `?`
+// placeholders must go through RunParams.
 func (p *Prepared) Run() ([]storage.Row, *exec.Stats, error) {
+	return p.RunParams(nil)
+}
+
+// RunParams executes the prepared query with params bound to the `?`
+// placeholders in statement text order. A *Prepared is safe for
+// concurrent RunParams calls: every call builds its own executor, the
+// graph is read-only during execution, and parameter values live in the
+// per-call executor — which is what lets the plan cache hand one plan to
+// many clients.
+func (p *Prepared) RunParams(params []sqltypes.Value) ([]storage.Row, *exec.Stats, error) {
+	if len(params) != p.NumParams {
+		return nil, nil, fmt.Errorf("engine: statement has %d parameter(s), got %d value(s)",
+			p.NumParams, len(params))
+	}
 	trace.Metrics.Counter("engine.executions").Inc()
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
 		MemoizeCorrelated: p.Strategy == NIMemo,
 		Workers:           p.engine.Workers,
 		Tracer:            p.engine.Tracer,
+		Params:            params,
 	})
 	sp := p.engine.Tracer.Begin("execute", "engine", trace.Str("strategy", p.Strategy.String()))
 	rows, err := ex.Run(p.Graph)
@@ -372,11 +526,108 @@ func (p *Prepared) ExplainAnalyze() (string, error) {
 	return ex.FormatProfile(p.Graph), nil
 }
 
-// Query is the one-shot convenience: prepare and run.
+// Query is the one-shot convenience: prepare (through the plan cache when
+// one is enabled) and run.
 func (e *Engine) Query(sql string, s Strategy) ([]storage.Row, *exec.Stats, error) {
-	p, err := e.Prepare(sql, s)
+	return e.QueryParams(sql, s, nil)
+}
+
+// QueryParams is Query with values for the statement's `?` placeholders.
+func (e *Engine) QueryParams(sql string, s Strategy, params []sqltypes.Value) ([]storage.Row, *exec.Stats, error) {
+	p, err := e.PrepareCached(sql, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.Run()
+	return p.RunParams(params)
+}
+
+// EnablePlanCache attaches a prepared-plan cache holding about capacity
+// plans (non-positive selects the default). Call it before the engine is
+// shared by concurrent clients, like the other knob fields.
+func (e *Engine) EnablePlanCache(capacity int) {
+	e.planCache = plancache.New(capacity)
+}
+
+// DisablePlanCache detaches the plan cache.
+func (e *Engine) DisablePlanCache() { e.planCache = nil }
+
+// PlanCache exposes the attached cache (nil when disabled) for stats and
+// purging.
+func (e *Engine) PlanCache() *plancache.Cache { return e.planCache }
+
+// cacheable reports whether prepared plans may be served from the cache.
+// A tracer opts out — the tracing contract is that every traced statement
+// shows the whole pipeline, which a cache hit would elide — and so does a
+// cleanup override, which changes what prepare would produce without
+// being representable in the key.
+func (e *Engine) cacheable() bool {
+	return e.planCache != nil && e.Tracer == nil && e.CleanupFactory == nil
+}
+
+// trimStatement canonicalizes raw statement text for the fast-path cache
+// key: surrounding whitespace and a trailing semicolon never change the
+// parse, so "q", "q;" and "  q" share one plan without parsing.
+func trimStatement(sql string) string {
+	t := strings.TrimSpace(sql)
+	t = strings.TrimSuffix(t, ";")
+	return strings.TrimSpace(t)
+}
+
+// cacheKey folds every knob that changes the produced plan in ahead of
+// the statement text. The func-valued options (CoreOpts.Order, Tracer,
+// CleanupFactory) are deliberately absent: Order is always overridden by
+// the engine, and the other two disable caching entirely (see cacheable).
+func (e *Engine) cacheKey(text string, s Strategy) string {
+	o := e.CoreOpts
+	return fmt.Sprintf("s=%d de=%t oj=%t es=%t ms=%t cse=%t|%s",
+		int(s), o.DecorrelateExistential, o.UseOuterJoin, o.EliminateSupplementary,
+		e.MagicSets, e.MaterializeCSE, text)
+}
+
+// PrepareCached returns a plan for sql, serving it from the plan cache
+// when possible and preparing (and caching) it otherwise. Plans are
+// cached under two spellings: the trimmed raw text — so a repeated
+// statement skips the parser — and the normalized text the parser's AST
+// prints back to, so trivially reformatted statements share one plan.
+// Without an enabled cache it falls back to a plain Prepare.
+func (e *Engine) PrepareCached(sql string, s Strategy) (*Prepared, error) {
+	if !e.cacheable() {
+		return e.Prepare(sql, s)
+	}
+	// The epoch is loaded before parsing/binding: if DDL lands in between,
+	// the plan is stored under the older epoch and discarded on its next
+	// lookup — stale plans are never served, only over-invalidated.
+	epoch := e.epoch.Load()
+	rawKey := e.cacheKey(trimStatement(sql), s)
+	if v, ok := e.planCache.Get(rawKey, epoch); ok {
+		return v.(*Prepared), nil
+	}
+	q, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.prepareAndCache(rawKey, q, s, epoch)
+}
+
+// prepareAndCache finishes a cache miss: check the normalized-text key
+// (another spelling of the same query may already be cached), prepare on
+// a true miss, and store the plan under both keys.
+func (e *Engine) prepareAndCache(rawKey string, q ast.QueryExpr, s Strategy, epoch uint64) (*Prepared, error) {
+	normKey := e.cacheKey(ast.FormatQuery(q), s)
+	if normKey != rawKey {
+		if v, ok := e.planCache.Get(normKey, epoch); ok {
+			p := v.(*Prepared)
+			e.planCache.Put(rawKey, epoch, p)
+			return p, nil
+		}
+	}
+	p, err := e.prepareParsed(q, s, false)
+	if err != nil {
+		return nil, err
+	}
+	e.planCache.Put(normKey, epoch, p)
+	if rawKey != normKey {
+		e.planCache.Put(rawKey, epoch, p)
+	}
+	return p, nil
 }

@@ -1,0 +1,141 @@
+package engine_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"decorr/internal/engine"
+	"decorr/internal/sqltypes"
+	"decorr/internal/tpcd"
+)
+
+func str(s string) sqltypes.Value { return sqltypes.NewString(s) }
+func intv(i int64) sqltypes.Value { return sqltypes.NewInt(i) }
+
+func TestParamsBasic(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	p, err := e.Prepare("select name from emp where building = ? order by name", engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParams != 1 {
+		t.Fatalf("NumParams = %d, want 1", p.NumParams)
+	}
+	for building, want := range map[string][]string{
+		"B1": {"anne", "bob"},
+		"B2": {"carl", "dina", "ed"},
+		"B9": nil,
+	} {
+		rows, _, err := p.RunParams([]sqltypes.Value{str(building)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, building, multiset(rows), want)
+	}
+}
+
+func TestParamsMultiple(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	rows, _, err := e.ExecParams(
+		"select name from dept where budget > ? and building = ?",
+		engine.NI, []sqltypes.Value{intv(1000), str("B1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "two params", multiset(rows), []string{"tools", "toys"})
+}
+
+// The §2 example with the budget threshold parameterized must give the
+// same answer under nested iteration and magic decorrelation: parameters
+// survive the full rewrite pipeline.
+func TestParamsSurviveDecorrelation(t *testing.T) {
+	const q = `select d.name from dept d
+		where d.budget < ? and d.num_emps >
+		  (select count(*) from emp e where e.building = d.building)`
+	for _, s := range []engine.Strategy{engine.NI, engine.Dayal, engine.GanskiWong, engine.Magic, engine.OptMagic, engine.Auto} {
+		e := engine.New(tpcd.EmpDept())
+		rows, _, err := e.ExecParams(q, s, []sqltypes.Value{intv(10000)})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		sameRows(t, s.String(), multiset(rows), []string{"archives", "toys"})
+		// A different binding of the same plan shape.
+		rows, _, err = e.ExecParams(q, s, []sqltypes.Value{intv(100)})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		sameRows(t, s.String()+"-low", multiset(rows), nil)
+	}
+}
+
+func TestParamsArityChecked(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	p, err := e.Prepare("select name from emp where building = ?", engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Run(); err == nil || !strings.Contains(err.Error(), "parameter") {
+		t.Fatalf("Run with missing params: err = %v", err)
+	}
+	if _, _, err := p.RunParams([]sqltypes.Value{str("B1"), str("B2")}); err == nil {
+		t.Fatal("RunParams with excess values succeeded")
+	}
+	// Unparameterized statements reject stray values too.
+	p2, err := e.Prepare("select name from emp", engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p2.RunParams([]sqltypes.Value{str("x")}); err == nil {
+		t.Fatal("RunParams on 0-param statement accepted a value")
+	}
+}
+
+func TestCreateViewRejectsParams(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	err := e.CreateView("create view v as select name from emp where building = ?")
+	if err == nil || !strings.Contains(err.Error(), "parameter") {
+		t.Fatalf("err = %v, want parameter rejection", err)
+	}
+	// The failed definition must not have been installed.
+	if _, _, qerr := e.Query("select * from v", engine.NI); qerr == nil {
+		t.Fatal("rejected view is queryable")
+	}
+}
+
+// One shared Prepared, many concurrent RunParams with distinct bindings:
+// the plan must be re-entrant (run with -race).
+func TestPreparedRunParamsConcurrent(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	p, err := e.Prepare("select name from emp where building = ? order by name", engine.Magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"B1": {"anne", "bob"},
+		"B2": {"carl", "dina", "ed"},
+		"B3": {"fay"},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		for building := range want {
+			wg.Add(1)
+			go func(building string) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					rows, _, err := p.RunParams([]sqltypes.Value{str(building)})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got := multiset(rows)
+					if len(got) != len(want[building]) {
+						t.Errorf("%s: got %v want %v", building, got, want[building])
+						return
+					}
+				}
+			}(building)
+		}
+	}
+	wg.Wait()
+}

@@ -53,6 +53,12 @@ func (ex *Exec) EvalExpr(e qgm.Expr, env *Env) (sqltypes.Value, error) {
 		return row[x.Col], nil
 	case *qgm.Const:
 		return x.V, nil
+	case *qgm.Param:
+		if x.Idx < 0 || x.Idx >= len(ex.opts.Params) {
+			return sqltypes.Null, fmt.Errorf("exec: parameter ?%d not bound (%d values supplied)",
+				x.Idx+1, len(ex.opts.Params))
+		}
+		return ex.opts.Params[x.Idx], nil
 	case *qgm.Bin:
 		switch x.Op {
 		case qgm.OpAdd, qgm.OpSub, qgm.OpMul, qgm.OpDiv:
@@ -239,7 +245,7 @@ func (ex *Exec) EvalPred(e qgm.Expr, env *Env) (sqltypes.Tri, error) {
 		}
 		// Numeric truthiness is not SQL; reject to catch binder bugs.
 		return sqltypes.Unknown, fmt.Errorf("exec: non-boolean constant %s used as predicate", x.V)
-	case *qgm.ColRef, *qgm.Case, *qgm.Func:
+	case *qgm.ColRef, *qgm.Case, *qgm.Func, *qgm.Param:
 		v, err := ex.EvalExpr(x, env)
 		if err != nil {
 			return sqltypes.Unknown, err

@@ -34,6 +34,9 @@ type Options struct {
 	// box identity, produced rows, and wall time. The nil case is a single
 	// pointer check on the hot path (no timing, no allocations).
 	Tracer *trace.Tracer
+	// Params supplies values for `?` placeholders, indexed by position.
+	// Evaluating a qgm.Param outside the supplied range is an error.
+	Params []sqltypes.Value
 }
 
 // Exec evaluates QGM graphs against a database. An Exec is single-use per

@@ -34,10 +34,22 @@ const (
 	subqMorsel = 8
 )
 
-// resolveWorkers maps the Options.Workers knob to a concrete pool size.
+// maxWorkers bounds the worker pool: values beyond any plausible core
+// count buy nothing and would only oversize the token pool.
+const maxWorkers = 1 << 14
+
+// resolveWorkers maps the Options.Workers knob to a concrete pool size:
+// zero selects GOMAXPROCS, negative (garbage) input clamps to 1 — a
+// deterministic single-threaded run, never a panic — and absurdly large
+// values clamp to maxWorkers.
 func resolveWorkers(n int) int {
-	if n <= 0 {
+	switch {
+	case n == 0:
 		return runtime.GOMAXPROCS(0)
+	case n < 0:
+		return 1
+	case n > maxWorkers:
+		return maxWorkers
 	}
 	return n
 }

@@ -1,0 +1,31 @@
+package exec
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Table-driven contract for the Workers knob: every input — including
+// garbage — maps to one deterministic pool size. This is the single
+// choke point for worker-count validation; the CLI and REPL reject bad
+// values earlier, but library callers land here.
+func TestResolveWorkers(t *testing.T) {
+	cases := []struct {
+		name     string
+		in, want int
+	}{
+		{"default", 0, runtime.GOMAXPROCS(0)},
+		{"serial", 1, 1},
+		{"small", 7, 7},
+		{"at-cap", maxWorkers, maxWorkers},
+		{"over-cap", maxWorkers + 1, maxWorkers},
+		{"absurd", 1 << 30, maxWorkers},
+		{"negative", -1, 1},
+		{"very-negative", -1 << 30, 1},
+	}
+	for _, c := range cases {
+		if got := resolveWorkers(c.in); got != c.want {
+			t.Errorf("%s: resolveWorkers(%d) = %d, want %d", c.name, c.in, got, c.want)
+		}
+	}
+}

@@ -173,7 +173,7 @@ func (l *lexer) lexSymbol(start int) error {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';':
+	case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';', '?':
 		l.pos++
 		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
 		return nil

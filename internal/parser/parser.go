@@ -86,6 +86,9 @@ type parser struct {
 	toks []token
 	i    int
 	src  string
+	// nparams counts `?` placeholders seen so far; each occurrence takes
+	// the next zero-based index in text order.
+	nparams int
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -678,6 +681,12 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 			return &ast.BoolLit{V: false}, nil
 		}
 	case tokSymbol:
+		if t.text == "?" {
+			p.advance()
+			idx := p.nparams
+			p.nparams++
+			return &ast.Param{Idx: idx}, nil
+		}
 		if t.text == "(" {
 			// scalar subquery or parenthesized expression
 			if p.peek().kind == tokKeyword && p.peek().text == "select" {

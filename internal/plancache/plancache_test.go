@@ -1,0 +1,122 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func delta(t *testing.T, f func()) Stats {
+	t.Helper()
+	before := StatsNow()
+	f()
+	after := StatsNow()
+	return Stats{
+		Hits:          after.Hits - before.Hits,
+		Misses:        after.Misses - before.Misses,
+		Evictions:     after.Evictions - before.Evictions,
+		Invalidations: after.Invalidations - before.Invalidations,
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", 1, "v")
+	v, ok := c.Get("k", 1)
+	if !ok || v.(string) != "v" {
+		t.Fatalf("Get = (%v, %v), want (v, true)", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New(64)
+	c.Put("k", 1, "v")
+	d := delta(t, func() {
+		if _, ok := c.Get("k", 2); ok {
+			t.Error("stale entry served after epoch bump")
+		}
+	})
+	if d.Invalidations != 1 || d.Misses != 1 {
+		t.Fatalf("delta = %+v, want 1 invalidation and 1 miss", d)
+	}
+	// The stale entry must be gone, not just skipped: looking it up at
+	// its original epoch must also miss.
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("stale entry survived invalidation")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One entry per shard keeps the LRU order observable per key chain.
+	c := New(1) // shardCap = 1
+	c.Put("a", 1, 1)
+	c.Put("a", 1, 2) // replace, no eviction
+	if v, ok := c.Get("a", 1); !ok || v.(int) != 2 {
+		t.Fatalf("replacement lost: %v %v", v, ok)
+	}
+	// Force two distinct keys into the same shard by brute force.
+	s := c.shardOf("a")
+	other := ""
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardOf(k) == s {
+			other = k
+			break
+		}
+	}
+	if other == "" {
+		t.Fatal("no colliding key found")
+	}
+	d := delta(t, func() { c.Put(other, 1, 3) })
+	if d.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", d.Evictions)
+	}
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("LRU victim still present")
+	}
+	if v, ok := c.Get(other, 1); !ok || v.(int) != 3 {
+		t.Fatal("newest entry evicted instead of LRU")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(64)
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 1, i)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+}
+
+// TestConcurrent hammers one cache from many goroutines; run under -race.
+func TestConcurrent(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", i%97)
+				epoch := uint64(i % 3)
+				if v, ok := c.Get(k, epoch); ok && v == nil {
+					t.Error("nil value served")
+				}
+				c.Put(k, epoch, i)
+				if i%500 == 0 {
+					c.Purge()
+				}
+				_ = c.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -160,6 +160,9 @@ type Graph struct {
 	// Limit caps the root result cardinality after sorting; negative
 	// means unlimited. Like OrderBy it is executor-level only.
 	Limit int64
+	// Params is the number of `?` placeholders the graph's expressions
+	// reference; an execution must supply exactly this many values.
+	Params int
 }
 
 // OrderKey orders root output column Col; Desc selects descending order.

@@ -20,6 +20,10 @@ type ColRef struct {
 // Const is a literal value.
 type Const struct{ V sqltypes.Value }
 
+// Param is a `?` placeholder (zero-based). Its value is supplied per
+// execution (exec.Options.Params), so one plan serves many bindings.
+type Param struct{ Idx int }
+
 // Op enumerates QGM expression operators.
 type Op uint8
 
@@ -154,6 +158,7 @@ type Agg struct {
 
 func (*ColRef) qexpr() {}
 func (*Const) qexpr()  {}
+func (*Param) qexpr()  {}
 func (*Bin) qexpr()    {}
 func (*Not) qexpr()    {}
 func (*IsNull) qexpr() {}
@@ -247,6 +252,8 @@ func Rewrite(e Expr, f func(Expr) Expr) Expr {
 		return f(&ColRef{Q: x.Q, Col: x.Col})
 	case *Const:
 		return f(&Const{V: x.V})
+	case *Param:
+		return f(&Param{Idx: x.Idx})
 	}
 	return f(e)
 }
@@ -326,6 +333,8 @@ func FormatExpr(e Expr) string {
 			return "'" + x.V.S + "'"
 		}
 		return x.V.String()
+	case *Param:
+		return fmt.Sprintf("?%d", x.Idx+1)
 	case *Bin:
 		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.L), x.Op, FormatExpr(x.R))
 	case *Not:

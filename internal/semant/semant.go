@@ -41,12 +41,13 @@ func Bind(q ast.QueryExpr, cat *schema.Catalog) (*qgm.Graph, error) {
 // use sites (views cannot be correlated — they see no outer scope), and
 // recursive view definitions are rejected.
 func BindWithViews(q ast.QueryExpr, cat *schema.Catalog, views Views) (*qgm.Graph, error) {
-	b := &binder{cat: cat, g: qgm.NewGraph(), views: views, expanding: map[string]bool{}}
+	b := &binder{cat: cat, g: qgm.NewGraph(), views: views, expanding: map[string]bool{}, maxParam: -1}
 	root, err := b.bindQuery(q, nil, true)
 	if err != nil {
 		return nil, err
 	}
 	b.g.Root = root
+	b.g.Params = b.maxParam + 1
 	if err := qgm.Validate(b.g); err != nil {
 		return nil, fmt.Errorf("semant: internal inconsistency: %w", err)
 	}
@@ -58,6 +59,17 @@ type binder struct {
 	g         *qgm.Graph
 	views     Views
 	expanding map[string]bool
+	// maxParam is the highest `?` placeholder index bound so far (-1 when
+	// the statement has none).
+	maxParam int
+}
+
+// bindParam records a placeholder use and returns its QGM node.
+func (b *binder) bindParam(p *ast.Param) qgm.Expr {
+	if p.Idx > b.maxParam {
+		b.maxParam = p.Idx
+	}
+	return &qgm.Param{Idx: p.Idx}
 }
 
 // scope maps FROM aliases to quantifiers for one block, linked to the
@@ -583,7 +595,7 @@ func (b *binder) bindGrouped(sel *ast.Select, ctx *blockCtx, s *qgm.Box) (*qgm.B
 				return nil, err
 			}
 			return &qgm.IsNull{E: inner, Negate: x.Negate}, nil
-		case *ast.IntLit, *ast.FloatLit, *ast.StringLit, *ast.NullLit, *ast.BoolLit:
+		case *ast.IntLit, *ast.FloatLit, *ast.StringLit, *ast.NullLit, *ast.BoolLit, *ast.Param:
 			return hctx.trExpr(e)
 		case *ast.FuncCall: // scalar function over post-group expressions
 			if !scalarFuncs[x.Name] {
@@ -906,6 +918,8 @@ func (c *blockCtx) trExpr(e ast.Expr) (qgm.Expr, error) {
 		return &qgm.Const{V: sqltypes.Null}, nil
 	case *ast.BoolLit:
 		return &qgm.Const{V: sqltypes.NewBool(x.V)}, nil
+	case *ast.Param:
+		return c.b.bindParam(x), nil
 	case *ast.Bin:
 		l, err := c.trExpr(x.L)
 		if err != nil {
