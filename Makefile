@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke
+.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke fault-smoke
 
 # check is the CI gate: static analysis, a full build, and the test suite
 # under the race detector.
@@ -36,6 +36,14 @@ bench-smoke:
 # divergence (the output contains the shrunk reproducer to pin).
 fuzz-smoke:
 	$(GO) run ./cmd/decorr fuzz -seed 42 -n 200
+
+# fault-smoke sweeps the same differential harness under seeded fault
+# injection (errors, panics, and latency at storage scans, hash builds,
+# and morsel claims). Every strategy × worker combination must either
+# match the no-fault oracle or fail with a clean typed error; a wrong
+# answer, hang, or crash exits 1.
+fault-smoke:
+	$(GO) run ./cmd/decorr fuzz -faults -seed 1 -n 15
 
 fmt:
 	gofmt -l -w .

@@ -32,6 +32,13 @@ type (
 	Strategy = engine.Strategy
 	// Stats are the machine-independent work counters of one execution.
 	Stats = exec.Stats
+	// Limits are per-query resource budgets: a deadline, output and
+	// intermediate row caps, and a tracked-byte cap. Assign them to
+	// Engine.Limits; the zero value imposes nothing. Limits are
+	// execution-time policy only — they never affect planning or the plan
+	// cache, so a cached plan runs correctly under any Limits (see
+	// docs/robustness.md).
+	Limits = exec.Limits
 	// RewriteOptions are the §4.4 decorrelation knobs.
 	RewriteOptions = core.Options
 	// Table is a table definition (columns plus candidate keys).
@@ -176,6 +183,27 @@ type (
 // Metrics is the process-wide registry the engine, executor, and parallel
 // simulator publish into.
 var Metrics = trace.Metrics
+
+// Query-lifecycle governance sentinels (see docs/robustness.md). Match
+// them with errors.Is: every governed failure — a canceled context, an
+// expired deadline, a tripped budget, a recovered operator panic — unwinds
+// to the caller as one of these, and the engine stays fully usable for
+// subsequent statements. Cancellation is requested through the *Context
+// entry points (Engine.ExecContext/QueryContext, Prepared.RunParamsContext).
+var (
+	// ErrCanceled reports that the run's context was canceled mid-query.
+	ErrCanceled = exec.ErrCanceled
+	// ErrDeadlineExceeded reports an expired Limits.Timeout or context
+	// deadline.
+	ErrDeadlineExceeded = exec.ErrDeadlineExceeded
+	// ErrRowBudget reports a MaxOutputRows or MaxIntermediateRows trip.
+	ErrRowBudget = exec.ErrRowBudget
+	// ErrMemBudget reports a MaxTrackedBytes trip.
+	ErrMemBudget = exec.ErrMemBudget
+	// ErrPanic marks an operator panic recovered into an error; the
+	// concrete value is a *exec.PanicError carrying the operator stack.
+	ErrPanic = exec.ErrPanic
+)
 
 // NewTracer creates a tracer emitting into sink.
 func NewTracer(sink TraceSink) *Tracer { return trace.New(sink) }

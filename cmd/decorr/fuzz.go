@@ -19,18 +19,34 @@ func runFuzz(args []string, out io.Writer) int {
 	n := fs.Int("n", 200, "number of generated statements")
 	size := fs.Int("size", 8, "database row-count knob")
 	verbose := fs.Bool("v", false, "log every generated statement")
+	faults := fs.Bool("faults", false, "run the seeded fault-injection sweep instead of the plain differential run")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), `usage: decorr fuzz [-seed N] [-n QUERIES] [-size ROWS] [-v]
+		fmt.Fprintf(fs.Output(), `usage: decorr fuzz [-seed N] [-n QUERIES] [-size ROWS] [-faults] [-v]
 
 Generates random correlated queries over the EMP/DEPT and TPC-D schemas and
 cross-checks every decorrelation strategy and knob combination against
 nested iteration. Divergences are shrunk to minimal reproducers and printed
 as ready-to-paste regression tests.
+
+With -faults, every strategy × worker-count combination instead runs under
+seeded fault injection (errors, panics, and latency at storage scans, hash
+builds, and morsel claims); each run must either agree with the no-fault
+oracle or fail with a clean typed error — never a wrong answer, a hang, or
+a crash.
 `)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *faults {
+		rep := differ.FaultSweep(differ.FaultConfig{Seed: *seed, N: *n, Size: *size, Out: out, Verbose: *verbose})
+		if !rep.Clean() {
+			fmt.Fprintf(out, "FAIL: %d fault-contract violation(s)\n", len(rep.Failures))
+			return 1
+		}
+		fmt.Fprintln(out, "PASS: every faulted run returned correct results or a clean typed error")
+		return 0
 	}
 	rep := differ.Run(differ.Config{Seed: *seed, N: *n, Size: *size, Out: out, Verbose: *verbose})
 	if !rep.Clean() {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	decorr [flags] [SQL]
-//	decorr fuzz [-seed N] [-n QUERIES]
+//	decorr fuzz [-seed N] [-n QUERIES] [-faults]
 //
 // Examples:
 //
@@ -12,7 +12,9 @@
 //	decorr -dataset tpcd -sf 0.1 -query q1 -compare   # one row per strategy
 //	decorr -query q1 -strategy magic -trace out.json  # chrome://tracing trace
 //	decorr -dataset empdept -metrics "select count(*) from emp"
+//	decorr -timeout 50ms -max-rows 100000 -query q1   # governed execution
 //	decorr fuzz -seed 42 -n 200                       # differential harness
+//	decorr fuzz -faults -n 25                         # fault-injection sweep
 //
 // Exit codes: 0 success, 1 error, 2 a rewrite rule set failed to converge
 // (an engine bug — the statement is a reproducer worth reporting).
@@ -64,6 +66,9 @@ func main() {
 	compare := flag.Bool("compare", false, "run the query under every strategy")
 	workers := flag.Int("workers", 0, "executor worker goroutines (0 = GOMAXPROCS, 1 = single-threaded)")
 	planCache := flag.Int("plancache", 0, "prepared-plan cache capacity (0 = disabled)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expiry fails the query with a deadline error")
+	maxRows := flag.Int64("max-rows", 0, "per-query row budget (0 = none): caps both output rows and intermediate rows")
+	maxMem := flag.Int64("max-mem", 0, "per-query tracked-byte budget for hash tables and caches (0 = none)")
 	interactive := flag.Bool("i", false, "interactive REPL (statements end with ';')")
 	script := flag.String("f", "", "execute a file of semicolon-separated statements")
 	flag.Parse()
@@ -80,11 +85,21 @@ func main() {
 	if *planCache < 0 {
 		fatalf("-plancache must be >= 0 (0 = disabled), got %d", *planCache)
 	}
+	if *timeout < 0 || *maxRows < 0 || *maxMem < 0 {
+		fatalf("-timeout, -max-rows, and -max-mem must be >= 0 (0 = unlimited)")
+	}
+	limits := decorr.Limits{
+		Timeout:             *timeout,
+		MaxOutputRows:       *maxRows,
+		MaxIntermediateRows: *maxRows,
+		MaxTrackedBytes:     *maxMem,
+	}
 	metricsBefore := trace.Metrics.Snapshot()
 	if *interactive || *script != "" {
 		db := buildDB(*dataset, *sf, *seed)
 		eng := decorr.NewEngine(db)
 		eng.Workers = *workers
+		eng.Limits = limits
 		if *planCache > 0 {
 			eng.EnablePlanCache(*planCache)
 		}
@@ -130,6 +145,7 @@ func main() {
 	db := buildDB(*dataset, *sf, *seed)
 	eng := decorr.NewEngine(db)
 	eng.Workers = *workers
+	eng.Limits = limits
 	if *planCache > 0 {
 		eng.EnablePlanCache(*planCache)
 	}

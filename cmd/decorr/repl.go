@@ -52,6 +52,7 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
   \analyze   toggle per-box profiles
   \timing    toggle wall-clock reporting
   \workers N set executor worker goroutines (0 = GOMAXPROCS, 1 = serial)
+  \limits [timeout=DUR] [rows=N] [mem=BYTES] | off   show or set per-query budgets
   \plancache [N|off]  show plan-cache stats, set capacity, or disable
   \trace     toggle per-statement pipeline traces
   \metrics   print the process metrics registry
@@ -82,6 +83,8 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 					eng.Workers = n
 					fmt.Printf("workers = %d\n", n)
 				}
+			case strings.HasPrefix(trimmed, "\\limits"):
+				setLimits(eng, strings.TrimSpace(strings.TrimPrefix(trimmed, "\\limits")))
 			case strings.HasPrefix(trimmed, "\\plancache"):
 				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\plancache"))
 				switch {
@@ -147,6 +150,66 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 		}
 		prompt()
 	}
+}
+
+// setLimits implements \limits: no argument shows the session budgets,
+// "off" clears them, and key=value tokens (timeout=DUR, rows=N, mem=BYTES)
+// update individual ones. rows= caps both output and intermediate rows,
+// matching the -max-rows flag.
+func setLimits(eng *decorr.Engine, arg string) {
+	show := func() {
+		l := eng.Limits
+		if !l.Enabled() {
+			fmt.Println("limits = off")
+			return
+		}
+		fmt.Printf("limits: timeout=%s rows=%d mem=%d\n", l.Timeout, l.MaxIntermediateRows, l.MaxTrackedBytes)
+	}
+	if arg == "" {
+		show()
+		return
+	}
+	if arg == "off" {
+		eng.Limits = decorr.Limits{}
+		fmt.Println("limits = off")
+		return
+	}
+	l := eng.Limits
+	for _, tok := range strings.Fields(arg) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			fmt.Printf("usage: \\limits [timeout=DUR] [rows=N] [mem=BYTES] | off\n")
+			return
+		}
+		switch key {
+		case "timeout":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				fmt.Printf("bad timeout %q (want a duration like 50ms)\n", val)
+				return
+			}
+			l.Timeout = d
+		case "rows":
+			var n int64
+			if _, err := fmt.Sscanf(val, "%d", &n); err != nil || n < 0 {
+				fmt.Printf("bad rows %q (want a non-negative integer)\n", val)
+				return
+			}
+			l.MaxOutputRows, l.MaxIntermediateRows = n, n
+		case "mem":
+			var n int64
+			if _, err := fmt.Sscanf(val, "%d", &n); err != nil || n < 0 {
+				fmt.Printf("bad mem %q (want a non-negative byte count)\n", val)
+				return
+			}
+			l.MaxTrackedBytes = n
+		default:
+			fmt.Printf("unknown limit %q (want timeout, rows, or mem)\n", key)
+			return
+		}
+	}
+	eng.Limits = l
+	show()
 }
 
 // runScript executes a file of semicolon-separated statements. Statement

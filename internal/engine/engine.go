@@ -5,8 +5,10 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -101,6 +103,13 @@ type Engine struct {
 	// GOMAXPROCS, 1 forces single-threaded execution. Results are
 	// bit-identical and identically ordered at every setting.
 	Workers int
+	// Limits are the per-query resource budgets (deadline, output and
+	// intermediate row caps, tracked-byte cap) applied to every execution
+	// through this engine. The zero value imposes nothing. Limits are
+	// execution-time policy, never planning policy: they are read at each
+	// run, are deliberately absent from the plan-cache key, and a plan
+	// prepared under one deadline runs correctly under another.
+	Limits exec.Limits
 	// Tracer, when non-nil, threads span/event tracing through the whole
 	// pipeline: parse, semant, every rewrite rule, decorrelation steps,
 	// and per-box execution. Nil disables tracing at zero cost. Attaching
@@ -228,7 +237,15 @@ func (e *Engine) DropView(name string) {
 // queries behave like Query. The statement is parsed exactly once, and not
 // at all when the plan cache holds a plan for its text.
 func (e *Engine) Exec(sql string, s Strategy) ([]storage.Row, *exec.Stats, error) {
-	return e.ExecParams(sql, s, nil)
+	return e.ExecParamsContext(context.Background(), sql, s, nil)
+}
+
+// ExecContext is Exec under a cancellation context: the executor polls ctx
+// at every morsel claim and box evaluation, so a cancellation or deadline
+// surfaces as exec.ErrCanceled / exec.ErrDeadlineExceeded within one
+// morsel of leaf work, at any worker count.
+func (e *Engine) ExecContext(ctx context.Context, sql string, s Strategy) ([]storage.Row, *exec.Stats, error) {
+	return e.ExecParamsContext(ctx, sql, s, nil)
 }
 
 // ExecParams is Exec with values for the statement's `?` placeholders, in
@@ -237,6 +254,11 @@ func (e *Engine) Exec(sql string, s Strategy) ([]storage.Row, *exec.Stats, error
 // text itself is the fast-path key — so a parameterized statement pays for
 // preparation once across all its bindings.
 func (e *Engine) ExecParams(sql string, s Strategy, params []sqltypes.Value) ([]storage.Row, *exec.Stats, error) {
+	return e.ExecParamsContext(context.Background(), sql, s, params)
+}
+
+// ExecParamsContext is ExecParams under a cancellation context.
+func (e *Engine) ExecParamsContext(ctx context.Context, sql string, s Strategy, params []sqltypes.Value) ([]storage.Row, *exec.Stats, error) {
 	cached := e.cacheable()
 	var (
 		epoch  uint64
@@ -246,7 +268,7 @@ func (e *Engine) ExecParams(sql string, s Strategy, params []sqltypes.Value) ([]
 		epoch = e.epoch.Load()
 		rawKey = e.cacheKey(trimStatement(sql), s)
 		if v, ok := e.planCache.Get(rawKey, epoch); ok {
-			return v.(*Prepared).RunParams(params)
+			return v.(*Prepared).RunParamsContext(ctx, params)
 		}
 	}
 	sp := e.Tracer.Begin("parse", "engine")
@@ -271,7 +293,7 @@ func (e *Engine) ExecParams(sql string, s Strategy, params []sqltypes.Value) ([]
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.RunParams(params)
+	return p.RunParamsContext(ctx, params)
 }
 
 // Prepared is a parsed, rewritten, validated query ready to run.
@@ -288,7 +310,12 @@ type Prepared struct {
 	// NumParams is the number of `?` placeholders the statement uses;
 	// RunParams must be given exactly that many values.
 	NumParams int
-	engine    *Engine
+	// Text is the statement text the plan was prepared from (the original
+	// SQL when available, the AST's normalized rendering otherwise). The
+	// panic-isolation path attaches it to trace events so a recovered
+	// operator panic identifies the offending query.
+	Text   string
+	engine *Engine
 }
 
 // Prepare parses sql and applies the strategy's rewrite.
@@ -317,7 +344,7 @@ func (e *Engine) prepare(sql string, q ast.QueryExpr, s Strategy, traced bool) (
 	}
 	trace.Metrics.Counter("engine.prepares").Inc()
 	prep := e.Tracer.Begin("prepare", "engine", trace.Str("strategy", s.String()))
-	p, err := e.prepareStages(sql, q, s, traced)
+	p, err := e.prepareStagesGuarded(sql, q, s, traced)
 	if err != nil {
 		trace.Metrics.Counter("engine.prepare_errors").Inc()
 		prep.End(trace.Str("error", err.Error()))
@@ -325,6 +352,50 @@ func (e *Engine) prepare(sql string, q ast.QueryExpr, s Strategy, traced bool) (
 	}
 	prep.End()
 	return p, nil
+}
+
+// queryText picks the text identifying a statement in diagnostics: the
+// original SQL when the caller supplied it, the AST's normalized rendering
+// otherwise.
+func queryText(sql string, q ast.QueryExpr) string {
+	if sql != "" {
+		return sql
+	}
+	if q != nil {
+		return ast.FormatQuery(q)
+	}
+	return ""
+}
+
+// notePanic records one recovered panic: the engine.panics counter moves
+// and, when tracing, an instant event captures the phase, the query text,
+// the panic value, and the (truncated) operator stack.
+func (e *Engine) notePanic(phase, text string, pe *exec.PanicError) {
+	trace.Metrics.Counter("engine.panics").Inc()
+	stack := pe.Stack
+	const maxStack = 4 << 10
+	if len(stack) > maxStack {
+		stack = stack[:maxStack]
+	}
+	e.Tracer.Instant("panic", "engine",
+		trace.Str("phase", phase),
+		trace.Str("query", text),
+		trace.Str("value", fmt.Sprint(pe.Val)),
+		trace.Str("stack", string(stack)))
+}
+
+// prepareStagesGuarded isolates panics in the prepare pipeline: a rewrite
+// or binder bug surfaces as a *exec.PanicError instead of killing the
+// process, and the engine (views, plan cache, storage) stays usable.
+func (e *Engine) prepareStagesGuarded(sql string, q ast.QueryExpr, s Strategy, traced bool) (p *Prepared, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &exec.PanicError{Val: r, Stack: debug.Stack()}
+			e.notePanic("prepare", queryText(sql, q), pe)
+			p, err = nil, pe
+		}
+	}()
+	return e.prepareStages(sql, q, s, traced)
 }
 
 // prepareStages runs the pipeline stages under the prepare span.
@@ -344,7 +415,7 @@ func (e *Engine) prepareStages(sql string, q ast.QueryExpr, s Strategy, traced b
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{Graph: g, Strategy: s, engine: e}
+	p := &Prepared{Graph: g, Strategy: s, Text: queryText(sql, q), engine: e}
 	if traced {
 		p.Trace = &core.Trace{}
 	}
@@ -479,21 +550,48 @@ func (p *Prepared) Run() ([]storage.Row, *exec.Stats, error) {
 // per-call executor — which is what lets the plan cache hand one plan to
 // many clients.
 func (p *Prepared) RunParams(params []sqltypes.Value) ([]storage.Row, *exec.Stats, error) {
+	return p.RunParamsContext(context.Background(), params)
+}
+
+// RunParamsContext is RunParams under a cancellation context and the
+// engine's Limits (read per call — a cached plan never captures either).
+// It is also the engine's execution-side panic boundary: a panic on the
+// caller's stack is recovered here, worker-goroutine panics arrive already
+// converted by the scheduler, and both are counted and traced before the
+// typed *exec.PanicError is returned — the engine stays usable.
+func (p *Prepared) RunParamsContext(ctx context.Context, params []sqltypes.Value) (rows []storage.Row, stats *exec.Stats, err error) {
 	if len(params) != p.NumParams {
 		return nil, nil, fmt.Errorf("engine: statement has %d parameter(s), got %d value(s)",
 			p.NumParams, len(params))
 	}
 	trace.Metrics.Counter("engine.executions").Inc()
+	sp := p.engine.Tracer.Begin("execute", "engine", trace.Str("strategy", p.Strategy.String()))
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &exec.PanicError{Val: r, Stack: debug.Stack()}
+			p.engine.notePanic("execute", p.Text, pe)
+			trace.Metrics.Counter("engine.execution_errors").Inc()
+			sp.End(trace.Str("error", pe.Error()))
+			rows, stats, err = nil, nil, pe
+		}
+	}()
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
 		MemoizeCorrelated: p.Strategy == NIMemo,
 		Workers:           p.engine.Workers,
 		Tracer:            p.engine.Tracer,
 		Params:            params,
+		Ctx:               ctx,
+		Limits:            p.engine.Limits,
 	})
-	sp := p.engine.Tracer.Begin("execute", "engine", trace.Str("strategy", p.Strategy.String()))
-	rows, err := ex.Run(p.Graph)
+	rows, err = ex.Run(p.Graph)
 	if err != nil {
+		var pe *exec.PanicError
+		if errors.As(err, &pe) {
+			// A worker-goroutine panic the scheduler already converted:
+			// count and trace it at the same boundary as caller-stack ones.
+			p.engine.notePanic("execute", p.Text, pe)
+		}
 		trace.Metrics.Counter("engine.execution_errors").Inc()
 		sp.End(trace.Str("error", err.Error()))
 		return nil, nil, err
@@ -510,18 +608,37 @@ func (p *Prepared) Explain() string { return qgm.Format(p.Graph) }
 // boxes show one evaluation per binding (nested iteration made visible);
 // shared uncorrelated boxes show the §5.1 recomputation behavior.
 func (p *Prepared) ExplainAnalyze() (string, error) {
+	return p.ExplainAnalyzeContext(context.Background())
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a cancellation context and
+// the engine's Limits, with the same panic boundary as RunParamsContext.
+func (p *Prepared) ExplainAnalyzeContext(ctx context.Context) (out string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &exec.PanicError{Val: r, Stack: debug.Stack()}
+			p.engine.notePanic("explain-analyze", p.Text, pe)
+			out, err = "", pe
+		}
+	}()
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
 		MemoizeCorrelated: p.Strategy == NIMemo,
 		Workers:           p.engine.Workers,
 		Tracer:            p.engine.Tracer,
+		Ctx:               ctx,
+		Limits:            p.engine.Limits,
 	})
 	ex.EnableProfiling()
 	sp := p.engine.Tracer.Begin("explain-analyze", "engine", trace.Str("strategy", p.Strategy.String()))
-	_, err := ex.Run(p.Graph)
+	_, runErr := ex.Run(p.Graph)
 	sp.End()
-	if err != nil {
-		return "", err
+	if runErr != nil {
+		var pe *exec.PanicError
+		if errors.As(runErr, &pe) {
+			p.engine.notePanic("explain-analyze", p.Text, pe)
+		}
+		return "", runErr
 	}
 	return ex.FormatProfile(p.Graph), nil
 }
@@ -529,16 +646,26 @@ func (p *Prepared) ExplainAnalyze() (string, error) {
 // Query is the one-shot convenience: prepare (through the plan cache when
 // one is enabled) and run.
 func (e *Engine) Query(sql string, s Strategy) ([]storage.Row, *exec.Stats, error) {
-	return e.QueryParams(sql, s, nil)
+	return e.QueryParamsContext(context.Background(), sql, s, nil)
+}
+
+// QueryContext is Query under a cancellation context (see ExecContext).
+func (e *Engine) QueryContext(ctx context.Context, sql string, s Strategy) ([]storage.Row, *exec.Stats, error) {
+	return e.QueryParamsContext(ctx, sql, s, nil)
 }
 
 // QueryParams is Query with values for the statement's `?` placeholders.
 func (e *Engine) QueryParams(sql string, s Strategy, params []sqltypes.Value) ([]storage.Row, *exec.Stats, error) {
+	return e.QueryParamsContext(context.Background(), sql, s, params)
+}
+
+// QueryParamsContext is QueryParams under a cancellation context.
+func (e *Engine) QueryParamsContext(ctx context.Context, sql string, s Strategy, params []sqltypes.Value) ([]storage.Row, *exec.Stats, error) {
 	p, err := e.PrepareCached(sql, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.RunParams(params)
+	return p.RunParamsContext(ctx, params)
 }
 
 // EnablePlanCache attaches a prepared-plan cache holding about capacity

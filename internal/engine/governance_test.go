@@ -1,0 +1,362 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"decorr/internal/engine"
+	"decorr/internal/exec"
+	"decorr/internal/faultinject"
+	"decorr/internal/tpcd"
+)
+
+// hashJoinQuery drives the executor's hash-join build and probe path over
+// the EMP/DEPT database: an equality tie between two quantifiers on a
+// column with no index (EMP.building is indexed, DEPT.building is not),
+// so the planner cannot fall back to an index nested-loop join.
+const hashJoinQuery = "select a.name, b.name from dept a, dept b where a.building = b.building"
+
+// Satellite: pre-canceled contexts across the strategy × worker matrix.
+// Every combination must return ErrCanceled with zero rows in bounded
+// time, and the run must be typed — not a hang, not a generic error.
+func TestPreCanceledContextMatrix(t *testing.T) {
+	db := tpcd.EmpDept()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range []engine.Strategy{engine.NI, engine.Magic, engine.Kim, engine.Dayal} {
+		for _, workers := range []int{1, 2, 8} {
+			name := fmt.Sprintf("%s/workers=%d", s, workers)
+			e := engine.New(db)
+			e.Workers = workers
+			start := time.Now()
+			rows, _, err := e.QueryContext(ctx, tpcd.ExampleQuery, s)
+			elapsed := time.Since(start)
+			if !errors.Is(err, exec.ErrCanceled) {
+				t.Errorf("%s: got %v, want ErrCanceled", name, err)
+			}
+			if len(rows) != 0 {
+				t.Errorf("%s: canceled query returned %d rows", name, len(rows))
+			}
+			if elapsed > 2*time.Second {
+				t.Errorf("%s: cancellation took %v", name, elapsed)
+			}
+		}
+	}
+}
+
+// Tentpole acceptance: a pathological correlated NI query over the TPC-D
+// database (correlated inequality — every outer tuple rescans lineitem,
+// no index applies) is cut off within 50ms of a 50ms deadline at workers
+// 1 and 8, fails with ErrDeadlineExceeded, and the engine then serves the
+// next query correctly.
+func TestDeadlineBoundsPathologicalNIQuery(t *testing.T) {
+	const pathological = `
+		select p.p_partkey from parts p
+		where p.p_retailprice < (select sum(l.l_extendedprice) from lineitem l where l.l_partkey < p.p_partkey)`
+	const deadline = 50 * time.Millisecond
+	const slack = 50 * time.Millisecond
+	for _, workers := range []int{1, 8} {
+		e := engine.New(tpcdTestDB)
+		e.Workers = workers
+		e.Limits = exec.Limits{Timeout: deadline}
+		var elapsed time.Duration
+		canceled := counterDelta("exec.canceled", func() {
+			start := time.Now()
+			rows, _, err := e.Query(pathological, engine.NI)
+			elapsed = time.Since(start)
+			if !errors.Is(err, exec.ErrDeadlineExceeded) {
+				t.Fatalf("workers=%d: got %v, want ErrDeadlineExceeded", workers, err)
+			}
+			if len(rows) != 0 {
+				t.Fatalf("workers=%d: timed-out query returned %d rows", workers, len(rows))
+			}
+		})
+		if canceled == 0 {
+			t.Errorf("workers=%d: exec.canceled did not move on a deadline trip", workers)
+		}
+		if elapsed > deadline+slack {
+			t.Errorf("workers=%d: query ran %v, want within %v of the %v deadline",
+				workers, elapsed, slack, deadline)
+		}
+		// The engine must stay fully usable: drop the limits and run a
+		// normal query on the same engine.
+		e.Limits = exec.Limits{}
+		rows, _, err := e.Query("select p_partkey from parts where p_partkey < 4", engine.NI)
+		if err != nil {
+			t.Fatalf("workers=%d: engine unusable after deadline trip: %v", workers, err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("workers=%d: follow-up query got %d rows, want 3", workers, len(rows))
+		}
+	}
+}
+
+// governedTotal runs sql unbudgeted over EMP/DEPT and returns the
+// intermediate-row identity the governor accounts: RowsScanned +
+// RowsJoined + RowsGrouped.
+func governedTotal(t *testing.T, sql string, s engine.Strategy, workers int) ([]string, int64) {
+	t.Helper()
+	e := engine.New(tpcd.EmpDept())
+	e.Workers = workers
+	rows, stats, err := e.Query(sql, s)
+	if err != nil {
+		t.Fatalf("unbudgeted %s: %v", s, err)
+	}
+	return multiset(rows), stats.RowsScanned + stats.RowsJoined + stats.RowsGrouped
+}
+
+// Satellite: the exact row-budget trip boundary on the hash-join path —
+// budget N (the run's true intermediate-row total) passes, budget N−1
+// trips — at both worker counts, because the accounting is commutative.
+func TestRowBudgetBoundaryHashJoin(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		want, n := governedTotal(t, hashJoinQuery, engine.NI, workers)
+		if n == 0 {
+			t.Fatal("hash-join query accounted zero intermediate rows")
+		}
+		e := engine.New(tpcd.EmpDept())
+		e.Workers = workers
+		e.Limits = exec.Limits{MaxIntermediateRows: n}
+		rows, _, err := e.Query(hashJoinQuery, engine.NI)
+		if err != nil {
+			t.Fatalf("workers=%d: budget exactly N=%d tripped: %v", workers, n, err)
+		}
+		sameRows(t, "budget==N result", multiset(rows), want)
+		e.Limits = exec.Limits{MaxIntermediateRows: n - 1}
+		trips := counterDelta("exec.budget_trips", func() {
+			if _, _, err := e.Query(hashJoinQuery, engine.NI); !errors.Is(err, exec.ErrRowBudget) {
+				t.Fatalf("workers=%d: budget N-1=%d: got %v, want ErrRowBudget", workers, n-1, err)
+			}
+		})
+		if trips == 0 {
+			t.Errorf("workers=%d: exec.budget_trips did not move", workers)
+		}
+	}
+}
+
+// Satellite: the same exact boundary on the correlated fan-out path (the
+// §2 example under nested iteration: per-tuple subquery scans dominate).
+func TestRowBudgetBoundaryCorrelatedFanout(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		want, n := governedTotal(t, tpcd.ExampleQuery, engine.NI, workers)
+		if n == 0 {
+			t.Fatal("correlated query accounted zero intermediate rows")
+		}
+		e := engine.New(tpcd.EmpDept())
+		e.Workers = workers
+		e.Limits = exec.Limits{MaxIntermediateRows: n}
+		rows, _, err := e.Query(tpcd.ExampleQuery, engine.NI)
+		if err != nil {
+			t.Fatalf("workers=%d: budget exactly N=%d tripped: %v", workers, n, err)
+		}
+		sameRows(t, "budget==N result", multiset(rows), want)
+		e.Limits = exec.Limits{MaxIntermediateRows: n - 1}
+		if _, _, err := e.Query(tpcd.ExampleQuery, engine.NI); !errors.Is(err, exec.ErrRowBudget) {
+			t.Fatalf("workers=%d: budget N-1=%d: got %v, want ErrRowBudget", workers, n-1, err)
+		}
+	}
+}
+
+func TestOutputRowBudgetBoundary(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	e.Limits = exec.Limits{MaxOutputRows: 6}
+	rows, _, err := e.Query("select name from emp", engine.NI)
+	if err != nil || len(rows) != 6 {
+		t.Fatalf("budget 6 over 6 output rows: rows=%d err=%v", len(rows), err)
+	}
+	e.Limits = exec.Limits{MaxOutputRows: 5}
+	if _, _, err := e.Query("select name from emp", engine.NI); !errors.Is(err, exec.ErrRowBudget) {
+		t.Fatalf("budget 5 over 6 output rows: got %v, want ErrRowBudget", err)
+	}
+}
+
+func TestMemBudgetTripsOnHashBuild(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	e.Limits = exec.Limits{MaxTrackedBytes: 1}
+	if _, _, err := e.Query(hashJoinQuery, engine.NI); !errors.Is(err, exec.ErrMemBudget) {
+		t.Fatalf("1-byte budget: got %v, want ErrMemBudget", err)
+	}
+	// A generous budget passes and matches the unbudgeted result.
+	want, _ := governedTotal(t, hashJoinQuery, engine.NI, 1)
+	e.Limits = exec.Limits{MaxTrackedBytes: 1 << 30}
+	rows, _, err := e.Query(hashJoinQuery, engine.NI)
+	if err != nil {
+		t.Fatalf("generous byte budget tripped: %v", err)
+	}
+	sameRows(t, "byte-budgeted result", multiset(rows), want)
+}
+
+// Satellite: a poisoned expression — division by zero inside a correlated
+// predicate — must surface as an error, not a crash, under NI and a
+// decorrelated strategy, and the engine must serve the next query.
+func TestPoisonedExpressionYieldsErrorNotCrash(t *testing.T) {
+	const poisoned = `
+		select d.name from dept d
+		where d.budget / (d.num_emps - d.num_emps) >
+			(select count(*) from emp e where e.building = d.building)`
+	db := tpcd.EmpDept()
+	for _, s := range []engine.Strategy{engine.NI, engine.Magic} {
+		e := engine.New(db)
+		if _, _, err := e.Query(poisoned, s); err == nil {
+			t.Fatalf("%s: division by zero in correlated predicate returned no error", s)
+		}
+		got, _ := query(t, e, tpcd.ExampleQuery, s)
+		if len(got) == 0 {
+			t.Fatalf("%s: engine returned nothing after poisoned statement", s)
+		}
+	}
+}
+
+// Satellite: an injected operator panic (fault-injection point inside the
+// hash build) is isolated into a typed ErrPanic, counted in engine.panics,
+// and leaves the engine usable once injection stops.
+func TestInjectedPanicIsolatedAndCounted(t *testing.T) {
+	defer faultinject.Disable()
+	for _, workers := range []int{1, 8} {
+		e := engine.New(tpcd.EmpDept())
+		e.Workers = workers
+		faultinject.Enable(faultinject.Plan{Seed: 3, Rules: map[faultinject.Point]faultinject.Rule{
+			faultinject.HashBuild: {PanicEvery: 1},
+		}})
+		panics := counterDelta("engine.panics", func() {
+			_, _, err := e.Query(hashJoinQuery, engine.NI)
+			if !errors.Is(err, exec.ErrPanic) {
+				t.Fatalf("workers=%d: got %v, want ErrPanic", workers, err)
+			}
+			var pe *exec.PanicError
+			if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+				t.Fatalf("workers=%d: panic error %v lacks a captured stack", workers, err)
+			}
+		})
+		if panics == 0 {
+			t.Errorf("workers=%d: engine.panics did not move", workers)
+		}
+		faultinject.Disable()
+		rows, _, err := e.Query(hashJoinQuery, engine.NI)
+		if err != nil || len(rows) == 0 {
+			t.Fatalf("workers=%d: engine unusable after recovered panic: rows=%d err=%v", workers, len(rows), err)
+		}
+	}
+}
+
+// Injected storage-scan errors surface as typed ErrInjected failures
+// attributed to the table, never as wrong answers or crashes.
+func TestInjectedScanErrorIsTyped(t *testing.T) {
+	defer faultinject.Disable()
+	faultinject.Enable(faultinject.Plan{Seed: 5, Rules: map[faultinject.Point]faultinject.Rule{
+		faultinject.StorageScan: {ErrEvery: 1},
+	}})
+	e := engine.New(tpcd.EmpDept())
+	_, _, err := e.Query("select name from emp", engine.NI)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+}
+
+// CI hammer (run with -race): goroutines race real mid-flight
+// cancellations against executions at several worker counts. Every
+// outcome must be either a clean result or a typed governance error.
+func TestCancellationHammer(t *testing.T) {
+	db := tpcd.EmpDeptSized(60, 240, 8, 7)
+	want, _, err := engine.New(db).Query(tpcd.ExampleQuery, engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := multiset(want)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			e := engine.New(db)
+			e.Workers = []int{1, 2, 8}[g%3]
+			for i := 0; i < 15; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(2000))*time.Microsecond)
+				rows, _, err := e.QueryContext(ctx, tpcd.ExampleQuery, engine.NI)
+				cancel()
+				switch {
+				case err == nil:
+					if fmt.Sprint(multiset(rows)) != fmt.Sprint(wantSet) {
+						t.Errorf("goroutine %d: wrong rows under cancellation race", g)
+						return
+					}
+				case errors.Is(err, exec.ErrCanceled) || errors.Is(err, exec.ErrDeadlineExceeded):
+					if len(rows) != 0 {
+						t.Errorf("goroutine %d: canceled run returned rows", g)
+						return
+					}
+				default:
+					t.Errorf("goroutine %d: untyped error under cancellation: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Satellite: cached plans must not capture per-call limits or contexts. A
+// plan prepared under one deadline runs under another with full cache-hit
+// parity, and a budget set after caching still governs the cached plan.
+func TestPlanCacheIgnoresLimits(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	e.EnablePlanCache(16)
+	e.Limits = exec.Limits{Timeout: time.Hour}
+	cold, _, err := e.Query(hashJoinQuery, engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different deadline, same plan: a pure cache hit, no re-prepare.
+	e.Limits = exec.Limits{Timeout: time.Minute}
+	prepares := counterDelta("engine.prepares", func() {
+		hits := counterDelta("plancache.hits", func() {
+			warm, _, err := e.Query(hashJoinQuery, engine.NI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRows(t, "warm under new deadline", multiset(warm), multiset(cold))
+		})
+		if hits != 1 {
+			t.Fatalf("plancache.hits moved %d under a changed deadline, want 1", hits)
+		}
+	})
+	if prepares != 0 {
+		t.Fatalf("changing Limits re-prepared the plan (%d), want cache hit", prepares)
+	}
+	// A budget added after caching governs the cached plan (limits are
+	// read per call, not captured): still a cache hit, now a typed trip.
+	e.Limits = exec.Limits{MaxIntermediateRows: 1}
+	hits := counterDelta("plancache.hits", func() {
+		if _, _, err := e.Query(hashJoinQuery, engine.NI); !errors.Is(err, exec.ErrRowBudget) {
+			t.Fatalf("cached plan under new budget: got %v, want ErrRowBudget", err)
+		}
+	})
+	if hits != 1 {
+		t.Fatalf("budgeted rerun missed the cache (hits=%d)", hits)
+	}
+	// And the trip did not poison the cache: restored limits, correct rows.
+	e.Limits = exec.Limits{}
+	rows, _, err := e.Query(hashJoinQuery, engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "after budget trip", multiset(rows), multiset(cold))
+}
+
+// A Limits.Timeout applies per Run, anchored at each call — two governed
+// runs in a row both get the full budget (no leakage of spent time).
+func TestTimeoutAnchorsPerRun(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	e.Limits = exec.Limits{Timeout: time.Second}
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.Query("select name from emp", engine.NI); err != nil {
+			t.Fatalf("run %d under ample per-run timeout: %v", i, err)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"decorr/internal/faultinject"
 	"decorr/internal/qgm"
 	"decorr/internal/sqltypes"
 	"decorr/internal/storage"
@@ -37,6 +39,14 @@ type Options struct {
 	// Params supplies values for `?` placeholders, indexed by position.
 	// Evaluating a qgm.Param outside the supplied range is an error.
 	Params []sqltypes.Value
+	// Ctx, when non-nil, cancels execution: Run polls it at every morsel
+	// claim and box evaluation and returns ErrCanceled (or
+	// ErrDeadlineExceeded for a context deadline). A nil Ctx — and a
+	// context that can never be canceled — costs nothing on the hot path.
+	Ctx context.Context
+	// Limits are the per-Run resource budgets (deadline, output rows,
+	// intermediate rows, tracked bytes). The zero value imposes none.
+	Limits Limits
 }
 
 // Exec evaluates QGM graphs against a database. An Exec is single-use per
@@ -50,6 +60,11 @@ type Exec struct {
 
 	workers int
 	sem     chan struct{} // worker tokens shared by nested parallel regions
+
+	// gov enforces Options.Ctx and Options.Limits for the current Run; nil
+	// when neither is armed. It is rebuilt at each Run entry (the Timeout
+	// deadline anchors there) and read-only during the fan-out.
+	gov *governor
 
 	// mu guards the cross-worker memo state (cse, memo, bindings) and the
 	// profile map. freeRefs and refCount are written only by analyze
@@ -97,12 +112,33 @@ func New(db *storage.DB, opts Options) *Exec {
 }
 
 // Run evaluates the graph and returns the result rows (after any top-level
-// ORDER BY).
+// ORDER BY). When Options.Ctx or Options.Limits are armed, Run enforces
+// them: a pre-canceled context returns ErrCanceled before any row is
+// produced, and mid-run trips unwind through the scheduler's deterministic
+// error machinery as the typed sentinels of this package.
 func (ex *Exec) Run(g *qgm.Graph) ([]storage.Row, error) {
+	ex.gov = newGovernor(ex.opts.Ctx, ex.opts.Limits)
+	rows, err := ex.govRun(g)
+	if err != nil {
+		if counter, ok := classifyGovernance(err); ok {
+			trace.Metrics.Counter(counter).Inc()
+		}
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (ex *Exec) govRun(g *qgm.Graph) ([]storage.Row, error) {
+	if err := ex.gov.checkpoint(); err != nil {
+		return nil, err
+	}
 	before := ex.Stats
 	ex.analyze(g.Root)
 	rows, err := ex.evalBox(g.Root, nil)
 	if err != nil {
+		return nil, err
+	}
+	if err := ex.gov.checkOutput(len(rows)); err != nil {
 		return nil, err
 	}
 	if len(g.OrderBy) > 0 {
@@ -274,6 +310,9 @@ func (ex *Exec) evalSubqueryInput(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := ex.govBytes(rows); err != nil {
+			return nil, err
+		}
 		ex.mu.Lock()
 		if prior, ok := m[key]; ok {
 			rows = prior // a racing worker stored the same result first
@@ -289,6 +328,12 @@ func (ex *Exec) evalSubqueryInput(b *qgm.Box, env *Env) ([]storage.Row, error) {
 // evalBox evaluates any box under env, applying CSE policy for shared
 // uncorrelated boxes.
 func (ex *Exec) evalBox(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	// Every box evaluation is a cancellation point: nested-iteration plans
+	// re-evaluate correlated boxes per outer tuple, so this check alone
+	// bounds their trip latency to one subquery invocation.
+	if err := ex.gov.checkpoint(); err != nil {
+		return nil, err
+	}
 	bump(&ex.Stats.BoxEvals, 1)
 	shared := ex.refCount[b] > 1
 	uncorrelated := !ex.isCorrelated(b)
@@ -325,6 +370,9 @@ func (ex *Exec) evalBox(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		sp.End(trace.Int("rows", int64(len(rows))))
 	}
 	if uncorrelated && shared {
+		if err := ex.govBytes(rows); err != nil {
+			return nil, err
+		}
 		ex.mu.Lock()
 		if _, ok := ex.cse[b]; !ok {
 			ex.cse[b] = rows
@@ -341,8 +389,15 @@ func (ex *Exec) dispatch(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		if t == nil {
 			return nil, fmt.Errorf("exec: table %q has no storage", b.Table.Name)
 		}
-		bump(&ex.Stats.RowsScanned, int64(len(t.Rows)))
-		return t.Rows, nil
+		rows, err := t.Scan()
+		if err != nil {
+			return nil, err
+		}
+		bump(&ex.Stats.RowsScanned, int64(len(rows)))
+		if err := ex.govRows(len(rows)); err != nil {
+			return nil, err
+		}
+		return rows, nil
 	case qgm.BoxSelect:
 		return ex.evalSelect(b, env)
 	case qgm.BoxGroup:
@@ -506,6 +561,9 @@ func (ex *Exec) evalGroup(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		return nil, err
 	}
 	bump(&ex.Stats.RowsGrouped, int64(len(out)))
+	if err := ex.govRows(len(out)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -702,6 +760,9 @@ func (ex *Exec) evalLeftJoin(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	nullRight := nullRow(len(qr.Input.Cols))
 	var rHash map[string][]int
 	if len(lKeys) > 0 {
+		if err := ex.hashBuildCheck(right); err != nil {
+			return nil, err
+		}
 		bump(&ex.Stats.HashBuilds, 1)
 		// Build: key expressions evaluate in parallel; the table fills
 		// sequentially in row order so bucket chains are deterministic.
@@ -806,7 +867,20 @@ func (ex *Exec) evalLeftJoin(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	}
 	out := concat(chunks)
 	bump(&ex.Stats.RowsJoined, int64(len(out)))
+	if err := ex.govRows(len(out)); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// hashBuildCheck gates every hash-table build: the fault-injection
+// hash-build point fires first, then the build side is charged against the
+// byte budget — a hash join's dominant allocation is its build table.
+func (ex *Exec) hashBuildCheck(build []storage.Row) error {
+	if err := faultinject.Check(faultinject.HashBuild); err != nil {
+		return err
+	}
+	return ex.govBytes(build)
 }
 
 // equiSides decomposes p as an equality whose sides reference exactly ql

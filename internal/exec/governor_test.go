@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+func TestNewGovernorNilWhenUnarmed(t *testing.T) {
+	if g := newGovernor(nil, Limits{}); g != nil {
+		t.Fatal("no ctx, no limits: governor should be nil")
+	}
+	if g := newGovernor(context.Background(), Limits{}); g != nil {
+		t.Fatal("Background ctx (no done channel, no deadline) should not arm the governor")
+	}
+	// Every method must be nil-safe: the operators call them unconditionally.
+	var g *governor
+	if err := g.checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.addRows(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.addBytes(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.checkOutput(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := newGovernor(ctx, Limits{})
+	if g == nil {
+		t.Fatal("cancelable ctx should arm the governor")
+	}
+	err := g.checkpoint()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled ctx: got %v, want ErrCanceled", err)
+	}
+	// The trip is latched: every later checkpoint reports the same error.
+	if err2 := g.checkpoint(); !errors.Is(err2, ErrCanceled) {
+		t.Fatalf("latched trip lost: %v", err2)
+	}
+}
+
+func TestCheckpointTimeout(t *testing.T) {
+	g := newGovernor(nil, Limits{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if err := g.checkpoint(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired Timeout: got %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestCtxDeadlineMapsToDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	g := newGovernor(ctx, Limits{})
+	if err := g.checkpoint(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired ctx deadline: got %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestEarlierDeadlineWins(t *testing.T) {
+	// ctx deadline is far out; Limits.Timeout is already expired.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	g := newGovernor(ctx, Limits{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if err := g.checkpoint(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("combined deadlines: got %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestRowBudgetExactBoundary(t *testing.T) {
+	g := newGovernor(nil, Limits{MaxIntermediateRows: 10})
+	if err := g.addRows(10); err != nil {
+		t.Fatalf("exactly at budget: %v", err)
+	}
+	err := g.addRows(1)
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("one over budget: got %v, want ErrRowBudget", err)
+	}
+	// Latched: subsequent checkpoints see the trip too.
+	if err := g.checkpoint(); !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("checkpoint after row trip: %v", err)
+	}
+}
+
+func TestByteBudget(t *testing.T) {
+	g := newGovernor(nil, Limits{MaxTrackedBytes: 100})
+	if err := g.addBytes(100); err != nil {
+		t.Fatalf("exactly at budget: %v", err)
+	}
+	if err := g.addBytes(1); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("one over budget: got %v, want ErrMemBudget", err)
+	}
+}
+
+func TestOutputBudget(t *testing.T) {
+	g := newGovernor(nil, Limits{MaxOutputRows: 3})
+	if err := g.checkOutput(3); err != nil {
+		t.Fatalf("exactly at budget: %v", err)
+	}
+	if err := g.checkOutput(4); !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("over output budget: got %v, want ErrRowBudget", err)
+	}
+}
+
+func TestFirstTripWins(t *testing.T) {
+	g := newGovernor(nil, Limits{MaxIntermediateRows: 1, MaxTrackedBytes: 1})
+	first := g.trip(ErrRowBudget)
+	second := g.trip(ErrMemBudget)
+	if !errors.Is(first, ErrRowBudget) || !errors.Is(second, ErrRowBudget) {
+		t.Fatalf("trip latch: first=%v second=%v, want both ErrRowBudget", first, second)
+	}
+}
+
+func TestPanicErrorIs(t *testing.T) {
+	var err error = &PanicError{Val: "boom"}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatal("PanicError should match ErrPanic via errors.Is")
+	}
+	if err.Error() == "" {
+		t.Fatal("empty PanicError message")
+	}
+}
+
+func TestRowsBytesModel(t *testing.T) {
+	rows := []storage.Row{
+		{sqltypes.NewInt(1), sqltypes.NewString("abc")},
+		{sqltypes.Null, sqltypes.NewString("")},
+	}
+	// 4 values × 24 + 3 string bytes.
+	if got := rowsBytes(rows); got != 4*24+3 {
+		t.Fatalf("rowsBytes = %d, want %d", got, 4*24+3)
+	}
+}
+
+func TestClassifyGovernance(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{ErrCanceled, "exec.canceled"},
+		{ErrDeadlineExceeded, "exec.canceled"},
+		{ErrRowBudget, "exec.budget_trips"},
+		{ErrMemBudget, "exec.budget_trips"},
+	} {
+		got, ok := classifyGovernance(tc.err)
+		if !ok || got != tc.want {
+			t.Errorf("classifyGovernance(%v) = %q/%v, want %q", tc.err, got, ok, tc.want)
+		}
+	}
+	if _, ok := classifyGovernance(errors.New("other")); ok {
+		t.Error("unrelated error classified as governance")
+	}
+	if _, ok := classifyGovernance(&PanicError{Val: "x"}); ok {
+		t.Error("panic classified as governance (it has its own counter)")
+	}
+}

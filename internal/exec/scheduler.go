@@ -21,8 +21,11 @@ package exec
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"decorr/internal/faultinject"
 )
 
 const (
@@ -54,6 +57,38 @@ func resolveWorkers(n int) int {
 	return n
 }
 
+// claimMorsel is the governance gate crossed before every morsel of work,
+// on both the parallel and inline paths: the fault-injection morsel-claim
+// point fires first, then the run's governor polls cancellation and the
+// deadline. The disabled cost is one atomic load plus one nil comparison,
+// and running it per claim is what bounds cancellation latency to a single
+// morsel of leaf work even at Workers == 1.
+func (ex *Exec) claimMorsel() error {
+	if err := faultinject.Check(faultinject.MorselClaim); err != nil {
+		return err
+	}
+	return ex.gov.checkpoint()
+}
+
+// runMorsel claims and executes one morsel, converting a panic anywhere in
+// the claim or the work into a *PanicError so that a fault inside a worker
+// goroutine unwinds through the min-index error machinery instead of
+// killing the process. The claim happens inside the recover scope on
+// purpose: the fault-injection point in claimMorsel can panic too. The
+// inline path uses it as well, so single-threaded runs isolate operator
+// panics identically.
+func runMorsel[T any](ex *Exec, fn func(lo, hi int) (T, error), lo, hi int) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Val: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := ex.claimMorsel(); err != nil {
+		return out, err
+	}
+	return fn(lo, hi)
+}
+
 // parallelChunks evaluates fn over [0,n) split into morsels of at most
 // `morsel` items each, returning the per-morsel results in morsel order.
 // With one worker (or a single morsel) it degenerates to an inline
@@ -70,7 +105,7 @@ func parallelChunks[T any](ex *Exec, n, morsel int, fn func(lo, hi int) (T, erro
 	if chunks == 1 || ex.workers <= 1 {
 		out := make([]T, 0, chunks)
 		for lo := 0; lo < n; lo += morsel {
-			r, err := fn(lo, min(lo+morsel, n))
+			r, err := runMorsel(ex, fn, lo, min(lo+morsel, n))
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +124,7 @@ func parallelChunks[T any](ex *Exec, n, morsel int, fn func(lo, hi int) (T, erro
 				return
 			}
 			lo := i * morsel
-			r, err := fn(lo, min(lo+morsel, n))
+			r, err := runMorsel(ex, fn, lo, min(lo+morsel, n))
 			results[i] = r
 			if err != nil {
 				errs[i] = err

@@ -191,6 +191,9 @@ func (ex *Exec) bindLateral(q *qgm.Quantifier, tuples []*Env) ([]*Env, error) {
 		return nil, err
 	}
 	bump(&ex.Stats.RowsJoined, int64(len(out)))
+	if err := ex.govRows(len(out)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -260,9 +263,16 @@ func (ex *Exec) bindForEach(q *qgm.Quantifier, bound map[*qgm.Quantifier]bool, p
 		if tbl == nil {
 			return nil, fmt.Errorf("exec: table %q has no storage", q.Input.Table.Name)
 		}
-		bump(&ex.Stats.RowsScanned, int64(len(tbl.Rows)))
-		ex.recordProfile(q.Input, len(tbl.Rows), 0)
-		rows = tbl.Rows
+		scanned, err := tbl.Scan()
+		if err != nil {
+			return nil, err
+		}
+		bump(&ex.Stats.RowsScanned, int64(len(scanned)))
+		if err := ex.govRows(len(scanned)); err != nil {
+			return nil, err
+		}
+		ex.recordProfile(q.Input, len(scanned), 0)
+		rows = scanned
 	} else {
 		var err error
 		rows, err = ex.evalBox(q.Input, env)
@@ -290,6 +300,9 @@ func (ex *Exec) bindForEach(q *qgm.Quantifier, bound map[*qgm.Quantifier]bool, p
 		}
 	}
 	if len(qSides) > 0 {
+		if err := ex.hashBuildCheck(rows); err != nil {
+			return nil, err
+		}
 		bump(&ex.Stats.HashBuilds, 1)
 		// Build side: hash keys evaluate in parallel, the table fills
 		// sequentially in row order so every bucket chain — and therefore
@@ -334,6 +347,9 @@ func (ex *Exec) bindForEach(q *qgm.Quantifier, bound map[*qgm.Quantifier]bool, p
 			return nil, err
 		}
 		bump(&ex.Stats.RowsJoined, int64(len(out)))
+		if err := ex.govRows(len(out)); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 	// Nested-loop (cross product; residual predicates apply via applyReady).
@@ -348,6 +364,9 @@ func (ex *Exec) bindForEach(q *qgm.Quantifier, bound map[*qgm.Quantifier]bool, p
 		return nil, err
 	}
 	bump(&ex.Stats.RowsJoined, int64(len(out)))
+	if err := ex.govRows(len(out)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -482,6 +501,9 @@ func (ex *Exec) indexBind(q *qgm.Quantifier, tbl *storage.Table, col int, other 
 		return nil, err
 	}
 	bump(&ex.Stats.RowsJoined, int64(len(out)))
+	if err := ex.govRows(len(out)); err != nil {
+		return nil, err
+	}
 	ex.recordProfile(q.Input, len(out), 0)
 	return out, nil
 }

@@ -43,6 +43,9 @@ func (ex *Exec) bindSubqueryCheck(li *lateQuant, tuples []*Env, env *Env) ([]*En
 	// (bound/outer side) and a subquery-side expression.
 	probeExprs, subExprs, hashable := splitTies(li.ties, q)
 	if hashable && (q.Kind == qgm.QExists || q.Kind == qgm.QNotExists || q.Kind == qgm.QAny) {
+		if err := ex.hashBuildCheck(rows); err != nil {
+			return nil, err
+		}
 		bump(&ex.Stats.HashBuilds, 1)
 		type buildKey struct {
 			key  string

@@ -1,0 +1,150 @@
+// Package faultinject is a seeded, build-tag-free fault-injection registry
+// used to prove the engine's failure-handling contract: under injected
+// errors, panics, and latency at storage scans, hash builds, and morsel
+// claims, every query either returns correct results or a clean typed
+// error — never a wrong answer, a hang, or a process crash.
+//
+// The registry is always compiled in (no build tags), and the disabled hot
+// path costs exactly one atomic pointer load per call site, so production
+// code and the differential fault sweep run the same binary. Injection
+// decisions are a pure function of (seed, point, hit index): a sweep run
+// is reproducible from its seed alone, and two runs of the same seed
+// inject the same number of faults at every site.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Point identifies one injection site in the engine.
+type Point string
+
+// The instrumented sites. Scans cover every base-table read the executor
+// performs (storage.Table.Scan); hash builds cover join and subquery hash
+// tables; morsel claims cover every unit of work the parallel scheduler
+// hands out — including the degenerate single-worker inline loop, so
+// injection coverage does not depend on Options.Workers.
+const (
+	StorageScan Point = "storage.scan"
+	HashBuild   Point = "exec.hash-build"
+	MorselClaim Point = "exec.morsel-claim"
+)
+
+// ErrInjected marks every error produced by the registry. Harnesses
+// classify it with errors.Is as a "clean" failure: the fault was delivered
+// as a typed error instead of a wrong answer or a crash.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule configures one site. Each Every field selects roughly one out of
+// that many hits (seeded, deterministic); zero disables that behavior.
+type Rule struct {
+	// ErrEvery injects an ErrInjected-wrapped error on ~1/ErrEvery hits.
+	ErrEvery int
+	// PanicEvery injects a panic on ~1/PanicEvery hits — exercising the
+	// scheduler's morsel recovery and the engine's boundary recovery.
+	PanicEvery int
+	// LatencyEvery sleeps Latency on ~1/LatencyEvery hits — exercising
+	// deadline enforcement under slow operators.
+	LatencyEvery int
+	Latency      time.Duration
+}
+
+// Plan is a full injection configuration: a seed plus per-site rules.
+type Plan struct {
+	Seed  int64
+	Rules map[Point]Rule
+}
+
+// state is the installed plan plus per-site hit counters.
+type state struct {
+	plan Plan
+	hits map[Point]*atomic.Int64
+}
+
+var active atomic.Pointer[state]
+
+// Enable installs a plan process-wide, replacing any previous one. Hit
+// counters restart from zero.
+func Enable(p Plan) {
+	s := &state{plan: p, hits: make(map[Point]*atomic.Int64, len(p.Rules))}
+	for pt := range p.Rules {
+		s.hits[pt] = &atomic.Int64{}
+	}
+	active.Store(s)
+}
+
+// Disable removes the installed plan; every Check becomes a no-op again.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Hits reports how many times the point was checked under the current
+// plan (zero when disabled or the point has no rule).
+func Hits(pt Point) int64 {
+	s := active.Load()
+	if s == nil {
+		return 0
+	}
+	if c, ok := s.hits[pt]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// splitmix64 is the standard 64-bit avalanche mixer — enough to turn
+// (seed, point, hit) into an unbiased selection without package state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func pointHash(pt Point) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a
+	for i := 0; i < len(pt); i++ {
+		h ^= uint64(pt[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// selected reports whether hit n at pt fires a 1/every event. The salt
+// separates the error, panic, and latency streams at one site.
+func (s *state) selected(pt Point, n int64, every int, salt uint64) bool {
+	if every <= 0 {
+		return false
+	}
+	h := splitmix64(uint64(s.plan.Seed) ^ pointHash(pt) ^ uint64(n)*0x9e3779b97f4a7c15 ^ salt)
+	return h%uint64(every) == 0
+}
+
+// Check is the injection site hook. With no plan installed it is one
+// atomic load. With a plan, it may sleep (latency rule), panic (panic
+// rule), or return an error wrapping ErrInjected (error rule), decided
+// deterministically from the seed and this site's hit index.
+func Check(pt Point) error {
+	s := active.Load()
+	if s == nil {
+		return nil
+	}
+	r, ok := s.plan.Rules[pt]
+	if !ok {
+		return nil
+	}
+	n := s.hits[pt].Add(1) - 1
+	if s.selected(pt, n, r.LatencyEvery, 0x1a7e) {
+		time.Sleep(r.Latency)
+	}
+	if s.selected(pt, n, r.PanicEvery, 0x9a1c) {
+		panic(fmt.Sprintf("faultinject: injected panic at %s (hit %d)", pt, n))
+	}
+	if s.selected(pt, n, r.ErrEvery, 0xe44) {
+		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, pt, n)
+	}
+	return nil
+}

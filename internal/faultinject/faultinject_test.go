@@ -1,0 +1,122 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable()")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Check(StorageScan); err != nil {
+			t.Fatalf("disabled Check returned %v", err)
+		}
+	}
+	if n := Hits(StorageScan); n != 0 {
+		t.Fatalf("disabled Hits = %d, want 0", n)
+	}
+}
+
+func TestUnruledPointIsNoop(t *testing.T) {
+	Enable(Plan{Seed: 1, Rules: map[Point]Rule{StorageScan: {ErrEvery: 1}}})
+	defer Disable()
+	for i := 0; i < 50; i++ {
+		if err := Check(HashBuild); err != nil {
+			t.Fatalf("unruled point injected %v", err)
+		}
+	}
+}
+
+// collectErrs runs n Checks and returns which hit indexes errored.
+func collectErrs(pt Point, n int) []int {
+	var idx []int
+	for i := 0; i < n; i++ {
+		if err := Check(pt); err != nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	plan := Plan{Seed: 99, Rules: map[Point]Rule{StorageScan: {ErrEvery: 5}}}
+	Enable(plan)
+	first := collectErrs(StorageScan, 2000)
+	Enable(plan) // re-Enable resets hit counters
+	second := collectErrs(StorageScan, 2000)
+	Disable()
+	if len(first) == 0 {
+		t.Fatal("ErrEvery=5 over 2000 hits injected nothing")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("same seed, different injection counts: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed, different hit %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+	// The rate is roughly 1/5; a uniform mixer stays well inside 2x bounds.
+	if len(first) < 200 || len(first) > 800 {
+		t.Fatalf("ErrEvery=5 injected %d/2000, far from ~400", len(first))
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	Enable(Plan{Seed: 1, Rules: map[Point]Rule{StorageScan: {ErrEvery: 4}}})
+	a := collectErrs(StorageScan, 500)
+	Enable(Plan{Seed: 2, Rules: map[Point]Rule{StorageScan: {ErrEvery: 4}}})
+	b := collectErrs(StorageScan, 500)
+	Disable()
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical injection streams")
+	}
+}
+
+func TestErrorIsTyped(t *testing.T) {
+	Enable(Plan{Seed: 7, Rules: map[Point]Rule{HashBuild: {ErrEvery: 1}}})
+	defer Disable()
+	err := Check(HashBuild)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v is not ErrInjected", err)
+	}
+	if Hits(HashBuild) != 1 {
+		t.Fatalf("Hits = %d, want 1", Hits(HashBuild))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	Enable(Plan{Seed: 7, Rules: map[Point]Rule{MorselClaim: {PanicEvery: 1}}})
+	defer Disable()
+	defer func() {
+		if recover() == nil {
+			t.Error("PanicEvery=1 did not panic")
+		}
+	}()
+	_ = Check(MorselClaim)
+}
+
+func TestLatencyRule(t *testing.T) {
+	Enable(Plan{Seed: 7, Rules: map[Point]Rule{StorageScan: {LatencyEvery: 1, Latency: 5 * time.Millisecond}}})
+	defer Disable()
+	start := time.Now()
+	if err := Check(StorageScan); err != nil {
+		t.Fatalf("latency-only rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("LatencyEvery=1 slept %v, want >= 5ms", d)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"decorr/internal/faultinject"
 	"decorr/internal/schema"
 	"decorr/internal/sqltypes"
 )
@@ -95,6 +96,17 @@ func (t *Table) Insert(r Row) error {
 
 func keyOf(v sqltypes.Value) string {
 	return sqltypes.Key([]sqltypes.Value{v})
+}
+
+// Scan returns the table's full row slice. It is the executor's only
+// full-scan entry point, which makes it the natural fault-injection site
+// for storage-layer read errors: an injected fault surfaces as a typed
+// error attributed to the table instead of a wrong answer.
+func (t *Table) Scan() ([]Row, error) {
+	if err := faultinject.Check(faultinject.StorageScan); err != nil {
+		return nil, fmt.Errorf("storage: scan %s: %w", t.Def.Name, err)
+	}
+	return t.Rows, nil
 }
 
 // CreateIndex builds a hash index on the named column. Creating an index
