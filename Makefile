@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke fault-smoke
+.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke fault-smoke obs-smoke
 
 # check is the CI gate: static analysis, a full build, and the test suite
 # under the race detector.
@@ -29,6 +29,19 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlanCache' -benchtime=100x -short . \
 		| $(GO) run ./cmd/benchjson > BENCH_plancache.json
 	@echo "wrote BENCH_plancache.json ($$(wc -c < BENCH_plancache.json) bytes)"
+
+# obs-smoke exercises the observability surface end to end: the metrics/
+# pprof HTTP server comes up exactly as `decorr -metrics-addr` brings it
+# up, /metrics is scraped once, and every sys.* table is SELECTed and
+# asserted non-empty (TestObsSmoke). BenchmarkObservabilityOverhead then
+# measures a fully observed engine against a bare one on the cached-plan
+# hot path, enforces the <5% execution-overhead budget, and emits the
+# numbers to BENCH_obs.json.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -v ./cmd/decorr
+	$(GO) test -run '^$$' -bench 'BenchmarkObservabilityOverhead' -benchtime=2000x . \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@echo "wrote BENCH_obs.json ($$(wc -c < BENCH_obs.json) bytes)"
 
 # fuzz-smoke runs the differential correctness harness deterministically:
 # a fixed seed, 200 generated queries, every strategy and knob combination

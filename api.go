@@ -173,11 +173,36 @@ type (
 	TraceEvent = trace.Event
 	// TraceSink receives finished trace events.
 	TraceSink = trace.Sink
-	// MetricsRegistry holds named monotonic counters and gauges with a
-	// snapshot/diff API.
+	// MetricsRegistry holds named monotonic counters, gauges, and latency
+	// histograms with a snapshot/diff API.
 	MetricsRegistry = trace.Registry
 	// MetricsSnapshot is a point-in-time copy of a registry.
 	MetricsSnapshot = trace.Snapshot
+	// Histogram is a lock-free log-bucketed latency histogram; obtain one
+	// with Metrics.Histogram(name), record with Observe.
+	Histogram = trace.Histogram
+	// HistogramSnapshot is a point-in-time histogram summary
+	// (count/sum/min/max and p50/p95/p99).
+	HistogramSnapshot = trace.HistogramSnapshot
+)
+
+// Introspection: the live query registry and the sys.* system catalog
+// (see docs/observability.md). Engine.MountSystemCatalog registers the
+// sys.metrics, sys.histograms, sys.active_queries, sys.plan_cache, and
+// sys.query_log virtual tables (enabling the registry as a side effect);
+// Engine.EnableRegistry turns on query tracking alone; Engine.Kill cancels
+// a running query by ID through the governor's cancellation path, so the
+// victim fails with ErrCanceled.
+type (
+	// QueryRegistry tracks running queries (Active) and a bounded ring of
+	// completed ones (Log).
+	QueryRegistry = engine.Registry
+	// ActiveQuery is a point-in-time view of one running query: ID,
+	// statement text, strategy, start time, and live progress counters.
+	ActiveQuery = engine.ActiveQuery
+	// QueryLogEntry records one completed query: outcome, duration, error
+	// text, budget-trip classification, and final progress counters.
+	QueryLogEntry = engine.QueryLogEntry
 )
 
 // Metrics is the process-wide registry the engine, executor, and parallel

@@ -426,3 +426,74 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkObservabilityOverhead compares one engine with the full
+// observability surface enabled (query registry, mounted sys.* catalog —
+// which wraps every run in a cancelable context and so buys a governor
+// checkpoint per morsel claim and box eval) against a bare engine, both on
+// the cached-plan hot path where fixed per-query cost is largest relative
+// to work. The iterations interleave the engines and are split into
+// batches; the comparison uses each engine's fastest batch, which filters
+// scheduler preemptions and GC pauses out of both sides — a mean would
+// attribute whichever side a pause landed on. Reports ns-bare/op,
+// ns-observed/op, and overhead-pct; at a meaningful iteration count it
+// fails if the overhead exceeds the 5% budget (make obs-smoke emits
+// BENCH_obs.json from this).
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	db := decorr.EmpDept()
+	bare := decorr.NewEngine(db)
+	bare.EnablePlanCache(64)
+	observed := decorr.NewEngine(db)
+	observed.EnablePlanCache(64)
+	observed.MountSystemCatalog()
+	for _, e := range []*decorr.Engine{bare, observed} {
+		if _, _, err := e.Query(decorr.ExampleQuery, decorr.OptMagic); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batches := 10
+	if b.N < batches {
+		batches = 1
+	}
+	per := b.N / batches
+	minBare, minObserved := time.Duration(1<<62), time.Duration(1<<62)
+	done := 0
+	b.ResetTimer()
+	for batch := 0; batch < batches; batch++ {
+		n := per
+		if batch == batches-1 {
+			n = b.N - done // the last batch absorbs the remainder
+		}
+		done += n
+		var tBare, tObserved time.Duration
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if _, _, err := bare.Query(decorr.ExampleQuery, decorr.OptMagic); err != nil {
+				b.Fatal(err)
+			}
+			tBare += time.Since(start)
+			start = time.Now()
+			if _, _, err := observed.Query(decorr.ExampleQuery, decorr.OptMagic); err != nil {
+				b.Fatal(err)
+			}
+			tObserved += time.Since(start)
+		}
+		if d := tBare / time.Duration(n); d < minBare {
+			minBare = d
+		}
+		if d := tObserved / time.Duration(n); d < minObserved {
+			minObserved = d
+		}
+	}
+	b.StopTimer()
+	nsBare := float64(minBare.Nanoseconds())
+	nsObserved := float64(minObserved.Nanoseconds())
+	pct := (nsObserved - nsBare) / nsBare * 100
+	b.ReportMetric(nsBare, "ns-bare/op")
+	b.ReportMetric(nsObserved, "ns-observed/op")
+	b.ReportMetric(pct, "overhead-pct")
+	if b.N >= 1000 && pct >= 5 {
+		b.Fatalf("observability overhead %.2f%% exceeds the 5%% budget (bare %.0f ns/op, observed %.0f ns/op)",
+			pct, nsBare, nsObserved)
+	}
+}

@@ -69,6 +69,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expiry fails the query with a deadline error")
 	maxRows := flag.Int64("max-rows", 0, "per-query row budget (0 = none): caps both output rows and intermediate rows")
 	maxMem := flag.Int64("max-mem", 0, "per-query tracked-byte budget for hash tables and caches (0 = none)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	interactive := flag.Bool("i", false, "interactive REPL (statements end with ';')")
 	script := flag.String("f", "", "execute a file of semicolon-separated statements")
 	flag.Parse()
@@ -94,6 +95,14 @@ func main() {
 		MaxIntermediateRows: *maxRows,
 		MaxTrackedBytes:     *maxMem,
 	}
+	if *metricsAddr != "" {
+		addr, stop, err := startMetricsServer(*metricsAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	}
 	metricsBefore := trace.Metrics.Snapshot()
 	if *interactive || *script != "" {
 		db := buildDB(*dataset, *sf, *seed)
@@ -103,6 +112,10 @@ func main() {
 		if *planCache > 0 {
 			eng.EnablePlanCache(*planCache)
 		}
+		// The sys.* catalog rides along in every session: live queries,
+		// the query log, metrics, and latency histograms become plain
+		// SELECT targets (see docs/observability.md).
+		eng.MountSystemCatalog()
 		finishTrace := attachTracer(eng, *traceFile)
 		if *script != "" {
 			f, err := os.Open(*script)
@@ -149,6 +162,7 @@ func main() {
 	if *planCache > 0 {
 		eng.EnablePlanCache(*planCache)
 	}
+	eng.MountSystemCatalog()
 	finishTrace := attachTracer(eng, *traceFile)
 
 	if *compare {

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"decorr/internal/trace"
+)
+
+// startMetricsServer serves GET /metrics (the process metrics registry in
+// Prometheus text exposition format, including the stage/strategy latency
+// summaries) and the net/http/pprof profiling handlers under /debug/pprof/
+// on addr. It returns the bound address — pass ":0" or "127.0.0.1:0" to
+// let the kernel pick a port — and a function that stops the server.
+func startMetricsServer(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = trace.Metrics.WritePrometheus(w)
+	})
+	// The pprof handlers are mounted explicitly on a private mux: the
+	// blank-import idiom would register them on http.DefaultServeMux,
+	// which this server deliberately does not use.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

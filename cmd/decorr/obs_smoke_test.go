@@ -1,0 +1,76 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"decorr"
+)
+
+// TestObsSmoke is the `make obs-smoke` target: bring up the observability
+// surface exactly as `decorr -metrics-addr` does — metrics/pprof HTTP
+// server plus a mounted sys.* catalog — run a workload, scrape /metrics
+// once, and SELECT from every sys.* table, asserting each is non-empty.
+func TestObsSmoke(t *testing.T) {
+	addr, stop, err := startMetricsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("metrics server: %v", err)
+	}
+	defer stop()
+
+	eng := decorr.NewEngine(decorr.EmpDept())
+	eng.EnablePlanCache(64)
+	eng.MountSystemCatalog()
+	for _, s := range []decorr.Strategy{decorr.NI, decorr.Magic} {
+		if _, _, err := eng.Query(decorr.ExampleQuery, s); err != nil {
+			t.Fatalf("workload under %s: %v", s, err)
+		}
+	}
+
+	for _, table := range []string{
+		"sys.metrics", "sys.histograms", "sys.active_queries", "sys.plan_cache", "sys.query_log",
+	} {
+		rows, _, err := eng.Query("select * from "+table, decorr.NI)
+		if err != nil {
+			t.Errorf("select * from %s: %v", table, err)
+			continue
+		}
+		if len(rows) == 0 {
+			t.Errorf("%s is empty after a workload", table)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("scrape body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	exposition := string(body)
+	for _, want := range []string{
+		"# TYPE decorr_engine_executions counter",
+		"decorr_stage_exec_ns{quantile=\"0.99\"}",
+		"decorr_exec_strategy_NI_ns_count",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof status %d", resp.StatusCode)
+	}
+}

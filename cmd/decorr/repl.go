@@ -54,6 +54,8 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
   \workers N set executor worker goroutines (0 = GOMAXPROCS, 1 = serial)
   \limits [timeout=DUR] [rows=N] [mem=BYTES] | off   show or set per-query budgets
   \plancache [N|off]  show plan-cache stats, set capacity, or disable
+  \queries   list running queries (id, elapsed, strategy, progress)
+  \kill ID   cancel a running query (it fails with the canceled error)
   \trace     toggle per-statement pipeline traces
   \metrics   print the process metrics registry
   \q         quit`)
@@ -111,6 +113,18 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 						fmt.Printf("plancache = on (capacity %d)\n", n)
 					}
 				}
+			case trimmed == "\\queries":
+				listQueries(eng)
+			case strings.HasPrefix(trimmed, "\\kill"):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\kill"))
+				var id int64
+				if _, err := fmt.Sscanf(arg, "%d", &id); err != nil {
+					fmt.Println("usage: \\kill ID (ids from \\queries)")
+				} else if eng.Kill(id) {
+					fmt.Printf("killed query %d\n", id)
+				} else {
+					fmt.Printf("no running query with id %d\n", id)
+				}
 			case trimmed == "\\trace":
 				if ring == nil {
 					ring = trace.NewRingSink(0)
@@ -149,6 +163,33 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 			buf.Reset()
 		}
 		prompt()
+	}
+}
+
+// listQueries implements \queries: one line per running query with live
+// progress counters. The REPL executes statements synchronously, so the
+// interesting use is watching another client of the same process — e.g. a
+// long query issued over the engine API while this REPL observes — or
+// querying sys.active_queries with SQL instead.
+func listQueries(eng *decorr.Engine) {
+	reg := eng.Registry()
+	if reg == nil {
+		fmt.Println("query registry disabled")
+		return
+	}
+	active := reg.Active()
+	if len(active) == 0 {
+		fmt.Println("no running queries")
+		return
+	}
+	fmt.Printf("%-5s %-12s %-8s %-12s %s\n", "id", "elapsed", "strategy", "rows-scanned", "query")
+	for _, q := range active {
+		text := strings.Join(strings.Fields(q.Text), " ")
+		if len(text) > 60 {
+			text = text[:57] + "..."
+		}
+		fmt.Printf("%-5d %-12s %-8s %-12d %s\n",
+			q.ID, time.Since(q.Start).Round(time.Millisecond), q.Strategy, q.Progress.RowsScanned, text)
 	}
 }
 

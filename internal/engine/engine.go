@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"decorr/internal/ast"
 	"decorr/internal/classic"
@@ -137,6 +138,14 @@ type Engine struct {
 	// fields above are part of the cache key but are read unsynchronized,
 	// so the configure-then-share contract of the other knobs applies.
 	planCache *plancache.Cache
+
+	// registry, when non-nil, tracks every execution: each run gets a
+	// query ID, appears in Registry().Active() with live progress while it
+	// runs, can be stopped with Kill, and lands in the query log when it
+	// finishes. Set it via EnableRegistry or MountSystemCatalog before the
+	// engine is shared (same contract as the knobs above). Nil disables
+	// tracking at zero cost.
+	registry *Registry
 }
 
 // New creates an engine with the paper's default knobs.
@@ -144,17 +153,41 @@ func New(db *storage.DB) *Engine {
 	return &Engine{DB: db, CoreOpts: core.DefaultOptions(), views: semant.Views{}}
 }
 
+// Stage latency histograms, nanoseconds. Package-level so hot paths pay
+// one atomic add per observation instead of a registry lookup. The
+// per-strategy exec histograms live in a read-only map built once here.
+var (
+	histParse       = trace.Metrics.Histogram("stage.parse")
+	histRewrite     = trace.Metrics.Histogram("stage.rewrite")
+	histDecorrelate = trace.Metrics.Histogram("stage.decorrelate")
+	histExec        = trace.Metrics.Histogram("stage.exec")
+	strategyHists   = func() map[Strategy]*trace.Histogram {
+		m := make(map[Strategy]*trace.Histogram, len(Strategies))
+		for _, s := range Strategies {
+			m[s] = trace.Metrics.Histogram("exec.strategy." + s.String())
+		}
+		return m
+	}()
+)
+
 // parseQuery and parseStatement are the engine's only parser entry points;
 // both count into engine.parses so redundant parsing is observable (tests
-// pin one parse per cold statement and zero on a warm cache hit).
+// pin one parse per cold statement and zero on a warm cache hit), and both
+// record into the stage.parse latency histogram.
 func parseQuery(sql string) (ast.QueryExpr, error) {
 	trace.Metrics.Counter("engine.parses").Inc()
-	return parser.Parse(sql)
+	start := time.Now()
+	q, err := parser.Parse(sql)
+	histParse.Observe(time.Since(start).Nanoseconds())
+	return q, err
 }
 
 func parseStatement(sql string) (ast.Statement, error) {
 	trace.Metrics.Counter("engine.parses").Inc()
-	return parser.ParseStatement(sql)
+	start := time.Now()
+	stmt, err := parser.ParseStatement(sql)
+	histParse.Observe(time.Since(start).Nanoseconds())
+	return stmt, err
 }
 
 // viewsSnapshot returns the current view map. The returned map is
@@ -427,6 +460,7 @@ func (e *Engine) prepareStages(sql string, q ast.QueryExpr, s Strategy, traced b
 	if err := e.cleanup(g, "cleanup-pre"); err != nil {
 		return nil, err
 	}
+	decorStart := time.Now()
 	switch s {
 	case NI, NIMemo:
 		// Nested iteration runs the graph as bound.
@@ -456,6 +490,12 @@ func (e *Engine) prepareStages(sql string, q ast.QueryExpr, s Strategy, traced b
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", s)
 	}
+	if s != NI && s != NIMemo {
+		// stage.decorrelate covers every strategy rewrite (classic methods
+		// included); NI/NIMemo do no rewrite and would only pollute the
+		// low buckets.
+		histDecorrelate.Observe(time.Since(decorStart).Nanoseconds())
+	}
 	if err := e.cleanup(g, "cleanup-post"); err != nil {
 		return nil, err
 	}
@@ -479,14 +519,17 @@ func (e *Engine) prepareStages(sql string, q ast.QueryExpr, s Strategy, traced b
 	return p, nil
 }
 
-// cleanup runs the cleanup rule set under a named span.
+// cleanup runs the cleanup rule set under a named span; wall time records
+// into the stage.rewrite histogram (all cleanup passes share it).
 func (e *Engine) cleanup(g *qgm.Graph, stage string) error {
 	sp := e.Tracer.Begin(stage, "rewrite")
 	re := rewrite.NewCleanup()
 	if e.CleanupFactory != nil {
 		re = e.CleanupFactory()
 	}
+	start := time.Now()
 	err := re.WithTracer(e.Tracer).Run(g)
+	histRewrite.Observe(time.Since(start).Nanoseconds())
 	sp.End()
 	return err
 }
@@ -565,6 +608,29 @@ func (p *Prepared) RunParamsContext(ctx context.Context, params []sqltypes.Value
 			p.NumParams, len(params))
 	}
 	trace.Metrics.Counter("engine.executions").Inc()
+	// Registry tracking: give the run its own cancel function (which is
+	// what Kill invokes — the governor's ordinary cancellation path) and
+	// log it on the way out. This defer is declared BEFORE the recover
+	// defer below on purpose: defers run LIFO, so the recover has already
+	// converted any panic into the named err by the time the run is logged.
+	var aq *activeQuery
+	if reg := p.engine.registry; reg != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		aq = reg.begin(p.Text, p.Chosen, cancel)
+		defer func() {
+			reg.finish(aq, len(rows), err)
+			cancel()
+		}()
+	}
+	execStart := time.Now()
+	defer func() {
+		d := time.Since(execStart).Nanoseconds()
+		histExec.Observe(d)
+		if h := strategyHists[p.Chosen]; h != nil {
+			h.Observe(d)
+		}
+	}()
 	sp := p.engine.Tracer.Begin("execute", "engine", trace.Str("strategy", p.Strategy.String()))
 	defer func() {
 		if r := recover(); r != nil {
@@ -584,6 +650,11 @@ func (p *Prepared) RunParamsContext(ctx context.Context, params []sqltypes.Value
 		Ctx:               ctx,
 		Limits:            p.engine.Limits,
 	})
+	if aq != nil {
+		// Publish the live counters: workers bump them atomically, so
+		// Active() can watch rows scanned/joined/grouped grow mid-run.
+		aq.stats.Store(&ex.Stats)
+	}
 	rows, err = ex.Run(p.Graph)
 	if err != nil {
 		var pe *exec.PanicError
@@ -666,6 +737,28 @@ func (e *Engine) QueryParamsContext(ctx context.Context, sql string, s Strategy,
 		return nil, nil, err
 	}
 	return p.RunParamsContext(ctx, params)
+}
+
+// EnableRegistry attaches a query registry with a completed-query ring of
+// about logCap entries (non-positive selects DefaultQueryLogCap). Call it
+// before the engine is shared, like the other knob fields. Enabling the
+// registry wraps every run in a cancelable context, so even runs whose
+// caller passed context.Background() become killable (and governed by a
+// governor checkpoint at every morsel claim and box evaluation).
+func (e *Engine) EnableRegistry(logCap int) {
+	e.registry = newRegistry(logCap)
+}
+
+// Registry exposes the attached query registry (nil when disabled).
+func (e *Engine) Registry() *Registry { return e.registry }
+
+// Kill cancels the identified running query (see Registry.Kill). Without
+// an enabled registry it reports false.
+func (e *Engine) Kill(id int64) bool {
+	if e.registry == nil {
+		return false
+	}
+	return e.registry.Kill(id)
 }
 
 // EnablePlanCache attaches a prepared-plan cache holding about capacity

@@ -1,0 +1,294 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"decorr/internal/engine"
+	"decorr/internal/exec"
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+	"decorr/internal/tpcd"
+)
+
+// gateDB builds a database with a regular outer table t(a) of n rows and a
+// synthetic table gate(b) whose every scan blocks until release is closed.
+// A correlated NI query over the pair scans t, then parks on the first
+// subquery invocation — rows-scanned progress is visible while the query
+// is provably still running, and the test controls exactly when it may
+// proceed.
+func gateDB(n int, release <-chan struct{}) *storage.DB {
+	db := storage.NewDB()
+	t := db.Create(schema.NewTable("t", schema.Column{Name: "a", Type: schema.TInt}))
+	for i := 0; i < n; i++ {
+		if err := t.Insert(storage.Row{sqltypes.NewInt(int64(i))}); err != nil {
+			panic(err)
+		}
+	}
+	db.CreateSynthetic(schema.NewTable("gate", schema.Column{Name: "b", Type: schema.TInt}),
+		func() []storage.Row {
+			<-release
+			return []storage.Row{{sqltypes.NewInt(1)}}
+		})
+	return db
+}
+
+// findRow returns the first row whose column col equals id, or nil.
+func findRow(rows []storage.Row, col int, id int64) storage.Row {
+	for _, r := range rows {
+		if r[col].K == sqltypes.KindInt && r[col].I == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// Tentpole acceptance: a SELECT over sys.active_queries issued while
+// another query runs shows that query with live row progress; Kill ends it
+// with exec.ErrCanceled; and the victim lands in sys.query_log with its
+// error, budget trip, and partial progress counters.
+func TestActiveQueriesLiveProgressAndKill(t *testing.T) {
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	open := func() { releaseOnce.Do(func() { close(release) }) }
+	defer open()
+
+	e := engine.New(gateDB(100, release))
+	e.MountSystemCatalog()
+
+	const victim = `select a from t where a > (select count(*) from gate g where g.b = t.a)`
+	errCh := make(chan error, 1)
+	rowsCh := make(chan int, 1)
+	go func() {
+		rows, _, err := e.Query(victim, engine.NI)
+		rowsCh <- len(rows)
+		errCh <- err
+	}()
+
+	// Wait for the victim to appear with nonzero scan progress: the outer
+	// table is regular, so its rows are counted while the first correlated
+	// invocation is parked on the gate.
+	var victimID int64
+	deadline := time.Now().Add(10 * time.Second)
+	for victimID == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim query never showed scan progress in the registry")
+		}
+		for _, q := range e.Registry().Active() {
+			if q.Text == victim && q.Progress.RowsScanned > 0 {
+				victimID = q.ID
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Observe it through SQL, as a second client would.
+	rows, _, err := e.Query("select id, rows_scanned, elapsed_ns, strategy from sys.active_queries", engine.NI)
+	if err != nil {
+		t.Fatalf("sys.active_queries: %v", err)
+	}
+	r := findRow(rows, 0, victimID)
+	if r == nil {
+		t.Fatalf("victim id %d not in sys.active_queries rows %v", victimID, rows)
+	}
+	if r[1].I <= 0 {
+		t.Errorf("sys.active_queries rows_scanned = %d, want > 0 mid-query", r[1].I)
+	}
+	if r[2].I <= 0 {
+		t.Errorf("sys.active_queries elapsed_ns = %d, want > 0", r[2].I)
+	}
+	if r[3].S != "NI" {
+		t.Errorf("sys.active_queries strategy = %q, want NI", r[3].S)
+	}
+	// The observing query itself is active while it scans the table, so
+	// the table can never be empty when read through the engine.
+	if len(rows) < 2 {
+		t.Errorf("sys.active_queries has %d rows, want at least victim + observer", len(rows))
+	}
+
+	// Kill it, then open the gate so the parked scan returns into the
+	// governor checkpoint that delivers the cancellation.
+	if !e.Kill(victimID) {
+		t.Fatalf("Kill(%d) = false for a running query", victimID)
+	}
+	open()
+	select {
+	case n := <-rowsCh:
+		if err := <-errCh; !errors.Is(err, exec.ErrCanceled) {
+			t.Fatalf("killed query returned %v, want exec.ErrCanceled", err)
+		}
+		if n != 0 {
+			t.Fatalf("killed query returned %d rows", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("killed query did not terminate")
+	}
+	if e.Kill(victimID) {
+		t.Error("Kill succeeded twice for the same id")
+	}
+
+	// The victim's post-mortem row: error text, trip classification, and
+	// the partial progress it had made.
+	rows, _, err = e.Query("select id, error, budget_trip, rows_scanned from sys.query_log", engine.NI)
+	if err != nil {
+		t.Fatalf("sys.query_log: %v", err)
+	}
+	r = findRow(rows, 0, victimID)
+	if r == nil {
+		t.Fatalf("victim id %d not in sys.query_log", victimID)
+	}
+	if r[1].S == "" {
+		t.Error("killed query logged with empty error")
+	}
+	if r[2].S != "canceled" {
+		t.Errorf("budget_trip = %q, want canceled", r[2].S)
+	}
+	if r[3].I <= 0 {
+		t.Errorf("query_log rows_scanned = %d, want partial progress > 0", r[3].I)
+	}
+}
+
+func TestSystemCatalogTables(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	e.EnablePlanCache(64)
+	e.MountSystemCatalog()
+	for _, s := range []engine.Strategy{engine.NI, engine.Magic} {
+		if _, _, err := e.Query(tpcd.ExampleQuery, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rows, _, err := e.Query("select name, kind, value from sys.metrics", engine.NI)
+	if err != nil {
+		t.Fatalf("sys.metrics: %v", err)
+	}
+	found := false
+	for _, r := range rows {
+		if r[0].S == "engine.executions" && r[1].S == "counter" && r[2].I > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sys.metrics lacks a positive engine.executions counter row")
+	}
+
+	rows, _, err = e.Query("select name, observations, p50_ns from sys.histograms where observations > 0", engine.NI)
+	if err != nil {
+		t.Fatalf("sys.histograms: %v", err)
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r[0].S] = true
+	}
+	for _, want := range []string{"stage.parse", "stage.exec", "exec.strategy.NI", "exec.strategy.Mag"} {
+		if !names[want] {
+			t.Errorf("sys.histograms lacks populated %q (have %v)", want, names)
+		}
+	}
+
+	rows, _, err = e.Query("select shard, entries, capacity from sys.plan_cache", engine.NI)
+	if err != nil {
+		t.Fatalf("sys.plan_cache: %v", err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("sys.plan_cache has %d rows, want one per shard (16)", len(rows))
+	}
+	total := int64(0)
+	for i, r := range rows {
+		if r[0].I != int64(i) {
+			t.Errorf("shard column = %d at row %d", r[0].I, i)
+		}
+		total += r[1].I
+	}
+	if total != int64(e.PlanCache().Len()) {
+		t.Errorf("sys.plan_cache entries sum %d != cache Len %d", total, e.PlanCache().Len())
+	}
+
+	rows, _, err = e.Query("select id, query, duration_ns, rows_out from sys.query_log", engine.NI)
+	if err != nil {
+		t.Fatalf("sys.query_log: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("sys.query_log has %d rows after several queries", len(rows))
+	}
+
+	// A correlated subquery over the catalog must survive decorrelation:
+	// the synthetic tables are ordinary relations to the rewriter, so the
+	// same introspection query runs under NI and magic decorrelation.
+	const correlated = `
+		select q.id from sys.query_log q
+		where q.duration_ns >= (select min(q2.duration_ns) from sys.query_log q2 where q2.strategy = q.strategy)`
+	for _, s := range []engine.Strategy{engine.NI, engine.Magic} {
+		rows, _, err := e.Query(correlated, s)
+		if err != nil {
+			t.Fatalf("correlated catalog query under %s: %v", s, err)
+		}
+		if len(rows) == 0 {
+			t.Errorf("correlated catalog query under %s returned no rows", s)
+		}
+	}
+}
+
+func TestQueryLogRingBounded(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	e.EnableRegistry(4)
+	for i := 0; i < 10; i++ {
+		if _, _, err := e.Query(fmt.Sprintf("select name from emp where name > '%d'", i), engine.NI); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := e.Registry().Log()
+	if len(log) != 4 {
+		t.Fatalf("log holds %d entries, want ring cap 4", len(log))
+	}
+	for i, entry := range log {
+		if want := int64(7 + i); entry.ID != want {
+			t.Errorf("log[%d].ID = %d, want %d (oldest-first ring of the last 4)", i, entry.ID, want)
+		}
+		if entry.Err != "" || entry.Trip != "" {
+			t.Errorf("successful query logged with error %q trip %q", entry.Err, entry.Trip)
+		}
+		if entry.Duration <= 0 || entry.RowsOut < 0 {
+			t.Errorf("log[%d] has duration %v rows %d", i, entry.Duration, entry.RowsOut)
+		}
+	}
+}
+
+func TestRegistryDisabledByDefault(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	if e.Registry() != nil {
+		t.Fatal("registry enabled without opt-in")
+	}
+	if e.Kill(1) {
+		t.Fatal("Kill reported success without a registry")
+	}
+	if _, _, err := e.Query("select name from emp", engine.NI); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Budget trips are classified in the query log: a row-budget violation
+// logs with trip "row-budget".
+func TestQueryLogRecordsBudgetTrip(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	e.EnableRegistry(8)
+	e.Limits = exec.Limits{MaxOutputRows: 1}
+	if _, _, err := e.Query("select name from emp", engine.NI); !errors.Is(err, exec.ErrRowBudget) {
+		t.Fatalf("got %v, want ErrRowBudget", err)
+	}
+	log := e.Registry().Log()
+	if len(log) == 0 {
+		t.Fatal("tripped query not logged")
+	}
+	last := log[len(log)-1]
+	if last.Trip != "row-budget" {
+		t.Errorf("trip = %q, want row-budget", last.Trip)
+	}
+	if last.Err == "" {
+		t.Error("tripped query logged without error text")
+	}
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decorr/internal/exec"
+)
+
+// Registry tracks the queries an engine is running right now plus a
+// bounded ring of recently completed ones. It is the data source behind
+// sys.active_queries and sys.query_log and the target of Kill: every
+// tracked run executes under a registry-owned cancel function, so killing
+// a query reuses the governor's cancellation path — the victim fails with
+// exec.ErrCanceled within one morsel of leaf work, like any other
+// context cancellation.
+//
+// Tracking is opt-in per engine (Engine.EnableRegistry or
+// MountSystemCatalog): an untracked engine pays nothing.
+type Registry struct {
+	nextID atomic.Int64
+
+	mu     sync.Mutex
+	active map[int64]*activeQuery
+	// log is a ring of the last logCap completed queries; logNext is the
+	// slot the next completion overwrites once the ring has wrapped.
+	log     []QueryLogEntry
+	logNext int
+	logCap  int
+}
+
+// activeQuery is the registry's live record of one run. The stats pointer
+// is published by RunParamsContext after it builds the executor; the
+// executor's workers keep bumping the pointee atomically, so progress
+// snapshots use exec.Stats.AtomicClone.
+type activeQuery struct {
+	id       int64
+	text     string
+	strategy Strategy
+	start    time.Time
+	cancel   context.CancelFunc
+	stats    atomic.Pointer[exec.Stats]
+}
+
+// ActiveQuery is a point-in-time view of one running query.
+type ActiveQuery struct {
+	ID       int64
+	Text     string
+	Strategy Strategy
+	Start    time.Time
+	// Progress is the run's work counters as of the snapshot — rows
+	// scanned/joined/grouped move while the query runs.
+	Progress exec.Stats
+}
+
+// QueryLogEntry records one completed (or failed) query.
+type QueryLogEntry struct {
+	ID       int64
+	Text     string
+	Strategy Strategy
+	Start    time.Time
+	Duration time.Duration
+	RowsOut  int
+	// Err is the error text, "" on success.
+	Err string
+	// Trip names the governance budget that ended the run — "canceled",
+	// "deadline", "row-budget", "mem-budget", or "panic" — and is "" for
+	// successful runs and ordinary (non-governance) errors.
+	Trip string
+	// Progress holds the final work counters; for a killed or tripped
+	// query these are the partial counts at the moment it stopped.
+	Progress exec.Stats
+}
+
+// DefaultQueryLogCap is the query-log ring size EnableRegistry uses for a
+// non-positive capacity.
+const DefaultQueryLogCap = 256
+
+func newRegistry(logCap int) *Registry {
+	if logCap <= 0 {
+		logCap = DefaultQueryLogCap
+	}
+	return &Registry{active: map[int64]*activeQuery{}, logCap: logCap}
+}
+
+// begin registers a run and returns its record. cancel must stop the run
+// (it is invoked by Kill, possibly more than once).
+func (r *Registry) begin(text string, s Strategy, cancel context.CancelFunc) *activeQuery {
+	aq := &activeQuery{
+		id:       r.nextID.Add(1),
+		text:     text,
+		strategy: s,
+		start:    time.Now(),
+		cancel:   cancel,
+	}
+	r.mu.Lock()
+	r.active[aq.id] = aq
+	r.mu.Unlock()
+	return aq
+}
+
+// finish moves a run from the active set into the completed ring.
+func (r *Registry) finish(aq *activeQuery, rowsOut int, err error) {
+	entry := QueryLogEntry{
+		ID:       aq.id,
+		Text:     aq.text,
+		Strategy: aq.strategy,
+		Start:    aq.start,
+		Duration: time.Since(aq.start),
+		RowsOut:  rowsOut,
+		Trip:     budgetTrip(err),
+		Progress: aq.progress(),
+	}
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	r.mu.Lock()
+	delete(r.active, aq.id)
+	if len(r.log) < r.logCap {
+		r.log = append(r.log, entry)
+	} else {
+		r.log[r.logNext] = entry
+		r.logNext = (r.logNext + 1) % r.logCap
+	}
+	r.mu.Unlock()
+}
+
+// progress snapshots the run's counters (zero before the executor has
+// been published).
+func (aq *activeQuery) progress() exec.Stats {
+	if st := aq.stats.Load(); st != nil {
+		return st.AtomicClone()
+	}
+	return exec.Stats{}
+}
+
+// Kill cancels the identified query and reports whether it was running.
+// The victim's execution fails with exec.ErrCanceled; the entry leaves
+// the active set when the run unwinds, not synchronously here.
+func (r *Registry) Kill(id int64) bool {
+	r.mu.Lock()
+	aq, ok := r.active[id]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	aq.cancel()
+	return true
+}
+
+// Active snapshots the running queries in ID (= start) order.
+func (r *Registry) Active() []ActiveQuery {
+	r.mu.Lock()
+	aqs := make([]*activeQuery, 0, len(r.active))
+	for _, aq := range r.active {
+		aqs = append(aqs, aq)
+	}
+	r.mu.Unlock()
+	out := make([]ActiveQuery, 0, len(aqs))
+	for _, aq := range aqs {
+		out = append(out, ActiveQuery{
+			ID:       aq.id,
+			Text:     aq.text,
+			Strategy: aq.strategy,
+			Start:    aq.start,
+			Progress: aq.progress(),
+		})
+	}
+	sortActive(out)
+	return out
+}
+
+func sortActive(qs []ActiveQuery) {
+	// Insertion sort: the active set is small and mostly ordered already.
+	for i := 1; i < len(qs); i++ {
+		for j := i; j > 0 && qs[j-1].ID > qs[j].ID; j-- {
+			qs[j-1], qs[j] = qs[j], qs[j-1]
+		}
+	}
+}
+
+// Log returns the completed-query ring oldest first.
+func (r *Registry) Log() []QueryLogEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QueryLogEntry, 0, len(r.log))
+	if len(r.log) < r.logCap {
+		return append(out, r.log...)
+	}
+	out = append(out, r.log[r.logNext:]...)
+	return append(out, r.log[:r.logNext]...)
+}
+
+// budgetTrip classifies a run-ending error as the governance budget it
+// tripped, or "" for success and ordinary errors.
+func budgetTrip(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, exec.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, exec.ErrRowBudget):
+		return "row-budget"
+	case errors.Is(err, exec.ErrMemBudget):
+		return "mem-budget"
+	case errors.Is(err, exec.ErrPanic):
+		return "panic"
+	}
+	return ""
+}

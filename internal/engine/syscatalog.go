@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"strings"
+	"time"
+
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+	"decorr/internal/trace"
+)
+
+// MountSystemCatalog registers the sys.* introspection tables in the
+// engine's database and enables the query registry (with the default log
+// capacity) if it is not already enabled. The tables are synthetic
+// read-only relations (storage.CreateSynthetic) whose rows are produced at
+// every scan, so a plain SELECT — including one inside a correlated or
+// decorrelated subquery — always sees live state:
+//
+//	sys.metrics        one row per counter/gauge in trace.Metrics
+//	sys.histograms     one row per latency histogram (count/sum/min/max/p50/p95/p99)
+//	sys.active_queries one row per currently running query, with live progress
+//	sys.plan_cache     one row per plan-cache shard (empty when disabled)
+//	sys.query_log      one row per completed query in the registry's ring
+//
+// Mounting is opt-in and per-database: engines sharing a DB share the
+// tables, and the differential/fuzz harnesses that build their own
+// databases never see them. Call it before the engine is shared, like the
+// other knobs; mounting twice replaces the definitions harmlessly.
+func (e *Engine) MountSystemCatalog() {
+	if e.registry == nil {
+		e.EnableRegistry(0)
+	}
+	e.DB.CreateSynthetic(schema.NewTable("sys.metrics",
+		schema.Column{Name: "name", Type: schema.TString},
+		schema.Column{Name: "kind", Type: schema.TString},
+		schema.Column{Name: "value", Type: schema.TInt},
+	), metricsRows)
+	e.DB.CreateSynthetic(schema.NewTable("sys.histograms",
+		schema.Column{Name: "name", Type: schema.TString},
+		// "observations", not "count": COUNT is an aggregate-function
+		// token, so a column of that name could not be referenced bare.
+		schema.Column{Name: "observations", Type: schema.TInt},
+		schema.Column{Name: "sum_ns", Type: schema.TInt},
+		schema.Column{Name: "min_ns", Type: schema.TInt},
+		schema.Column{Name: "max_ns", Type: schema.TInt},
+		schema.Column{Name: "p50_ns", Type: schema.TFloat},
+		schema.Column{Name: "p95_ns", Type: schema.TFloat},
+		schema.Column{Name: "p99_ns", Type: schema.TFloat},
+	), histogramRows)
+	e.DB.CreateSynthetic(schema.NewTable("sys.active_queries",
+		schema.Column{Name: "id", Type: schema.TInt},
+		schema.Column{Name: "query", Type: schema.TString},
+		schema.Column{Name: "strategy", Type: schema.TString},
+		schema.Column{Name: "started_at", Type: schema.TString},
+		schema.Column{Name: "elapsed_ns", Type: schema.TInt},
+		schema.Column{Name: "rows_scanned", Type: schema.TInt},
+		schema.Column{Name: "rows_joined", Type: schema.TInt},
+		schema.Column{Name: "rows_grouped", Type: schema.TInt},
+		schema.Column{Name: "subquery_invocations", Type: schema.TInt},
+	), e.activeQueryRows)
+	e.DB.CreateSynthetic(schema.NewTable("sys.plan_cache",
+		schema.Column{Name: "shard", Type: schema.TInt},
+		schema.Column{Name: "entries", Type: schema.TInt},
+		schema.Column{Name: "capacity", Type: schema.TInt},
+	), e.planCacheRows)
+	e.DB.CreateSynthetic(schema.NewTable("sys.query_log",
+		schema.Column{Name: "id", Type: schema.TInt},
+		schema.Column{Name: "query", Type: schema.TString},
+		schema.Column{Name: "strategy", Type: schema.TString},
+		schema.Column{Name: "started_at", Type: schema.TString},
+		schema.Column{Name: "duration_ns", Type: schema.TInt},
+		schema.Column{Name: "rows_out", Type: schema.TInt},
+		schema.Column{Name: "error", Type: schema.TString},
+		schema.Column{Name: "budget_trip", Type: schema.TString},
+		schema.Column{Name: "rows_scanned", Type: schema.TInt},
+		schema.Column{Name: "rows_joined", Type: schema.TInt},
+		schema.Column{Name: "rows_grouped", Type: schema.TInt},
+	), e.queryLogRows)
+}
+
+// metricsRows materializes sys.metrics: the process-wide counters and
+// gauges, sorted by name (histograms appear in sys.histograms instead).
+func metricsRows() []storage.Row {
+	s := trace.Metrics.Snapshot()
+	rows := make([]storage.Row, 0, len(s))
+	for _, n := range s.Names() {
+		kind, name := "counter", n
+		if strings.HasPrefix(n, "gauge:") {
+			kind, name = "gauge", strings.TrimPrefix(n, "gauge:")
+		} else if strings.HasPrefix(n, "hist:") {
+			continue
+		}
+		rows = append(rows, storage.Row{
+			sqltypes.NewString(name),
+			sqltypes.NewString(kind),
+			sqltypes.NewInt(s[n]),
+		})
+	}
+	return rows
+}
+
+// histogramRows materializes sys.histograms, sorted by name.
+func histogramRows() []storage.Row {
+	hists := trace.Metrics.Histograms()
+	rows := make([]storage.Row, 0, len(hists))
+	for _, nh := range hists {
+		s := nh.Hist.Snapshot()
+		rows = append(rows, storage.Row{
+			sqltypes.NewString(nh.Name),
+			sqltypes.NewInt(s.Count),
+			sqltypes.NewInt(s.Sum),
+			sqltypes.NewInt(s.Min),
+			sqltypes.NewInt(s.Max),
+			sqltypes.NewFloat(s.P50),
+			sqltypes.NewFloat(s.P95),
+			sqltypes.NewFloat(s.P99),
+		})
+	}
+	return rows
+}
+
+// activeQueryRows materializes sys.active_queries. The scan itself runs
+// inside a registered query, so the observing SELECT appears in its own
+// output — which is correct (it is active) and also guarantees the table
+// is never empty when scanned through the engine.
+func (e *Engine) activeQueryRows() []storage.Row {
+	if e.registry == nil {
+		return nil
+	}
+	active := e.registry.Active()
+	rows := make([]storage.Row, 0, len(active))
+	for _, q := range active {
+		rows = append(rows, storage.Row{
+			sqltypes.NewInt(q.ID),
+			sqltypes.NewString(q.Text),
+			sqltypes.NewString(q.Strategy.String()),
+			sqltypes.NewString(q.Start.UTC().Format(time.RFC3339Nano)),
+			sqltypes.NewInt(time.Since(q.Start).Nanoseconds()),
+			sqltypes.NewInt(q.Progress.RowsScanned),
+			sqltypes.NewInt(q.Progress.RowsJoined),
+			sqltypes.NewInt(q.Progress.RowsGrouped),
+			sqltypes.NewInt(q.Progress.SubqueryInvocations),
+		})
+	}
+	return rows
+}
+
+// planCacheRows materializes sys.plan_cache: one row per shard, empty
+// when no cache is attached.
+func (e *Engine) planCacheRows() []storage.Row {
+	cache := e.planCache
+	if cache == nil {
+		return nil
+	}
+	stats := cache.ShardStats()
+	rows := make([]storage.Row, 0, len(stats))
+	for i, s := range stats {
+		rows = append(rows, storage.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(s.Entries)),
+			sqltypes.NewInt(int64(s.Capacity)),
+		})
+	}
+	return rows
+}
+
+// queryLogRows materializes sys.query_log, oldest completed query first.
+func (e *Engine) queryLogRows() []storage.Row {
+	if e.registry == nil {
+		return nil
+	}
+	log := e.registry.Log()
+	rows := make([]storage.Row, 0, len(log))
+	for _, q := range log {
+		rows = append(rows, storage.Row{
+			sqltypes.NewInt(q.ID),
+			sqltypes.NewString(q.Text),
+			sqltypes.NewString(q.Strategy.String()),
+			sqltypes.NewString(q.Start.UTC().Format(time.RFC3339Nano)),
+			sqltypes.NewInt(q.Duration.Nanoseconds()),
+			sqltypes.NewInt(int64(q.RowsOut)),
+			sqltypes.NewString(q.Err),
+			sqltypes.NewString(q.Trip),
+			sqltypes.NewInt(q.Progress.RowsScanned),
+			sqltypes.NewInt(q.Progress.RowsJoined),
+			sqltypes.NewInt(q.Progress.RowsGrouped),
+		})
+	}
+	return rows
+}

@@ -47,6 +47,25 @@ func bump(c *int64, delta int64) {
 	atomic.AddInt64(c, delta)
 }
 
+// AtomicClone copies the counters with atomic loads. It is the read side
+// of bump: the engine's live-query registry snapshots a Stats that worker
+// goroutines are still incrementing, which a plain struct copy would race
+// on. After the scheduler has joined, a plain copy is fine.
+func (s *Stats) AtomicClone() Stats {
+	return Stats{
+		SubqueryInvocations: atomic.LoadInt64(&s.SubqueryInvocations),
+		DistinctInvocations: atomic.LoadInt64(&s.DistinctInvocations),
+		MemoHits:            atomic.LoadInt64(&s.MemoHits),
+		BoxEvals:            atomic.LoadInt64(&s.BoxEvals),
+		RowsScanned:         atomic.LoadInt64(&s.RowsScanned),
+		IndexLookups:        atomic.LoadInt64(&s.IndexLookups),
+		RowsJoined:          atomic.LoadInt64(&s.RowsJoined),
+		RowsGrouped:         atomic.LoadInt64(&s.RowsGrouped),
+		HashBuilds:          atomic.LoadInt64(&s.HashBuilds),
+		CSERecomputes:       atomic.LoadInt64(&s.CSERecomputes),
+	}
+}
+
 // Add accumulates o into s.
 func (s *Stats) Add(o Stats) {
 	s.SubqueryInvocations += o.SubqueryInvocations

@@ -386,7 +386,14 @@ func (p *parser) parseFromPrimary() (ast.FromItem, error) {
 		}
 		fi.Sub = q
 	} else if p.at(tokIdent, "") {
-		fi.Table = p.advance().text
+		name := p.advance().text
+		// A qualified table name ("sys.active_queries"): the schema
+		// qualifier joins the table part with a dot into one catalog name.
+		if p.at(tokSymbol, ".") && p.peek().kind == tokIdent {
+			p.advance() // .
+			name = name + "." + p.advance().text
+		}
+		fi.Table = name
 	} else {
 		return fi, p.errorf("expected table name or subquery in FROM, found %q", p.cur().text)
 	}

@@ -288,3 +288,34 @@ func TestLexerOffsetsInErrors(t *testing.T) {
 		t.Errorf("error should carry an offset: %v", err)
 	}
 }
+
+func TestParseQualifiedTableName(t *testing.T) {
+	q, err := Parse("SELECT name, value FROM sys.metrics WHERE value > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := q.(*ast.Select)
+	if !ok {
+		t.Fatalf("not a select: %T", q)
+	}
+	if got := sel.From[0].Table; got != "sys.metrics" {
+		t.Fatalf("table = %q, want %q", got, "sys.metrics")
+	}
+	// The qualified name must survive a print→reparse round trip.
+	q2, err := Parse(ast.FormatQuery(q))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if got := q2.(*ast.Select).From[0].Table; got != "sys.metrics" {
+		t.Fatalf("round-tripped table = %q", got)
+	}
+	// An alias still parses after a qualified name.
+	q3, err := Parse("SELECT m.value FROM sys.metrics AS m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := q3.(*ast.Select).From[0]
+	if fi.Table != "sys.metrics" || fi.Alias != "m" {
+		t.Fatalf("table/alias = %q/%q", fi.Table, fi.Alias)
+	}
+}

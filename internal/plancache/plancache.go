@@ -16,6 +16,7 @@ package plancache
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"decorr/internal/trace"
 )
@@ -34,6 +35,8 @@ type Cache struct {
 	misses        *trace.Counter
 	evictions     *trace.Counter
 	invalidations *trace.Counter
+	hitLat        *trace.Histogram
+	missLat       *trace.Histogram
 }
 
 type shard struct {
@@ -61,6 +64,8 @@ func New(capacity int) *Cache {
 		misses:        trace.Metrics.Counter("plancache.misses"),
 		evictions:     trace.Metrics.Counter("plancache.evictions"),
 		invalidations: trace.Metrics.Counter("plancache.invalidations"),
+		hitLat:        trace.Metrics.Histogram("plancache.get.hit"),
+		missLat:       trace.Metrics.Histogram("plancache.get.miss"),
 	}
 	for i := range c.shards {
 		c.shards[i].lru = list.New()
@@ -81,14 +86,19 @@ func (c *Cache) shardOf(key string) *shard {
 
 // Get returns the value cached under key if it is present and was stored
 // at the given epoch. A present-but-stale entry counts as an invalidation
-// (and a miss) and is removed so it cannot be served later.
+// (and a miss) and is removed so it cannot be served later. Lookup wall
+// time records into the plancache.get.hit / plancache.get.miss histograms,
+// so shard-lock contention under concurrent clients is observable rather
+// than inferred from the aggregate counters.
 func (c *Cache) Get(key string, epoch uint64) (any, bool) {
+	start := time.Now()
 	s := c.shardOf(key)
 	s.mu.Lock()
 	el, ok := s.m[key]
 	if !ok {
 		s.mu.Unlock()
 		c.misses.Inc()
+		c.missLat.Observe(time.Since(start).Nanoseconds())
 		return nil, false
 	}
 	e := el.Value.(*entry)
@@ -98,11 +108,13 @@ func (c *Cache) Get(key string, epoch uint64) (any, bool) {
 		s.mu.Unlock()
 		c.invalidations.Inc()
 		c.misses.Inc()
+		c.missLat.Observe(time.Since(start).Nanoseconds())
 		return nil, false
 	}
 	s.lru.MoveToFront(el)
 	s.mu.Unlock()
 	c.hits.Inc()
+	c.hitLat.Observe(time.Since(start).Nanoseconds())
 	return e.v, true
 }
 
@@ -131,6 +143,29 @@ func (c *Cache) Put(key string, epoch uint64, v any) {
 	if evicted {
 		c.evictions.Inc()
 	}
+}
+
+// ShardStat is the occupancy of one cache shard.
+type ShardStat struct {
+	// Entries is the number of live entries in the shard.
+	Entries int
+	// Capacity is the shard's entry cap (total capacity / shard count).
+	Capacity int
+}
+
+// ShardStats reports per-shard occupancy in shard order — the engine's
+// sys.plan_cache table emits one row per shard from this, which is how a
+// skewed key distribution (hot shard evicting while others sit empty)
+// becomes visible.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, shardCount)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{Entries: s.lru.Len(), Capacity: c.shardCap}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Len reports the number of cached entries across all shards.

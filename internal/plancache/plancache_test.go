@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"decorr/internal/trace"
 )
 
 func delta(t *testing.T, f func()) Stats {
@@ -93,6 +95,51 @@ func TestPurge(t *testing.T) {
 	c.Purge()
 	if c.Len() != 0 {
 		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+}
+
+func TestShardStats(t *testing.T) {
+	c := New(64) // shardCap = 4
+	stats := c.ShardStats()
+	if len(stats) != shardCount {
+		t.Fatalf("ShardStats len = %d, want %d", len(stats), shardCount)
+	}
+	for i, s := range stats {
+		if s.Entries != 0 || s.Capacity != 4 {
+			t.Fatalf("empty cache shard %d = %+v, want {0 4}", i, s)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 1, i)
+	}
+	total := 0
+	for _, s := range c.ShardStats() {
+		if s.Entries > s.Capacity {
+			t.Fatalf("shard over capacity: %+v", s)
+		}
+		total += s.Entries
+	}
+	if total != c.Len() {
+		t.Fatalf("ShardStats total = %d, Len = %d", total, c.Len())
+	}
+}
+
+func TestGetLatencyHistograms(t *testing.T) {
+	hit := trace.Metrics.Histogram("plancache.get.hit")
+	miss := trace.Metrics.Histogram("plancache.get.miss")
+	hitBefore, missBefore := hit.Count(), miss.Count()
+
+	c := New(64)
+	c.Get("absent", 1) // miss
+	c.Put("k", 1, "v")
+	c.Get("k", 1) // hit
+	c.Get("k", 2) // stale → invalidation, counts as miss
+
+	if d := hit.Count() - hitBefore; d != 1 {
+		t.Errorf("hit histogram delta = %d, want 1", d)
+	}
+	if d := miss.Count() - missBefore; d != 2 {
+		t.Errorf("miss histogram delta = %d, want 2", d)
 	}
 }
 

@@ -366,6 +366,11 @@ func (b *binder) bindFromLeaf(fi ast.FromItem, sc *scope) (*qgm.Box, string, err
 		}
 		if alias == "" {
 			alias = strings.ToLower(fi.Table)
+			// A dot-qualified name ("sys.metrics") defaults its alias to the
+			// bare table part, so "metrics.value" resolves without an AS.
+			if i := strings.LastIndexByte(alias, '.'); i >= 0 {
+				alias = alias[i+1:]
+			}
 		}
 	case fi.Sub != nil:
 		// Derived tables see FROM items to their left (implicit LATERAL),

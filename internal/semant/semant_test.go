@@ -224,3 +224,35 @@ func TestBindAggregateInExpression(t *testing.T) {
 		t.Fatalf("projection = %#v", g.Root.Cols[0].Expr)
 	}
 }
+
+func TestBindQualifiedTableDefaultAlias(t *testing.T) {
+	cat := schema.NewCatalog()
+	cat.Add(schema.NewTable("sys.metrics",
+		schema.Column{Name: "name", Type: schema.TString},
+		schema.Column{Name: "value", Type: schema.TInt},
+	))
+	// The default alias of a dot-qualified table is the bare table part.
+	q, err := parser.Parse("SELECT metrics.value FROM sys.metrics WHERE metrics.name = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := semant.Bind(q, cat); err != nil {
+		t.Fatalf("bind with bare-part qualifier: %v", err)
+	}
+	// An explicit alias overrides it.
+	q, err = parser.Parse("SELECT m.value FROM sys.metrics m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := semant.Bind(q, cat); err != nil {
+		t.Fatalf("bind with explicit alias: %v", err)
+	}
+	// Unknown qualified names still fail cleanly.
+	q, err = parser.Parse("SELECT 1 FROM sys.nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := semant.Bind(q, cat); err == nil {
+		t.Fatal("binding unknown sys.nonsense succeeded")
+	}
+}

@@ -26,11 +26,19 @@ func (r Row) Clone() Row {
 	return out
 }
 
+// RowSource produces the current rows of a synthetic table. It is called
+// on every scan, so the rows reflect live state; implementations must
+// return rows they will not mutate afterwards.
+type RowSource func() []Row
+
 // Table is the stored form of a relation: a row slice plus optional hash
-// indexes keyed by a single column ordinal.
+// indexes keyed by a single column ordinal. A table created with
+// CreateSynthetic has no stored rows; every scan invokes its RowSource
+// instead (the engine's sys.* catalog tables are such relations).
 type Table struct {
 	Def     *schema.Table
 	Rows    []Row
+	src     RowSource
 	indexes map[int]map[string][]int
 
 	// statMu guards the lazily built optimizer statistics below. The
@@ -78,9 +86,15 @@ func NewTable(def *schema.Table) *Table {
 	return &Table{Def: def, indexes: map[int]map[string][]int{}}
 }
 
+// Synthetic reports whether the table's rows come from a RowSource.
+func (t *Table) Synthetic() bool { return t.src != nil }
+
 // Insert appends a row. The row must match the table arity; values are not
 // type-coerced (the generators produce correctly typed data).
 func (t *Table) Insert(r Row) error {
+	if t.src != nil {
+		return fmt.Errorf("storage: table %q is synthetic (read-only)", t.Def.Name)
+	}
 	if len(r) != len(t.Def.Columns) {
 		return fmt.Errorf("storage: row arity %d does not match table %q arity %d",
 			len(r), t.Def.Name, len(t.Def.Columns))
@@ -101,8 +115,14 @@ func keyOf(v sqltypes.Value) string {
 // Scan returns the table's full row slice. It is the executor's only
 // full-scan entry point, which makes it the natural fault-injection site
 // for storage-layer read errors: an injected fault surfaces as a typed
-// error attributed to the table instead of a wrong answer.
+// error attributed to the table instead of a wrong answer. Synthetic
+// tables materialize from their RowSource and skip fault injection — they
+// are the introspection plane, which must stay readable while faults are
+// being injected into the data plane.
 func (t *Table) Scan() ([]Row, error) {
+	if t.src != nil {
+		return t.src(), nil
+	}
 	if err := faultinject.Check(faultinject.StorageScan); err != nil {
 		return nil, fmt.Errorf("storage: scan %s: %w", t.Def.Name, err)
 	}
@@ -110,8 +130,13 @@ func (t *Table) Scan() ([]Row, error) {
 }
 
 // CreateIndex builds a hash index on the named column. Creating an index
-// that already exists is a no-op.
+// that already exists is a no-op. Synthetic tables cannot be indexed:
+// their rows change on every scan, so a built index would silently serve
+// stale row ids.
 func (t *Table) CreateIndex(col string) error {
+	if t.src != nil {
+		return fmt.Errorf("storage: cannot index synthetic table %q", t.Def.Name)
+	}
 	c := t.Def.ColIndex(col)
 	if c < 0 {
 		return fmt.Errorf("storage: no column %q in table %q", col, t.Def.Name)
@@ -173,6 +198,18 @@ func NewDB() *DB {
 func (db *DB) Create(def *schema.Table) *Table {
 	db.Catalog.Add(def)
 	t := NewTable(def)
+	db.tables[strings.ToLower(def.Name)] = t
+	return t
+}
+
+// CreateSynthetic registers a read-only synthetic relation whose rows are
+// produced by src at every scan. The definition enters the catalog like
+// any table, so the binder, planner, and executor treat it uniformly —
+// including as a subquery input of a decorrelated plan. The engine mounts
+// its sys.* introspection tables through this.
+func (db *DB) CreateSynthetic(def *schema.Table, src RowSource) *Table {
+	db.Catalog.Add(def)
+	t := &Table{Def: def, src: src, indexes: map[int]map[string][]int{}}
 	db.tables[strings.ToLower(def.Name)] = t
 	return t
 }

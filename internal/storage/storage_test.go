@@ -169,3 +169,41 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+func TestSyntheticTable(t *testing.T) {
+	db := NewDB()
+	n := 0
+	def := schema.NewTable("sys.ticks", schema.Column{Name: "n", Type: schema.TInt})
+	tb := db.CreateSynthetic(def, func() []Row {
+		n++
+		out := make([]Row, n)
+		for i := range out {
+			out[i] = Row{sqltypes.NewInt(int64(i))}
+		}
+		return out
+	})
+	if !tb.Synthetic() {
+		t.Fatal("Synthetic() = false")
+	}
+	if db.Table("sys.ticks") != tb || db.Catalog.Lookup("sys.ticks") != def {
+		t.Fatal("synthetic table not registered in db/catalog")
+	}
+	// Every scan re-invokes the source: live state, not a snapshot.
+	r1, err := tb.Scan()
+	must(t, err)
+	r2, err := tb.Scan()
+	must(t, err)
+	if len(r1) != 1 || len(r2) != 2 {
+		t.Fatalf("scans = %d, %d rows; want 1, 2", len(r1), len(r2))
+	}
+	// Read-only: no inserts, no indexes.
+	if err := tb.Insert(Row{sqltypes.NewInt(9)}); err == nil {
+		t.Fatal("Insert on synthetic table accepted")
+	}
+	if err := tb.CreateIndex("n"); err == nil {
+		t.Fatal("CreateIndex on synthetic table accepted")
+	}
+	if tb.HasIndex(0) {
+		t.Fatal("synthetic table has an index")
+	}
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log-bucketed latency histogram. Recording is one
+// atomic add into a fixed bucket array (plus min/max CAS loops that almost
+// always succeed on the first try), so hot paths — plan-cache lookups,
+// per-statement stage timings — can record without contention. Buckets are
+// log-linear: exact below 16, then 16 sub-buckets per power of two, which
+// bounds the relative quantile error at 1/16 (6.25%) before interpolation.
+//
+// Histograms are mergeable (bucket-wise addition), which makes Merge
+// associative and commutative — per-shard or per-worker histograms can fold
+// into one without losing quantile fidelity.
+//
+// Values are int64 and unit-agnostic; the engine records nanoseconds.
+// Negative observations clamp to zero (durations are never negative; the
+// clamp keeps a clock hiccup from corrupting the bucket index).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// subBucketBits fixes the log-linear resolution: 2^4 = 16 sub-buckets per
+// power of two.
+const subBucketBits = 4
+
+const subBuckets = 1 << subBucketBits // 16
+
+// numBuckets covers every int64: exact buckets [0,16) plus 16 sub-buckets
+// for each of the 59 exponent ranges [2^(4+k), 2^(5+k)).
+const numBuckets = subBuckets + (63-subBucketBits)*subBuckets
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u) // exact small values
+	}
+	// Shift u down into [subBuckets, 2*subBuckets); the shift count is the
+	// exponent range, the shifted value the sub-bucket.
+	exp := bits.Len64(u) - subBucketBits - 1
+	mant := u >> uint(exp) // in [subBuckets, 2*subBuckets)
+	return exp*subBuckets + int(mant)
+}
+
+// bucketBounds returns the inclusive low and exclusive high value covered
+// by bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < subBuckets {
+		return int64(i), int64(i) + 1
+	}
+	exp := i/subBuckets - 1
+	mant := int64(i - exp*subBuckets)
+	return mant << uint(exp), (mant + 1) << uint(exp)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile estimates the q-th quantile (q in [0, 1]). The estimate lands in
+// the bucket containing the true quantile and interpolates linearly within
+// it, so the relative error is bounded by the bucket width: at most 1/16 of
+// the value. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n-1)
+	var cum float64
+	for i := 0; i < numBuckets; i++ {
+		c := float64(h.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c > rank {
+			lo, hi := bucketBounds(i)
+			// Interpolate the rank's position within this bucket, clamped
+			// to the recorded extremes so a single-bucket histogram reports
+			// values the data actually contains.
+			frac := (rank - cum) / c
+			v := float64(lo) + frac*float64(hi-lo)
+			if mn := float64(h.Min()); v < mn {
+				v = mn
+			}
+			if mx := float64(h.Max()); v > mx {
+				v = mx
+			}
+			return v
+		}
+		cum += c
+	}
+	return float64(h.Max())
+}
+
+// Merge folds o into h bucket-wise. Merging is associative and commutative,
+// so shard- or worker-local histograms can combine in any order.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < numBuckets; i++ {
+		if c := o.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	n := o.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(o.sum.Load())
+	for v := o.min.Load(); ; {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for v := o.max.Load(); ; {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of one histogram.
+type HistogramSnapshot struct {
+	Count, Sum, Min, Max int64
+	P50, P95, P99        float64
+}
+
+// Snapshot summarizes the histogram. Concurrent Observe calls may land
+// between the field reads; each field is individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

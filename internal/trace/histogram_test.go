@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileErrorBounds checks the estimated quantiles against
+// exact order statistics of the recorded samples: log-linear buckets with
+// 16 sub-buckets per power of two bound the relative error at 1/16, and
+// interpolation keeps it well under that in practice. Assert <= 6.25%.
+func TestHistogramQuantileErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dist := range []struct {
+		name string
+		draw func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(1_000_000) }},
+		{"lognormal", func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 10)) }},
+		{"heavy-tail", func() int64 {
+			if rng.Intn(100) == 0 {
+				return rng.Int63n(1 << 40)
+			}
+			return rng.Int63n(1000)
+		}},
+	} {
+		t.Run(dist.name, func(t *testing.T) {
+			h := NewHistogram()
+			samples := make([]int64, 20000)
+			for i := range samples {
+				v := dist.draw()
+				samples[i] = v
+				h.Observe(v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+				exact := float64(samples[int(q*float64(len(samples)-1))])
+				got := h.Quantile(q)
+				relErr := math.Abs(got-exact) / math.Max(exact, 1)
+				if relErr > 1.0/16 {
+					t.Errorf("q%.2f: got %.0f want %.0f (rel err %.4f > 1/16)", q, got, exact, relErr)
+				}
+			}
+			if h.Count() != int64(len(samples)) {
+				t.Errorf("count = %d, want %d", h.Count(), len(samples))
+			}
+			if h.Min() != samples[0] || h.Max() != samples[len(samples)-1] {
+				t.Errorf("min/max = %d/%d, want %d/%d", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+			}
+		})
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Errorf("empty histogram should report zeros")
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative observation should clamp to 0: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many goroutines
+// under -race; totals must be exact because recording is atomic.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	// Concurrent readers must be safe too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			_ = h.Quantile(0.99)
+			_ = h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Errorf("count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+// TestHistogramMergeAssociativity: merge(a, merge(b, c)) must equal
+// merge(merge(a, b), c) in every bucket and summary field.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	build := func() *Histogram {
+		h := NewHistogram()
+		for i := 0; i < 1000; i++ {
+			h.Observe(rng.Int63n(1 << uint(10+rng.Intn(20))))
+		}
+		return h
+	}
+	clone := func(h *Histogram) *Histogram {
+		c := NewHistogram()
+		c.Merge(h)
+		return c
+	}
+	a, b, c := build(), build(), build()
+
+	lab := clone(a)
+	lab.Merge(b)
+	lab.Merge(c) // (a+b)+c
+
+	bc := clone(b)
+	bc.Merge(c)
+	rab := clone(a)
+	rab.Merge(bc) // a+(b+c)
+
+	if lab.Count() != rab.Count() || lab.Sum() != rab.Sum() ||
+		lab.Min() != rab.Min() || lab.Max() != rab.Max() {
+		t.Fatalf("merge summaries differ: %+v vs %+v", lab.Snapshot(), rab.Snapshot())
+	}
+	for i := 0; i < numBuckets; i++ {
+		if lab.buckets[i].Load() != rab.buckets[i].Load() {
+			t.Fatalf("bucket %d differs: %d vs %d", i, lab.buckets[i].Load(), rab.buckets[i].Load())
+		}
+	}
+	// Merging an empty histogram is the identity.
+	before := lab.Snapshot()
+	lab.Merge(NewHistogram())
+	lab.Merge(nil)
+	if lab.Snapshot() != before {
+		t.Errorf("merging empty/nil changed the histogram")
+	}
+}
+
+func TestRegistryHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("b.lat").Observe(10)
+	r.Histogram("a.lat").Observe(20)
+	r.Histogram("a.lat").Observe(30)
+	hs := r.Histograms()
+	if len(hs) != 2 || hs[0].Name != "a.lat" || hs[1].Name != "b.lat" {
+		t.Fatalf("Histograms() not sorted: %+v", hs)
+	}
+	if hs[0].Hist.Count() != 2 {
+		t.Errorf("a.lat count = %d, want 2", hs[0].Hist.Count())
+	}
+	// Histograms appear in snapshots as "hist:<name>" observation counts
+	// and diff like counters.
+	before := r.Snapshot()
+	r.Histogram("a.lat").Observe(40)
+	d := r.Snapshot().Diff(before)
+	if d["hist:a.lat"] != 1 {
+		t.Errorf("hist diff = %v, want hist:a.lat=1", d)
+	}
+	if _, ok := d["hist:b.lat"]; ok {
+		t.Errorf("unchanged histogram should be absent from diff: %v", d)
+	}
+}
+
+func TestSnapshotNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("m").Set(1)
+	r.Histogram("k").Observe(1)
+	s := r.Snapshot()
+	names := s.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	// String must render in the same sorted order every time.
+	first := s.String()
+	for i := 0; i < 10; i++ {
+		if got := s.String(); got != first {
+			t.Fatalf("String() unstable:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.Contains(first, "hist:k=1") || !strings.Contains(first, "gauge:m=1") {
+		t.Errorf("snapshot missing instruments:\n%s", first)
+	}
+}

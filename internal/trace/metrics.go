@@ -8,19 +8,25 @@ import (
 	"sync/atomic"
 )
 
-// Registry is a process-wide table of named counters and gauges. Counters
-// are monotonic (Add panics on negative deltas); gauges are set-to-value.
+// Registry is a process-wide table of named counters, gauges, and latency
+// histograms. Counters are monotonic (Add panics on negative deltas);
+// gauges are set-to-value; histograms are log-bucketed (see Histogram).
 // Instruments are created on first use and live forever, so hot paths can
-// cache the *Counter and pay one atomic add per update.
+// cache the *Counter (or *Histogram) and pay one atomic add per update.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
 }
 
 // Metrics is the default process-wide registry that engine, exec, and
@@ -90,28 +96,84 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// Histograms returns the registered histograms as (sorted name, histogram)
+// pairs — iteration over them is deterministic, unlike a map range.
+func (r *Registry) Histograms() []NamedHistogram {
+	r.mu.RLock()
+	out := make([]NamedHistogram, 0, len(r.hists))
+	for name, h := range r.hists {
+		out = append(out, NamedHistogram{Name: name, Hist: h})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedHistogram pairs a histogram with its registry name.
+type NamedHistogram struct {
+	Name string
+	Hist *Histogram
+}
+
 // Snapshot is a point-in-time copy of every instrument's value.
 type Snapshot map[string]int64
 
-// Snapshot captures all instruments. Counter and gauge names share one
-// namespace in the snapshot; gauges carry a "gauge:" prefix so a diff
-// never subtracts a last-value instrument.
+// Snapshot captures all instruments. Counter, gauge, and histogram names
+// share one namespace in the snapshot; gauges carry a "gauge:" prefix so a
+// diff never subtracts a last-value instrument, and histograms appear as
+// their (monotonic) observation count under a "hist:" prefix.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s := make(Snapshot, len(r.counters)+len(r.gauges))
+	s := make(Snapshot, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name, c := range r.counters {
 		s[name] = c.Value()
 	}
 	for name, g := range r.gauges {
 		s["gauge:"+name] = g.Value()
 	}
+	for name, h := range r.hists {
+		s["hist:"+name] = h.Count()
+	}
 	return s
 }
 
-// Diff returns the change from earlier to s: counter entries subtract
-// (new instruments count from zero), gauge entries keep their latest
-// value. Entries whose delta is zero are omitted.
+// Names returns the snapshot's instrument names sorted. A Snapshot is a
+// map, so ranging over it directly is order-nondeterministic; every
+// rendering path (String, the CLI's \metrics, the Prometheus exposition)
+// iterates via sorted names so output is stable across runs.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Diff returns the change from earlier to s: counter and histogram-count
+// entries subtract (new instruments count from zero), gauge entries keep
+// their latest value. Entries whose delta is zero are omitted. The result
+// is itself a Snapshot; render it with String (or iterate Names) for
+// deterministic order.
 func (s Snapshot) Diff(earlier Snapshot) Snapshot {
 	out := Snapshot{}
 	for name, v := range s {
@@ -130,13 +192,8 @@ func (s Snapshot) Diff(earlier Snapshot) Snapshot {
 
 // String renders the snapshot as sorted "name=value" lines.
 func (s Snapshot) String() string {
-	names := make([]string, 0, len(s))
-	for name := range s {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	var sb strings.Builder
-	for _, name := range names {
+	for _, name := range s.Names() {
 		fmt.Fprintf(&sb, "%s=%d\n", name, s[name])
 	}
 	return sb.String()

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every instrument in the registry in Prometheus
+// text exposition format (version 0.0.4), suitable for a /metrics scrape
+// endpoint. Counters and gauges emit as their kinds; histograms emit as
+// summaries with p50/p95/p99 quantiles plus _sum and _count series.
+//
+// Names are sanitized to the Prometheus grammar ([a-zA-Z0-9_:], '.' and
+// '-' become '_') and prefixed with "decorr_". Histogram values are in the
+// unit they were recorded in — the engine records nanoseconds — so the
+// duration summaries carry a "_ns" suffix to make the unit explicit.
+// Output is sorted by metric name, so scrapes are byte-stable for a fixed
+// registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type inst struct {
+		name string
+		kind string // "counter" | "gauge" | "summary"
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	insts := make([]inst, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		insts = append(insts, inst{name: promName(name), kind: "counter", c: c})
+	}
+	for name, g := range r.gauges {
+		insts = append(insts, inst{name: promName(name), kind: "gauge", g: g})
+	}
+	for name, h := range r.hists {
+		insts = append(insts, inst{name: promName(name) + "_ns", kind: "summary", h: h})
+	}
+	r.mu.RUnlock()
+	sort.Slice(insts, func(i, j int) bool { return insts[i].name < insts[j].name })
+	for _, in := range insts {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", in.name, in.kind); err != nil {
+			return err
+		}
+		var err error
+		switch in.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", in.name, in.c.Value())
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %d\n", in.name, in.g.Value())
+		case "summary":
+			s := in.h.Snapshot()
+			_, err = fmt.Fprintf(w,
+				"%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %d\n%s_count %d\n",
+				in.name, s.P50, in.name, s.P95, in.name, s.P99, in.name, s.Sum, in.name, s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry instrument name to a legal Prometheus metric
+// name: the "decorr_" namespace prefix plus the name with every character
+// outside [a-zA-Z0-9_:] replaced by '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("decorr_") + len(name))
+	b.WriteString("decorr_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

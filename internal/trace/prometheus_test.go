@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.executions").Add(3)
+	r.Gauge("exec.last_work").Set(42)
+	h := r.Histogram("stage.exec")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, w := range []string{
+		"# TYPE decorr_engine_executions counter",
+		"decorr_engine_executions 3",
+		"# TYPE decorr_exec_last_work gauge",
+		"decorr_exec_last_work 42",
+		"# TYPE decorr_stage_exec_ns summary",
+		`decorr_stage_exec_ns{quantile="0.5"}`,
+		`decorr_stage_exec_ns{quantile="0.95"}`,
+		`decorr_stage_exec_ns{quantile="0.99"}`,
+		"decorr_stage_exec_ns_count 100",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("exposition missing %q:\n%s", w, out)
+		}
+	}
+	// Byte-stable across scrapes of an unchanged registry.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Errorf("exposition unstable across scrapes")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"engine.executions":     "decorr_engine_executions",
+		"exec.strategy.OptMag":  "decorr_exec_strategy_OptMag",
+		"plancache.get-hit":     "decorr_plancache_get_hit",
+		"weird name/with=chars": "decorr_weird_name_with_chars",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
