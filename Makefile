@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke fault-smoke obs-smoke
+.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke fault-smoke obs-smoke server-smoke
 
 # check is the CI gate: static analysis, a full build, and the test suite
 # under the race detector.
@@ -42,6 +42,16 @@ obs-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkObservabilityOverhead' -benchtime=2000x . \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@echo "wrote BENCH_obs.json ($$(wc -c < BENCH_obs.json) bytes)"
+
+# server-smoke drives the served path end to end: it builds the real
+# decorrd binary, starts it on a million-row dataset, streams the full
+# result through the database/sql driver while polling the server's heap
+# over a second connection, and kills a second query mid-stream expecting
+# the typed ErrCanceled sentinel client-side (TestServerSmoke). Rows/sec
+# and the peak heaps on both sides land in BENCH_server.json.
+server-smoke:
+	BENCH_SERVER_JSON=$(CURDIR)/BENCH_server.json $(GO) test -run TestServerSmoke -v -count=1 -timeout 300s ./cmd/decorrd
+	@echo "wrote BENCH_server.json ($$(wc -c < BENCH_server.json) bytes)"
 
 # fuzz-smoke runs the differential correctness harness deterministically:
 # a fixed seed, 200 generated queries, every strategy and knob combination

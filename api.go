@@ -41,6 +41,18 @@ type (
 	Limits = exec.Limits
 	// RewriteOptions are the §4.4 decorrelation knobs.
 	RewriteOptions = core.Options
+	// Stream is one running query yielding its result batch-at-a-time —
+	// obtain one from Engine.QueryStream or Prepared.Stream. It carries
+	// the full query lifecycle (registry tracking, Kill, budgets, metrics,
+	// tracing) stretched over the iterator: call Next until it returns
+	// (nil, nil) or an error, then Close (idempotent). A million-row
+	// result holds one batch in memory at a time; this is the path decorrd
+	// serves network results through (see docs/server.md).
+	Stream = engine.Stream
+	// StreamOpts are per-call execution overrides (worker count, budgets)
+	// for Prepared.StreamWithOpts, letting one shared Engine serve
+	// sessions with different execution policies.
+	StreamOpts = engine.StreamOpts
 	// Table is a table definition (columns plus candidate keys).
 	Table = schema.Table
 	// Column is one column of a table definition.

@@ -116,15 +116,7 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 			case trimmed == "\\queries":
 				listQueries(eng)
 			case strings.HasPrefix(trimmed, "\\kill"):
-				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\kill"))
-				var id int64
-				if _, err := fmt.Sscanf(arg, "%d", &id); err != nil {
-					fmt.Println("usage: \\kill ID (ids from \\queries)")
-				} else if eng.Kill(id) {
-					fmt.Printf("killed query %d\n", id)
-				} else {
-					fmt.Printf("no running query with id %d\n", id)
-				}
+				fmt.Println(killQuery(eng, strings.TrimSpace(strings.TrimPrefix(trimmed, "\\kill"))))
 			case trimmed == "\\trace":
 				if ring == nil {
 					ring = trace.NewRingSink(0)
@@ -164,6 +156,22 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 		}
 		prompt()
 	}
+}
+
+// killQuery implements \kill: parse the target ID and cancel it through
+// the governor, returning the line to print. Three outcomes, each with a
+// distinct message: a malformed argument (usage), a live query (killed —
+// it fails with the canceled error), and an unknown or already-finished
+// ID (no such query).
+func killQuery(eng *decorr.Engine, arg string) string {
+	var id int64
+	if n, err := fmt.Sscanf(arg, "%d", &id); err != nil || n != 1 {
+		return "usage: \\kill ID (ids from \\queries)"
+	}
+	if eng.Kill(id) {
+		return fmt.Sprintf("killed query %d", id)
+	}
+	return fmt.Sprintf("no running query with id %d", id)
 }
 
 // listQueries implements \queries: one line per running query with live

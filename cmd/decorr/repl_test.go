@@ -1,6 +1,65 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"decorr"
+)
+
+// The \kill meta command: each of its three outcomes prints a distinct
+// message, and killing a live query actually terminates it with the
+// typed cancellation error.
+func TestKillQueryCommand(t *testing.T) {
+	eng := decorr.NewEngine(decorr.EmpDeptSized(40, 20000, 6, 7))
+	eng.EnableRegistry(64)
+
+	if got := killQuery(eng, "banana"); got != "usage: \\kill ID (ids from \\queries)" {
+		t.Errorf("malformed arg: %q", got)
+	}
+	if got := killQuery(eng, ""); got != "usage: \\kill ID (ids from \\queries)" {
+		t.Errorf("empty arg: %q", got)
+	}
+	if got := killQuery(eng, "999"); got != "no running query with id 999" {
+		t.Errorf("unknown id: %q", got)
+	}
+
+	// Start a streaming query so there is a live registry entry to kill,
+	// exactly what \queries would show alongside a concurrent client.
+	st, err := eng.QueryStream(context.Background(), "select name from emp", decorr.NI, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Next(); err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID()
+	if id == 0 {
+		t.Fatal("stream has no registry id")
+	}
+	if got, want := killQuery(eng, fmt.Sprint(id)), fmt.Sprintf("killed query %d", id); got != want {
+		t.Errorf("live kill: got %q want %q", got, want)
+	}
+	for {
+		batch, err := st.Next()
+		if err != nil {
+			if !errors.Is(err, decorr.ErrCanceled) {
+				t.Fatalf("killed stream failed with %v, want ErrCanceled", err)
+			}
+			break
+		}
+		if batch == nil {
+			t.Fatal("killed stream drained cleanly")
+		}
+	}
+	// The query is gone from the registry, so a second kill misses.
+	if got, want := killQuery(eng, fmt.Sprint(id)), fmt.Sprintf("no running query with id %d", id); got != want {
+		t.Errorf("re-kill: got %q want %q", got, want)
+	}
+}
 
 func TestSplitStatement(t *testing.T) {
 	cases := []struct {

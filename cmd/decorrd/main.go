@@ -1,0 +1,118 @@
+// Command decorrd serves the decorrelation engine over the network.
+// Clients speak the wire protocol directly or, more usually, through the
+// database/sql driver in decorr/driver:
+//
+//	decorrd -addr 127.0.0.1:7531 -dataset empdept -emp 1000000
+//
+//	db, _ := sql.Open("decorr", "127.0.0.1:7531?strategy=auto")
+//	rows, _ := db.Query("select name from emp where building = ?", "B1")
+//
+// Results stream: a million-row answer crosses the wire batch by batch
+// with both peers holding one batch at a time, queries remain killable
+// mid-stream (from any connection, or `\kill` in a local decorr REPL
+// pointed at the same engine), and the sys.* system catalog is mounted,
+// so remote clients can SELECT from sys.active_queries and
+// sys.query_log like any other table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"decorr"
+	"decorr/internal/engine"
+	"decorr/internal/server"
+	"decorr/internal/tpcd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7531", "listen address")
+	dataset := flag.String("dataset", "empdept", "dataset: empdept or tpcd")
+	sf := flag.Float64("sf", 0.1, "TPC-D scale factor (dataset=tpcd)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	emp := flag.Int("emp", 0, "dataset=empdept: generate this many emp rows (0 = the paper's default data)")
+	strategy := flag.String("strategy", "auto", "default strategy: ni | nimemo | kim | dayal | gw | magic | optmagic | auto")
+	workers := flag.Int("workers", 0, "default executor workers per query (0 = GOMAXPROCS)")
+	planCache := flag.Int("plancache", 256, "prepared-plan cache capacity (0 = disabled)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "concurrent session cap")
+	fetchRows := flag.Int("fetch-rows", server.DefaultFetchRows, "default rows per fetch reply")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-query row budget (0 = none)")
+	maxMem := flag.Int64("max-mem", 0, "per-query tracked-byte budget (0 = none)")
+	flag.Parse()
+
+	s, ok := server.ParseStrategy(*strategy)
+	if !ok {
+		fatalf("unknown strategy %q", *strategy)
+	}
+	if *workers < 0 || *planCache < 0 || *maxSessions <= 0 || *fetchRows <= 0 {
+		fatalf("-workers and -plancache must be >= 0; -max-sessions and -fetch-rows must be > 0")
+	}
+	if *timeout < 0 || *maxRows < 0 || *maxMem < 0 {
+		fatalf("-timeout, -max-rows, and -max-mem must be >= 0 (0 = unlimited)")
+	}
+
+	var db *decorr.DB
+	switch strings.ToLower(*dataset) {
+	case "empdept":
+		if *emp > 0 {
+			db = tpcd.EmpDeptSized(40, *emp, 6, *seed)
+		} else {
+			db = decorr.EmpDept()
+		}
+	case "tpcd":
+		db = decorr.TPCD(*sf, *seed)
+	default:
+		fatalf("unknown dataset %q (want empdept or tpcd)", *dataset)
+	}
+
+	eng := engine.New(db)
+	eng.Workers = *workers
+	eng.Limits = decorr.Limits{
+		Timeout:             *timeout,
+		MaxOutputRows:       *maxRows,
+		MaxIntermediateRows: *maxRows,
+		MaxTrackedBytes:     *maxMem,
+	}
+	if *planCache > 0 {
+		eng.EnablePlanCache(*planCache)
+	}
+	eng.MountSystemCatalog()
+
+	srv := server.New(server.Config{
+		Engine:      eng,
+		Strategy:    s,
+		MaxSessions: *maxSessions,
+		FetchRows:   *fetchRows,
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "decorrd: shutting down")
+		srv.Close()
+	}()
+
+	// Listen before announcing, so the printed address is the bound one
+	// (with -addr 127.0.0.1:0 the kernel picks the port) and a parent
+	// process can scrape it from stderr once it appears.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "decorrd: serving %s on %s (strategy %s)\n", *dataset, ln.Addr(), s)
+	if err := srv.Serve(ln); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "decorrd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,239 @@
+package driver
+
+import (
+	"context"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"time"
+
+	"decorr/internal/sqltypes"
+	"decorr/internal/wire"
+)
+
+// conn is one protocol connection. database/sql guarantees a conn is
+// used by one goroutine at a time, and never while a Rows or Stmt
+// operation on it is mid-flight, so the request/reply exchange needs no
+// locking. broken latches transport failures: once the stream state is
+// unknown the conn reports itself invalid and the pool discards it.
+type conn struct {
+	nc     interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+		Close() error
+	}
+	cfg    config
+	broken bool
+}
+
+// rpc runs one request/reply exchange. Transport errors mark the conn
+// broken; a *wire.Error reply is returned as the operation's error with
+// the connection still usable.
+func (c *conn) rpc(req wire.Message) (wire.Message, error) {
+	if c.broken {
+		return nil, driver.ErrBadConn
+	}
+	if err := wire.Write(c.nc, req); err != nil {
+		c.broken = true
+		return nil, driver.ErrBadConn
+	}
+	reply, err := wire.Read(c.nc)
+	if err != nil {
+		c.broken = true
+		return nil, driver.ErrBadConn
+	}
+	if werr, ok := reply.(*wire.Error); ok {
+		if werr.Code == wire.CodeProtocol {
+			// The server closes the connection after a protocol error.
+			c.broken = true
+		}
+		return nil, werr
+	}
+	return reply, nil
+}
+
+// IsValid implements driver.Validator: broken connections leave the pool.
+func (c *conn) IsValid() bool { return !c.broken }
+
+// Close implements driver.Conn.
+func (c *conn) Close() error { return c.nc.Close() }
+
+// Begin implements driver.Conn. The engine has no transactions — every
+// statement runs against a stable snapshot of the in-memory database.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("decorr: transactions are not supported")
+}
+
+// Ping implements driver.Pinger.
+func (c *conn) Ping(ctx context.Context) error {
+	reply, err := c.rpc(&wire.Ping{})
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*wire.Pong); !ok {
+		c.broken = true
+		return fmt.Errorf("decorr: unexpected ping reply %T", reply)
+	}
+	return nil
+}
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext implements driver.ConnPrepareContext.
+func (c *conn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	reply, err := c.rpc(&wire.Prepare{SQL: query})
+	if err != nil {
+		return nil, err
+	}
+	ok, isOK := reply.(*wire.PrepareOK)
+	if !isOK {
+		c.broken = true
+		return nil, fmt.Errorf("decorr: unexpected prepare reply %T", reply)
+	}
+	return &stmt{c: c, id: ok.StmtID, numParams: int(ok.NumParams), columns: ok.Columns}, nil
+}
+
+// QueryContext implements driver.QueryerContext: one-shot queries skip
+// the prepare round trip.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	params, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return c.execute(ctx, &wire.Execute{SQL: query, Params: params})
+}
+
+// ExecContext implements driver.ExecerContext. DDL (CREATE VIEW) arrives
+// here; the statement runs to completion server-side.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	params, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return c.exec(ctx, &wire.Exec{SQL: query, Params: params})
+}
+
+// execute opens a streaming cursor and wraps it as driver.Rows.
+func (c *conn) execute(ctx context.Context, req *wire.Execute) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	reply, err := c.rpc(req)
+	if err != nil {
+		return nil, err
+	}
+	ok, isOK := reply.(*wire.ExecuteOK)
+	if !isOK {
+		c.broken = true
+		return nil, fmt.Errorf("decorr: unexpected execute reply %T", reply)
+	}
+	r := &rows{c: c, cursorID: ok.CursorID, columns: ok.Columns}
+	r.stopCancel = watchCancel(ctx, c.cfg, ok.QueryID)
+	return r, nil
+}
+
+// exec runs a statement to completion server-side.
+func (c *conn) exec(ctx context.Context, req *wire.Exec) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	reply, err := c.rpc(req)
+	if err != nil {
+		return nil, err
+	}
+	ok, isOK := reply.(*wire.ExecOK)
+	if !isOK {
+		c.broken = true
+		return nil, fmt.Errorf("decorr: unexpected exec reply %T", reply)
+	}
+	return result{rows: int64(ok.RowsOut)}, nil
+}
+
+// watchCancel arranges out-of-band cancellation for one remote query:
+// when ctx is canceled first, a short-lived connection delivers a Cancel
+// frame for queryID. The returned stop function ends the watch and, if
+// the cancel fired, waits for it to finish (so tests observe its effect
+// deterministically). A zero queryID (server without a registry) or a
+// context that cannot fire leaves nothing to watch.
+func watchCancel(ctx context.Context, cfg config, queryID int64) (stop func()) {
+	if queryID == 0 || ctx.Done() == nil {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		select {
+		case <-stopCh:
+		case <-ctx.Done():
+			sendCancel(cfg, queryID)
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
+	}
+}
+
+// sendCancel dials, handshakes, and delivers one Cancel frame. Failures
+// are dropped: cancellation is best-effort and the query's own context
+// error still surfaces to the caller through the pending fetch.
+func sendCancel(cfg config, queryID int64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cc, err := dial(ctx, cfg)
+	if err != nil {
+		return
+	}
+	defer cc.Close()
+	cc.rpc(&wire.Cancel{QueryID: queryID})
+}
+
+// result implements driver.Result for server-side executions.
+type result struct {
+	rows int64
+}
+
+func (result) LastInsertId() (int64, error) {
+	return 0, errors.New("decorr: LastInsertId is not supported")
+}
+
+func (r result) RowsAffected() (int64, error) { return r.rows, nil }
+
+// convertArgs maps database/sql parameter values into the engine's value
+// domain. database/sql's default converter has already normalized
+// integers to int64 and floats to float64.
+func convertArgs(args []driver.NamedValue) ([]sqltypes.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]sqltypes.Value, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			return nil, errors.New("decorr: named parameters are not supported, use ?")
+		}
+		switch v := a.Value.(type) {
+		case nil:
+			out[i] = sqltypes.Null
+		case int64:
+			out[i] = sqltypes.NewInt(v)
+		case float64:
+			out[i] = sqltypes.NewFloat(v)
+		case bool:
+			out[i] = sqltypes.NewBool(v)
+		case string:
+			out[i] = sqltypes.NewString(v)
+		case []byte:
+			out[i] = sqltypes.NewString(string(v))
+		default:
+			return nil, fmt.Errorf("decorr: unsupported parameter type %T", a.Value)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+// Package driver is a database/sql driver for decorrd, the decorrelation
+// engine's network server.
+//
+//	import _ "decorr/driver"
+//
+//	db, err := sql.Open("decorr", "127.0.0.1:7531?strategy=auto&workers=4")
+//	rows, err := db.QueryContext(ctx, "select name from emp where building = ?", "B1")
+//
+// The DSN is "host:port" (an optional "decorr://" prefix is accepted)
+// with optional query parameters:
+//
+//	strategy  default decorrelation strategy for the session
+//	          (ni | nimemo | kim | dayal | gw | magic | optmagic | auto)
+//	workers   executor worker goroutines per query (0 = server default)
+//	fetch     rows per fetch reply (0 = server default)
+//
+// Results stream: sql.Rows pulls one batch at a time from the server, so
+// iterating a million-row result holds one batch on each side of the
+// connection, never the full set.
+//
+// Context cancellation is out-of-band, Postgres style. The primary
+// connection is blocked in a request/reply exchange, so when a query
+// context is canceled the driver dials a short-lived second connection
+// and sends a Cancel frame naming the server-side query ID; the victim's
+// governor trips within one morsel of work and the pending fetch returns
+// the typed cancellation error.
+//
+// Typed errors survive the wire: errors.Is(err, decorr.ErrRowBudget),
+// decorr.ErrCanceled, decorr.ErrDeadlineExceeded, decorr.ErrMemBudget,
+// and decorr.ErrPanic all hold on errors returned by this driver exactly
+// as they do in-process.
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"decorr/internal/wire"
+)
+
+func init() {
+	sql.Register("decorr", &Driver{})
+}
+
+// Driver implements driver.Driver and driver.DriverContext.
+type Driver struct{}
+
+// Open connects with the given DSN.
+func (d *Driver) Open(name string) (driver.Conn, error) {
+	c, err := d.OpenConnector(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector parses the DSN once; database/sql then dials new
+// connections through the returned Connector as its pool grows.
+func (d *Driver) OpenConnector(name string) (driver.Connector, error) {
+	cfg, err := parseDSN(name)
+	if err != nil {
+		return nil, err
+	}
+	return &connector{cfg: cfg}, nil
+}
+
+// config is a parsed DSN.
+type config struct {
+	addr    string
+	options []string // handshake key/value pairs
+	fetch   uint32   // client-side fetch size (0 = server default)
+}
+
+func parseDSN(name string) (config, error) {
+	s := strings.TrimPrefix(name, "decorr://")
+	var query string
+	if i := strings.IndexByte(s, '?'); i >= 0 {
+		s, query = s[:i], s[i+1:]
+	}
+	if s == "" {
+		return config{}, errors.New("decorr: empty address in DSN")
+	}
+	cfg := config{addr: s}
+	vals, err := url.ParseQuery(query)
+	if err != nil {
+		return config{}, fmt.Errorf("decorr: bad DSN parameters: %w", err)
+	}
+	for key, vs := range vals {
+		v := vs[len(vs)-1]
+		switch key {
+		case "strategy", "workers":
+			// Validated server-side during the handshake.
+			cfg.options = append(cfg.options, key, v)
+		case "fetch":
+			n, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				return config{}, fmt.Errorf("decorr: bad fetch parameter %q", v)
+			}
+			cfg.fetch = uint32(n)
+		default:
+			return config{}, fmt.Errorf("decorr: unknown DSN parameter %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+type connector struct {
+	cfg config
+}
+
+func (c *connector) Driver() driver.Driver { return &Driver{} }
+
+func (c *connector) Connect(ctx context.Context) (driver.Conn, error) {
+	return dial(ctx, c.cfg)
+}
+
+// dial opens and handshakes one protocol connection.
+func dial(ctx context.Context, cfg config) (*conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.Write(nc, &wire.Hello{Version: wire.Version, Options: cfg.options}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	reply, err := wire.Read(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	switch m := reply.(type) {
+	case *wire.HelloOK:
+		return &conn{nc: nc, cfg: cfg}, nil
+	case *wire.Error:
+		nc.Close()
+		return nil, m
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("decorr: unexpected handshake reply %T", reply)
+	}
+}

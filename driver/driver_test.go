@@ -1,0 +1,355 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"decorr/internal/engine"
+	"decorr/internal/exec"
+	"decorr/internal/server"
+	"decorr/internal/tpcd"
+	"decorr/internal/wire"
+)
+
+// startServer serves a sized EmpDept engine on loopback and returns its
+// address.
+func startServer(t *testing.T, nEmp int, limits exec.Limits) (string, *engine.Engine) {
+	t.Helper()
+	e := engine.New(tpcd.EmpDeptSized(40, nEmp, 6, 11))
+	e.Limits = limits
+	e.EnablePlanCache(64)
+	e.MountSystemCatalog()
+	srv := server.New(server.Config{Engine: e})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), e
+}
+
+func openDB(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	db, err := sql.Open("decorr", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestDriverQueryRoundTrip(t *testing.T) {
+	addr, eng := startServer(t, 500, exec.Limits{})
+	db := openDB(t, addr)
+	if err := db.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	want, _, err := eng.Query("select name, building from emp where building <> 'B1'", engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("select name, building from emp where building <> 'B1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil || len(cols) != 2 || cols[0] != "name" || cols[1] != "building" {
+		t.Fatalf("columns = %v, %v", cols, err)
+	}
+	var got []string
+	for rows.Next() {
+		var name, building string
+		if err := rows.Scan(&name, &building); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, name+"|"+building)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if s := w[0].String() + "|" + w[1].String(); got[i] != s {
+			t.Fatalf("row %d: got %q want %q", i, got[i], s)
+		}
+	}
+}
+
+// Prepared statements bind parameters per execution, NULLs and every
+// scalar kind cross the wire intact, and aggregates come back typed.
+func TestDriverPreparedAndTypes(t *testing.T) {
+	addr, _ := startServer(t, 300, exec.Limits{})
+	db := openDB(t, addr)
+
+	stmt, err := db.Prepare("select count(*) from emp where building = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	var total int64
+	for _, b := range []string{"B1", "B2", "B3"} {
+		var n int64
+		if err := stmt.QueryRow(b).Scan(&n); err != nil {
+			t.Fatalf("building %s: %v", b, err)
+		}
+		if n <= 0 {
+			t.Fatalf("building %s: count %d", b, n)
+		}
+		total += n
+	}
+	// Wrong arity is rejected client-side by database/sql via NumInput.
+	if _, err := stmt.Query(); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+
+	var avg float64
+	if err := db.QueryRow("select avg(budget) from dept").Scan(&avg); err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 {
+		t.Fatalf("avg(budget) = %v", avg)
+	}
+	_ = total
+}
+
+// DDL goes through Exec; the created view is queryable on the same pool.
+func TestDriverExecDDL(t *testing.T) {
+	addr, _ := startServer(t, 100, exec.Limits{})
+	db := openDB(t, addr)
+	if _, err := db.Exec("create view rich as select name from dept where budget > 100"); err != nil {
+		t.Fatalf("create view: %v", err)
+	}
+	var n int64
+	if err := db.QueryRow("select count(*) from rich").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("view returned no rows")
+	}
+	// Errors are ordinary: a bad statement fails without poisoning the pool.
+	if _, err := db.Exec("create view broken as select nope from dept"); err == nil {
+		t.Fatal("bad view accepted")
+	}
+	if err := db.Ping(); err != nil {
+		t.Fatalf("pool unusable after statement error: %v", err)
+	}
+}
+
+// A row budget tripped server-side surfaces through database/sql with
+// its typed identity intact.
+func TestDriverTypedBudgetError(t *testing.T) {
+	addr, _ := startServer(t, 4000, exec.Limits{MaxOutputRows: 100})
+	db := openDB(t, addr)
+	rows, err := db.Query("select name from emp")
+	if err != nil {
+		// The trip may beat the first batch; either surface is fine.
+		if !errors.Is(err, exec.ErrRowBudget) {
+			t.Fatalf("query error %v does not match exec.ErrRowBudget", err)
+		}
+		return
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); !errors.Is(err, exec.ErrRowBudget) {
+		t.Fatalf("rows.Err() = %v, want exec.ErrRowBudget (after %d rows)", err, n)
+	}
+	if n > 100 {
+		t.Fatalf("%d rows crossed the wire past a 100-row budget", n)
+	}
+}
+
+// Canceling the query context mid-stream terminates iteration with a
+// cancellation error and leaves the pool usable. (Whether the typed
+// server-side error or database/sql's own context.Canceled surfaces
+// first is a benign race between the out-of-band kill and database/sql
+// closing the rows; the deterministic out-of-band path is pinned by
+// TestDriverOutOfBandCancel.)
+func TestDriverContextCancelMidStream(t *testing.T) {
+	addr, _ := startServer(t, 50000, exec.Limits{})
+	db := openDB(t, "decorr://"+addr+"?fetch=64")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.QueryContext(ctx, "select name from emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	// Read a few rows to prove the stream is live, then cancel.
+	for i := 0; i < 10; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended after %d rows: %v", i, rows.Err())
+		}
+	}
+	cancel()
+	for rows.Next() {
+	}
+	err = rows.Err()
+	if !errors.Is(err, exec.ErrCanceled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("rows.Err() = %v, want a cancellation error", err)
+	}
+	// The pool recovers: the canceled conn may be discarded, but new
+	// queries work.
+	var n int64
+	if err := db.QueryRow("select count(*) from dept").Scan(&n); err != nil {
+		t.Fatalf("pool unusable after cancel: %v", err)
+	}
+}
+
+// The out-of-band cancel path, deterministically: below database/sql
+// (whose own context watcher would race the kill by closing the rows),
+// cancel the context mid-stream and verify the server-side query dies
+// with the typed error and a "canceled" query-log classification.
+func TestDriverOutOfBandCancel(t *testing.T) {
+	addr, eng := startServer(t, 50000, exec.Limits{})
+	cfg, err := parseDSN(addr + "?fetch=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dial(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const sql = "select name from emp"
+	r, err := c.execute(ctx, &wire.Execute{SQL: sql})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	dest := make([]driver.Value, 1)
+	for i := 0; i < 10; i++ {
+		if err := r.Next(dest); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	cancel()
+	var finalErr error
+	for {
+		if err := r.Next(dest); err != nil {
+			if err == io.EOF {
+				t.Fatal("stream drained fully before the out-of-band cancel landed")
+			}
+			finalErr = err
+			break
+		}
+	}
+	if !errors.Is(finalErr, exec.ErrCanceled) {
+		t.Fatalf("terminal error %v does not match exec.ErrCanceled", finalErr)
+	}
+	// The kill lands in the query log as a "canceled" trip. (The log
+	// records the plan's normalized text, so match the classification —
+	// this server instance kills exactly one query.)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		found := false
+		for _, le := range eng.Registry().Log() {
+			if le.Trip == "canceled" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("canceled query never reached the query log")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The connection survives its query being killed.
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("conn unusable after kill: %v", err)
+	}
+}
+
+// Abandoning rows early (Close before exhaustion) releases the cursor
+// server-side and the connection stays usable.
+func TestDriverEarlyClose(t *testing.T) {
+	addr, eng := startServer(t, 20000, exec.Limits{})
+	db := openDB(t, addr)
+	db.SetMaxOpenConns(1) // force reuse of the same conn
+	rows, err := db.Query("select name from emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("no first row")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db.QueryRow("select count(*) from emp").Scan(&n); err != nil {
+		t.Fatalf("conn unusable after early close: %v", err)
+	}
+	if n != 20000 {
+		t.Fatalf("count(*) = %d", n)
+	}
+	// The abandoned query is logged cleanly, not as an error.
+	for _, le := range eng.Registry().Log() {
+		if le.Text == "select name from emp" && le.Err != "" {
+			t.Fatalf("abandoned query logged an error: %q", le.Err)
+		}
+	}
+}
+
+// DSN parsing: session options reach the server (bad ones fail the
+// connect), unknown keys are rejected client-side.
+func TestDriverDSN(t *testing.T) {
+	addr, _ := startServer(t, 100, exec.Limits{})
+	good := openDB(t, "decorr://"+addr+"?strategy=magic&workers=2&fetch=16")
+	if err := good.Ping(); err != nil {
+		t.Fatalf("good DSN: %v", err)
+	}
+	var name string
+	if err := good.QueryRow(tpcd.ExampleQuery).Scan(&name); err != nil && err != sql.ErrNoRows {
+		t.Fatalf("decorrelated query over DSN strategy: %v", err)
+	}
+
+	bad := openDB(t, addr+"?strategy=bogus")
+	if err := bad.Ping(); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+	if _, err := sql.Open("decorr", addr+"?nope=1"); err == nil {
+		// sql.Open defers dialing but parses the DSN through OpenConnector.
+		t.Fatal("unknown DSN key accepted")
+	}
+	if _, err := sql.Open("decorr", "?strategy=ni"); err == nil {
+		t.Fatal("empty address accepted")
+	}
+}
+
+// Unsupported features fail loudly rather than silently.
+func TestDriverUnsupported(t *testing.T) {
+	addr, _ := startServer(t, 50, exec.Limits{})
+	db := openDB(t, addr)
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("transactions accepted")
+	}
+	if _, err := db.Query("select name from dept where name = ?", time.Now()); err == nil {
+		t.Fatal("time.Time parameter accepted")
+	}
+}
+
+func ExampleDriver() {
+	// db, _ := sql.Open("decorr", "127.0.0.1:7531?strategy=auto")
+	// rows, _ := db.Query("select name from emp where building = ?", "B1")
+	fmt.Println("see package documentation")
+	// Output: see package documentation
+}

@@ -1,0 +1,126 @@
+package driver
+
+import (
+	"database/sql/driver"
+	"fmt"
+	"io"
+
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+	"decorr/internal/wire"
+)
+
+// rows streams one cursor's result. It buffers at most one fetch reply:
+// Next serves from the buffer and pulls the next batch from the server
+// only when the buffer drains, so client-side memory is one batch
+// regardless of result size.
+type rows struct {
+	c          *conn
+	cursorID   uint64
+	columns    []string
+	buf        []storage.Row
+	pos        int
+	done       bool
+	finalErr   error // terminal error, replayed on every Next after it
+	stopCancel func()
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string { return r.columns }
+
+// Next implements driver.Rows.
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.buf) {
+		if r.done {
+			if r.finalErr != nil {
+				return r.finalErr
+			}
+			return io.EOF
+		}
+		if err := r.fetch(); err != nil {
+			return err
+		}
+		if r.done {
+			if r.finalErr != nil {
+				return r.finalErr
+			}
+			return io.EOF
+		}
+	}
+	row := r.buf[r.pos]
+	r.pos++
+	for i := range dest {
+		if i < len(row) {
+			dest[i] = toDriverValue(row[i])
+		} else {
+			dest[i] = nil
+		}
+	}
+	return nil
+}
+
+// fetch pulls one batch. Done and query errors both mark the cursor
+// finished — the server has already closed it on its side.
+func (r *rows) fetch() error {
+	reply, err := r.c.rpc(&wire.Fetch{CursorID: r.cursorID, MaxRows: r.c.cfg.fetch})
+	if err != nil {
+		r.done = true
+		r.finalErr = err
+		return err
+	}
+	switch m := reply.(type) {
+	case *wire.Batch:
+		r.buf, r.pos = m.Rows, 0
+		return nil
+	case *wire.Done:
+		r.done = true
+		return nil
+	default:
+		r.c.broken = true
+		r.done = true
+		r.finalErr = fmt.Errorf("decorr: unexpected fetch reply %T", reply)
+		return r.finalErr
+	}
+}
+
+// Close implements driver.Rows. Closing an unfinished cursor abandons it
+// server-side (the registry logs the rows streamed so far); closing a
+// finished one only releases the cancel watcher.
+func (r *rows) Close() error {
+	if r.stopCancel != nil {
+		r.stopCancel()
+		r.stopCancel = nil
+	}
+	if r.done || r.c.broken {
+		return nil
+	}
+	r.done = true
+	// CloseCursor is idempotent server-side, so racing a concurrent Done
+	// is harmless.
+	reply, err := r.c.rpc(&wire.CloseCursor{CursorID: r.cursorID})
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*wire.CloseOK); !ok {
+		r.c.broken = true
+		return fmt.Errorf("decorr: unexpected close reply %T", reply)
+	}
+	return nil
+}
+
+// toDriverValue maps an engine value onto database/sql's value domain.
+func toDriverValue(v sqltypes.Value) driver.Value {
+	switch v.K {
+	case sqltypes.KindNull:
+		return nil
+	case sqltypes.KindInt:
+		return v.I
+	case sqltypes.KindFloat:
+		return v.F
+	case sqltypes.KindString:
+		return v.S
+	case sqltypes.KindBool:
+		return v.B
+	}
+	return nil
+}

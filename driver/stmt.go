@@ -1,0 +1,69 @@
+package driver
+
+import (
+	"context"
+	"database/sql/driver"
+
+	"decorr/internal/wire"
+)
+
+// stmt is a server-side prepared statement handle. The plan lives in the
+// server's plan cache; re-executing with new parameter bindings skips
+// parsing and rewriting entirely.
+type stmt struct {
+	c         *conn
+	id        uint64
+	numParams int
+	columns   []string
+}
+
+// Close implements driver.Stmt.
+func (s *stmt) Close() error {
+	// The conn may already be gone (pool shutdown); closing a handle on a
+	// broken conn is a no-op, not an error.
+	if s.c.broken {
+		return nil
+	}
+	_, err := s.c.rpc(&wire.CloseStmt{StmtID: s.id})
+	return err
+}
+
+// NumInput implements driver.Stmt: database/sql pre-checks arity.
+func (s *stmt) NumInput() int { return s.numParams }
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.QueryContext(context.Background(), namedValues(args))
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	params, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.execute(ctx, &wire.Execute{StmtID: s.id, Params: params})
+}
+
+// Exec implements driver.Stmt.
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.ExecContext(context.Background(), namedValues(args))
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	params, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.c.exec(ctx, &wire.Exec{StmtID: s.id, Params: params})
+}
+
+// namedValues adapts the legacy positional-args form.
+func namedValues(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, v := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: v}
+	}
+	return out
+}

@@ -222,6 +222,13 @@ func (e *Engine) CreateView(sql string) error {
 // against a copy of the view map, publish the copy, bump the epoch.
 func (e *Engine) createViewParsed(cv *ast.CreateView) error {
 	name := strings.ToLower(cv.Name)
+	// The parser rejects qualified view names in SQL; this guards the
+	// programmatic path too. Dotted names address system catalogs
+	// (sys.*), and catalog resolution runs before view expansion, so a
+	// dotted view would be silently unreachable at best.
+	if strings.ContainsRune(name, '.') {
+		return fmt.Errorf("engine: view name %q cannot be qualified: dotted names are reserved for system catalogs", name)
+	}
 	if e.DB.Catalog.Lookup(name) != nil {
 		return fmt.Errorf("engine: view %q collides with a base table", name)
 	}

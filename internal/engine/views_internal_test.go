@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"decorr/internal/ast"
+	"decorr/internal/parser"
+	"decorr/internal/tpcd"
+)
+
+// The parser rejects qualified view names in SQL before they reach the
+// engine; this pins the engine-side guard for callers that hand
+// createViewParsed a programmatically built statement. A dotted view
+// would be unreachable (catalog resolution runs before view expansion),
+// so it must be refused, and the refusal must not bump the DDL epoch or
+// leak a partial definition.
+func TestCreateViewParsedRejectsDottedName(t *testing.T) {
+	e := New(tpcd.EmpDept())
+	q, err := parser.Parse("select name from emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := e.Epoch()
+	err = e.createViewParsed(&ast.CreateView{Name: "sys.shadow", Query: q})
+	if err == nil || !strings.Contains(err.Error(), "cannot be qualified") {
+		t.Fatalf("dotted view name: %v", err)
+	}
+	if e.Epoch() != epoch {
+		t.Error("rejected view bumped the DDL epoch")
+	}
+	if len(e.views) != 0 {
+		t.Errorf("rejected view registered: %v", e.views)
+	}
+}

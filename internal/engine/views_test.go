@@ -112,6 +112,54 @@ func TestViewDecorrelatedThroughMagic(t *testing.T) {
 	}
 }
 
+// Dotted names and views occupy disjoint namespaces, resolved in a fixed
+// order: catalog (including the sys.* synthetic tables) before views. A
+// user view named after the bare table part of a qualified name coexists
+// with it, the dotted spelling keeps resolving to the catalog, and the
+// two colliding under one default alias in the same FROM is a
+// deterministic error.
+func TestDottedNamesVsViews(t *testing.T) {
+	e := engine.New(tpcd.EmpDept())
+	e.MountSystemCatalog()
+
+	// Qualified view names are rejected up front with a direct message.
+	err := e.CreateView("create view sys.shadow as select name from emp")
+	if err == nil || !strings.Contains(err.Error(), "cannot be qualified") {
+		t.Fatalf("qualified view name: %v", err)
+	}
+
+	// A view named "metrics" — the bare table part of sys.metrics — is legal.
+	if err := e.CreateView("create view metrics as select name from emp where building = 'B1'"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dotted name still resolves to the synthetic catalog table: its
+	// "kind" column does not exist on the view, so this query only binds
+	// if the catalog won.
+	if _, _, err := e.Query("select kind from sys.metrics", engine.NI); err != nil {
+		t.Errorf("sys.metrics no longer resolves to the catalog: %v", err)
+	}
+	// The bare name resolves to the view.
+	got, _ := query(t, e, "select name from metrics order by name", engine.NI)
+	want, _ := query(t, e, "select name from emp where building = 'B1' order by name", engine.NI)
+	sameRows(t, "bare name resolves to the view", got, want)
+
+	// A dotted FROM name defaults its alias to the bare table part.
+	if _, _, err := e.Query("select metrics.kind from sys.metrics where metrics.value >= 0", engine.NI); err != nil {
+		t.Errorf("default alias of a dotted name: %v", err)
+	}
+
+	// Catalog table and view under one default alias: deterministic error.
+	_, _, err = e.Query("select name from sys.metrics, metrics", engine.NI)
+	if err == nil || !strings.Contains(err.Error(), `duplicate FROM alias "metrics"`) {
+		t.Errorf("colliding default aliases: %v", err)
+	}
+	// An explicit alias resolves the collision.
+	if _, _, err := e.Query("select v.name, m.kind from sys.metrics m, metrics v", engine.NI); err != nil {
+		t.Errorf("explicit aliases: %v", err)
+	}
+}
+
 func TestExecDispatch(t *testing.T) {
 	e := engine.New(tpcd.EmpDept())
 	rows, stats, err := e.Exec("create view v as select name from emp", engine.NI)

@@ -111,46 +111,6 @@ func New(db *storage.DB, opts Options) *Exec {
 	}
 }
 
-// Run evaluates the graph and returns the result rows (after any top-level
-// ORDER BY). When Options.Ctx or Options.Limits are armed, Run enforces
-// them: a pre-canceled context returns ErrCanceled before any row is
-// produced, and mid-run trips unwind through the scheduler's deterministic
-// error machinery as the typed sentinels of this package.
-func (ex *Exec) Run(g *qgm.Graph) ([]storage.Row, error) {
-	ex.gov = newGovernor(ex.opts.Ctx, ex.opts.Limits)
-	rows, err := ex.govRun(g)
-	if err != nil {
-		if counter, ok := classifyGovernance(err); ok {
-			trace.Metrics.Counter(counter).Inc()
-		}
-		return nil, err
-	}
-	return rows, nil
-}
-
-func (ex *Exec) govRun(g *qgm.Graph) ([]storage.Row, error) {
-	if err := ex.gov.checkpoint(); err != nil {
-		return nil, err
-	}
-	before := ex.Stats
-	ex.analyze(g.Root)
-	rows, err := ex.evalBox(g.Root, nil)
-	if err != nil {
-		return nil, err
-	}
-	if err := ex.gov.checkOutput(len(rows)); err != nil {
-		return nil, err
-	}
-	if len(g.OrderBy) > 0 {
-		sortRows(rows, g.OrderBy)
-	}
-	if g.Limit >= 0 && int64(len(rows)) > g.Limit {
-		rows = rows[:g.Limit]
-	}
-	publishStats(statsDelta(before, ex.Stats))
-	return rows, nil
-}
-
 func statsDelta(before, after Stats) Stats {
 	return Stats{
 		SubqueryInvocations: after.SubqueryInvocations - before.SubqueryInvocations,

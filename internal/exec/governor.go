@@ -211,9 +211,17 @@ func (g *governor) addBytes(n int64) error {
 	return nil
 }
 
-// checkOutput enforces MaxOutputRows on the root result.
+// checkOutput enforces MaxOutputRows on a materialized root result.
 func (g *governor) checkOutput(n int) error {
-	if g == nil || g.maxOut == 0 || int64(n) <= g.maxOut {
+	return g.checkOutputTotal(int64(n))
+}
+
+// checkOutputTotal enforces MaxOutputRows against a cumulative output-row
+// count — the streaming iterator calls it per batch with its running
+// total, so the trip condition (total exceeds the budget) is identical to
+// the materialized check, just observed at the batch that crosses it.
+func (g *governor) checkOutputTotal(n int64) error {
+	if g == nil || g.maxOut == 0 || n <= g.maxOut {
 		return nil
 	}
 	return g.trip(fmt.Errorf("%w: %d output rows over budget %d", ErrRowBudget, n, g.maxOut))

@@ -24,14 +24,35 @@ type lateQuant struct {
 	ties []*selPred
 }
 
-// evalSelect evaluates an SPJ box: it greedily orders the ForEach
-// quantifiers by estimated growth, binds scalar and existential/universal
-// quantifiers at the earliest point their dependencies allow (mirroring how
-// the paper's optimizer placed subqueries before or after outer joins —
-// §5.3, Query 1 vs Query 2), uses index lookups and hash joins where
-// predicates permit, and re-evaluates correlated subquery inputs per outer
-// tuple (nested iteration).
+// evalSelect evaluates an SPJ box: phase 1 (selectTuples) produces the
+// bound tuple stream, phase 2 (projectTuples) evaluates the output
+// expressions, and DISTINCT dedups last. The streaming iterator drives the
+// same two phases with phase 2 batched.
 func (ex *Exec) evalSelect(b *qgm.Box, env *Env) ([]storage.Row, error) {
+	tuples, err := ex.selectTuples(b, env)
+	if err != nil || len(tuples) == 0 {
+		return nil, err
+	}
+	out, err := ex.projectTuples(b, tuples)
+	if err != nil {
+		return nil, err
+	}
+	if b.Distinct {
+		out = dedupeRows(out)
+	}
+	return out, nil
+}
+
+// selectTuples is phase 1 of select evaluation: it greedily orders the
+// ForEach quantifiers by estimated growth, binds scalar and
+// existential/universal quantifiers at the earliest point their
+// dependencies allow (mirroring how the paper's optimizer placed subqueries
+// before or after outer joins — §5.3, Query 1 vs Query 2), uses index
+// lookups and hash joins where predicates permit, and re-evaluates
+// correlated subquery inputs per outer tuple (nested iteration). The
+// result is the fully bound, fully filtered tuple stream awaiting
+// projection.
+func (ex *Exec) selectTuples(b *qgm.Box, env *Env) ([]*Env, error) {
 	own := map[*qgm.Quantifier]bool{}
 	for _, q := range b.Quants {
 		own[q] = true
@@ -138,8 +159,13 @@ func (ex *Exec) evalSelect(b *qgm.Box, env *Env) ([]storage.Row, error) {
 			return nil, fmt.Errorf("exec: predicate %s left unapplied in box %d", qgm.FormatExpr(pi.expr), b.ID)
 		}
 	}
+	return tuples, nil
+}
 
-	out, err := parallelMap(ex, tuples, rowMorsel, func(t *Env) (storage.Row, error) {
+// projectTuples is phase 2 of select evaluation: the output expressions
+// over an already bound and filtered tuple stream (or one batch of it).
+func (ex *Exec) projectTuples(b *qgm.Box, tuples []*Env) ([]storage.Row, error) {
+	return parallelMap(ex, tuples, rowMorsel, func(t *Env) (storage.Row, error) {
 		row := make(storage.Row, len(b.Cols))
 		for i, c := range b.Cols {
 			v, err := ex.EvalExpr(c.Expr, t)
@@ -150,13 +176,6 @@ func (ex *Exec) evalSelect(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		}
 		return row, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	if b.Distinct {
-		out = dedupeRows(out)
-	}
-	return out, nil
 }
 
 // ownDeps returns the row-contributing quantifiers of the same box that

@@ -26,6 +26,13 @@ func ParseStatement(sql string) (ast.Statement, error) {
 			return nil, p.errorf("expected view name, found %q", p.cur().text)
 		}
 		cv.Name = p.advance().text
+		// Views live in the unqualified namespace; dotted names are how
+		// system catalogs (sys.*) are addressed. Reject the qualifier here
+		// with a direct message rather than letting it surface as a
+		// confusing "expected keyword as" error downstream.
+		if p.at(tokSymbol, ".") {
+			return nil, p.errorf("view name %q cannot be qualified: dotted names are reserved for system catalogs", cv.Name)
+		}
 		if p.acceptSymbol("(") {
 			for {
 				if !p.at(tokIdent, "") {

@@ -276,6 +276,34 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// Dotted names are legal in FROM (they address system catalogs) but not
+// as view names; the qualified-view rejection is a direct, deterministic
+// message rather than a downstream "expected keyword as" confusion.
+func TestDottedNames(t *testing.T) {
+	stmt, err := ParseStatement("select metrics.name from sys.metrics where metrics.value > 0")
+	if err != nil {
+		t.Fatalf("dotted FROM name: %v", err)
+	}
+	sel := stmt.(*ast.Select)
+	if got := sel.From[0].Table; got != "sys.metrics" {
+		t.Errorf("FROM table = %q, want %q", got, "sys.metrics")
+	}
+
+	for _, sql := range []string{
+		"create view sys.shadow as select name from emp",
+		"create view a.b(c) as select c from t",
+	} {
+		_, err := ParseStatement(sql)
+		if err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), "cannot be qualified") {
+			t.Errorf("ParseStatement(%q) error %q lacks the qualified-name message", sql, err)
+		}
+	}
+}
+
 func TestSemicolonTolerated(t *testing.T) {
 	if _, err := Parse("select a from t;"); err != nil {
 		t.Errorf("trailing semicolon: %v", err)

@@ -1,0 +1,300 @@
+// Package server implements decorrd: a network front end serving the
+// decorrelation engine over the wire protocol (package wire).
+//
+// The design is one goroutine per connection running a strict
+// request/reply loop — the protocol never pushes unsolicited frames, so
+// a session needs no writer goroutine and no reply multiplexing. All
+// cross-session coordination happens inside the shared *engine.Engine
+// (plan cache, registry, storage), which is already built for concurrent
+// clients; the server's own shared state is just the session set.
+//
+// Memory: a session holds at most one engine batch per open cursor
+// (streamed via engine.Stream, which holds no full result), so the
+// server-side cost of a million-row result is one batch plus the frame
+// being written — this is the property the server-smoke benchmark pins.
+//
+// Cancellation is out-of-band: a Cancel frame on any connection kills
+// the registry query ID it names, which trips the victim's governor at
+// its next morsel claim. A disconnect cancels the session context, which
+// kills every query the session still has streaming.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"decorr/internal/engine"
+	"decorr/internal/wire"
+)
+
+// Config configures a Server. Engine is required; everything else has a
+// serving default.
+type Config struct {
+	// Engine executes the queries. Enable its registry (or mount the
+	// system catalog) before serving if remote Cancel should work; the
+	// server functions without one, reporting Cancel targets as not found.
+	Engine *engine.Engine
+	// Strategy is the default decorrelation strategy for sessions that do
+	// not pick one in their handshake. The zero value is NI; servers
+	// usually want Auto.
+	Strategy engine.Strategy
+	// MaxSessions caps concurrent sessions; further handshakes are
+	// refused with CodeUnavailable. Zero means DefaultMaxSessions.
+	MaxSessions int
+	// FetchRows is the reply-batch row cap used when a Fetch names none.
+	// Zero means DefaultFetchRows.
+	FetchRows int
+	// Name is the server name announced in the handshake.
+	Name string
+}
+
+const (
+	// DefaultMaxSessions bounds concurrent sessions by default.
+	DefaultMaxSessions = 64
+	// DefaultFetchRows is the default reply-batch row cap. It matches the
+	// engine's streaming batch so one Fetch usually maps to one engine
+	// batch.
+	DefaultFetchRows = 1024
+)
+
+// Server serves the wire protocol on a listener.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	cursors atomic.Int64 // open cursors across all sessions, for Status
+}
+
+// New builds a Server. It panics on a nil engine — that is a programming
+// error, not a runtime condition.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("server: Config.Engine is required")
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.FetchRows <= 0 {
+		cfg.FetchRows = DefaultFetchRows
+	}
+	if cfg.Name == "" {
+		cfg.Name = "decorrd"
+	}
+	return &Server{cfg: cfg, sessions: make(map[*session]struct{})}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after
+// Close and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Addr reports the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener, disconnects every session (canceling their
+// in-flight queries), and waits for the connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	open := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, sess := range open {
+		sess.disconnect()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// admit registers a session, enforcing MaxSessions.
+func (s *Server) admit(sess *session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return &wire.Error{Code: wire.CodeUnavailable, Msg: "server shutting down"}
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return &wire.Error{Code: wire.CodeUnavailable,
+			Msg: fmt.Sprintf("server at capacity (%d sessions)", s.cfg.MaxSessions)}
+	}
+	s.sessions[sess] = struct{}{}
+	return nil
+}
+
+func (s *Server) drop(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+// status builds the health snapshot for a Status request.
+func (s *Server) status() *wire.StatusOK {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	sessions := len(s.sessions)
+	s.mu.Unlock()
+	var active int
+	if reg := s.cfg.Engine.Registry(); reg != nil {
+		active = len(reg.Active())
+	}
+	return &wire.StatusOK{
+		HeapAlloc:     ms.HeapAlloc,
+		TotalAlloc:    ms.TotalAlloc,
+		NumGoroutine:  uint32(runtime.NumGoroutine()),
+		Sessions:      uint32(sessions),
+		OpenCursors:   uint32(s.cursors.Load()),
+		ActiveQueries: uint32(active),
+	}
+}
+
+// serveConn runs one connection's handshake and request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	msg, err := wire.Read(conn)
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		wire.Write(conn, wire.Protocolf("expected Hello, got %T", msg))
+		return
+	}
+	if hello.Version != wire.Version {
+		wire.Write(conn, wire.Protocolf("protocol version %d not supported (server speaks %d)",
+			hello.Version, wire.Version))
+		return
+	}
+	sess, err := s.newSession(conn, hello.Options)
+	if err != nil {
+		wire.Write(conn, wire.ToError(err))
+		return
+	}
+	if err := s.admit(sess); err != nil {
+		wire.Write(conn, wire.ToError(err))
+		return
+	}
+	defer func() {
+		sess.shutdown()
+		s.drop(sess)
+	}()
+	if err := wire.Write(conn, &wire.HelloOK{Version: wire.Version, ServerName: s.cfg.Name}); err != nil {
+		return
+	}
+	sess.loop()
+}
+
+// strategyNames maps handshake strategy options to engine strategies,
+// matching the CLI's -strategy vocabulary plus "auto".
+var strategyNames = map[string]engine.Strategy{
+	"ni": engine.NI, "nimemo": engine.NIMemo, "kim": engine.Kim,
+	"dayal": engine.Dayal, "gw": engine.GanskiWong,
+	"magic": engine.Magic, "optmagic": engine.OptMagic, "auto": engine.Auto,
+}
+
+// ParseStrategy resolves a strategy name from the handshake/DSN
+// vocabulary (ni, nimemo, kim, dayal, gw, magic, optmagic, auto).
+func ParseStrategy(name string) (engine.Strategy, bool) {
+	s, ok := strategyNames[strings.ToLower(name)]
+	return s, ok
+}
+
+// newSession builds a session from handshake options. Unknown option
+// keys are rejected — a typo in a DSN should fail the connect, not
+// silently run with defaults.
+func (s *Server) newSession(conn net.Conn, options []string) (*session, error) {
+	if len(options)%2 != 0 {
+		return nil, wire.Protocolf("handshake options must be key/value pairs")
+	}
+	sess := &session{
+		srv:      s,
+		conn:     conn,
+		strategy: s.cfg.Strategy,
+		stmts:    make(map[uint64]*engine.Prepared),
+		cursors:  make(map[uint64]*cursor),
+	}
+	sess.ctx, sess.cancel = context.WithCancel(context.Background())
+	for i := 0; i+1 < len(options); i += 2 {
+		key, val := options[i], options[i+1]
+		switch key {
+		case "strategy":
+			st, ok := ParseStrategy(val)
+			if !ok {
+				return nil, fmt.Errorf("server: unknown strategy %q", val)
+			}
+			sess.strategy = st
+		case "workers":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("server: bad workers option %q", val)
+			}
+			sess.workers = n
+		default:
+			return nil, fmt.Errorf("server: unknown handshake option %q", key)
+		}
+	}
+	return sess, nil
+}

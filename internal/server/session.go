@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net"
+
+	"decorr/internal/engine"
+	"decorr/internal/storage"
+	"decorr/internal/wire"
+)
+
+// session is one connection's state: its prepared statements, its open
+// cursors, and its execution overrides from the handshake. All fields
+// are owned by the connection goroutine; only disconnect (called by
+// Server.Close) runs on another goroutine, and it touches nothing but
+// the context cancel and the connection.
+type session struct {
+	srv      *Server
+	conn     net.Conn
+	ctx      context.Context
+	cancel   context.CancelFunc
+	strategy engine.Strategy
+	workers  int
+
+	stmts      map[uint64]*engine.Prepared
+	cursors    map[uint64]*cursor
+	nextStmt   uint64
+	nextCursor uint64
+}
+
+// cursor is one streaming result: the engine stream plus the tail of the
+// last engine batch that did not fit in a Fetch reply. The buffer is at
+// most one engine batch — the session-side memory bound.
+type cursor struct {
+	st   *engine.Stream
+	buf  []storage.Row
+	sent uint64
+}
+
+// disconnect force-closes the session from outside its goroutine: the
+// context cancel trips every streaming query's governor, and closing the
+// connection unblocks the goroutine's pending read.
+func (s *session) disconnect() {
+	s.cancel()
+	s.conn.Close()
+}
+
+// shutdown releases the session's resources on the connection goroutine.
+func (s *session) shutdown() {
+	s.cancel()
+	for id, c := range s.cursors {
+		c.st.Close()
+		delete(s.cursors, id)
+		s.srv.cursors.Add(-1)
+	}
+}
+
+// loop runs the request/reply exchange until the connection drops or a
+// protocol violation makes the peer's state untrustworthy.
+func (s *session) loop() {
+	w := bufio.NewWriter(s.conn)
+	for {
+		msg, err := wire.Read(s.conn)
+		if err != nil {
+			return // disconnect (or a frame too broken to answer)
+		}
+		reply, fatal := s.handle(msg)
+		if err := wire.Write(w, reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if fatal {
+			return
+		}
+	}
+}
+
+// handle dispatches one request to its reply. fatal reports that the
+// connection must close after the reply (protocol violations only —
+// query failures are ordinary replies and the session continues).
+func (s *session) handle(msg wire.Message) (reply wire.Message, fatal bool) {
+	switch m := msg.(type) {
+	case *wire.Prepare:
+		return s.handlePrepare(m), false
+	case *wire.Execute:
+		return s.handleExecute(m), false
+	case *wire.Fetch:
+		return s.handleFetch(m)
+	case *wire.Exec:
+		return s.handleExec(m), false
+	case *wire.Cancel:
+		return &wire.KillOK{Found: s.srv.cfg.Engine.Kill(m.QueryID)}, false
+	case *wire.CloseCursor:
+		// Idempotent: Done already closed the cursor server-side, and the
+		// client may close again without tracking that.
+		if c, ok := s.cursors[m.CursorID]; ok {
+			s.dropCursor(m.CursorID, c)
+		}
+		return &wire.CloseOK{}, false
+	case *wire.CloseStmt:
+		delete(s.stmts, m.StmtID)
+		return &wire.CloseOK{}, false
+	case *wire.Status:
+		return s.srv.status(), false
+	case *wire.Ping:
+		return &wire.Pong{}, false
+	default:
+		return wire.Protocolf("unexpected message %T", msg), true
+	}
+}
+
+func (s *session) handlePrepare(m *wire.Prepare) wire.Message {
+	p, err := s.srv.cfg.Engine.PrepareCached(m.SQL, s.strategy)
+	if err != nil {
+		return wire.ToError(err)
+	}
+	s.nextStmt++
+	id := s.nextStmt
+	s.stmts[id] = p
+	return &wire.PrepareOK{
+		StmtID:    id,
+		NumParams: uint32(p.NumParams),
+		Columns:   p.Columns,
+	}
+}
+
+// resolve finds the statement an Execute/Exec names: a prepared handle
+// when StmtID is set, a fresh preparation of SQL otherwise.
+func (s *session) resolve(stmtID uint64, sql string) (*engine.Prepared, *wire.Error) {
+	if stmtID != 0 {
+		p, ok := s.stmts[stmtID]
+		if !ok {
+			return nil, wire.Protocolf("unknown statement %d", stmtID)
+		}
+		return p, nil
+	}
+	p, err := s.srv.cfg.Engine.PrepareCached(sql, s.strategy)
+	if err != nil {
+		return nil, wire.ToError(err)
+	}
+	return p, nil
+}
+
+func (s *session) handleExecute(m *wire.Execute) wire.Message {
+	p, werr := s.resolve(m.StmtID, m.SQL)
+	if werr != nil {
+		return werr
+	}
+	st, err := p.StreamWithOpts(s.ctx, m.Params, engine.StreamOpts{Workers: s.workers})
+	if err != nil {
+		return wire.ToError(err)
+	}
+	s.nextCursor++
+	id := s.nextCursor
+	s.cursors[id] = &cursor{st: st}
+	s.srv.cursors.Add(1)
+	return &wire.ExecuteOK{CursorID: id, QueryID: st.ID(), Columns: st.Columns()}
+}
+
+func (s *session) handleFetch(m *wire.Fetch) (wire.Message, bool) {
+	c, ok := s.cursors[m.CursorID]
+	if !ok {
+		// Fetching a cursor that never existed (or was already drained) is
+		// a protocol violation: the client's cursor accounting is broken.
+		return wire.Protocolf("unknown cursor %d", m.CursorID), true
+	}
+	max := s.srv.cfg.FetchRows
+	if m.MaxRows > 0 {
+		max = int(m.MaxRows)
+	}
+	if len(c.buf) == 0 {
+		batch, err := c.st.Next()
+		if err != nil {
+			s.dropCursor(m.CursorID, c)
+			return wire.ToError(err), false
+		}
+		if batch == nil {
+			stats := c.st.Stats()
+			s.dropCursor(m.CursorID, c)
+			return &wire.Done{RowsOut: c.sent, Stats: stats}, false
+		}
+		c.buf = batch
+	}
+	rows := c.buf
+	if len(rows) > max {
+		rows = rows[:max]
+		c.buf = c.buf[max:]
+	} else {
+		c.buf = nil
+	}
+	c.sent += uint64(len(rows))
+	return &wire.Batch{Rows: rows}, false
+}
+
+func (s *session) handleExec(m *wire.Exec) wire.Message {
+	// The StmtID form runs a prepared statement to completion; the SQL
+	// form goes through the engine's statement path, which also accepts
+	// DDL (CREATE VIEW) — that is how views arrive over the network.
+	if m.StmtID != 0 {
+		p, werr := s.resolve(m.StmtID, "")
+		if werr != nil {
+			return werr
+		}
+		rows, _, err := p.RunParamsContext(s.ctx, m.Params)
+		if err != nil {
+			return wire.ToError(err)
+		}
+		return &wire.ExecOK{RowsOut: uint64(len(rows))}
+	}
+	rows, _, err := s.srv.cfg.Engine.ExecParamsContext(s.ctx, m.SQL, s.strategy, m.Params)
+	if err != nil {
+		return wire.ToError(err)
+	}
+	return &wire.ExecOK{RowsOut: uint64(len(rows))}
+}
+
+func (s *session) dropCursor(id uint64, c *cursor) {
+	c.st.Close()
+	delete(s.cursors, id)
+	s.srv.cursors.Add(-1)
+}

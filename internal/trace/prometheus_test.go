@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -40,6 +42,119 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if sb2.String() != out {
 		t.Errorf("exposition unstable across scrapes")
+	}
+}
+
+// Strict pin of the text exposition format (version 0.0.4): every line a
+// scraper sees must be a well-formed TYPE comment or sample. The test
+// parses the whole document with the grammar's own rules — legal metric
+// names, float-parseable values, one TYPE per family with its samples
+// immediately following, summaries emitting exactly three quantiles plus
+// _sum and _count — over a registry exercising the edge cases: an empty
+// histogram, a zero counter, a negative gauge, and names needing
+// sanitization.
+func TestWritePrometheusGrammar(t *testing.T) {
+	var (
+		typeRe = regexp.MustCompile(
+			`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary)$`)
+		sampleRe = regexp.MustCompile(
+			`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{quantile="(0\.5|0\.95|0\.99)"\})? (\S+)$`)
+	)
+
+	r := NewRegistry()
+	r.Counter("engine.executions").Add(3)
+	r.Counter("zero-touch counter") // registered, never incremented
+	r.Gauge("exec.inflight").Set(-7)
+	h := r.Histogram("stage.exec")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1_000_000) // values big enough to tempt %g into exponents
+	}
+	r.Histogram("empty.hist") // registered, never observed
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition does not end in a newline")
+	}
+
+	type family struct {
+		kind    string
+		samples int
+	}
+	families := map[string]*family{}
+	var cur string // family the most recent TYPE line opened
+	var lastFam string
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			name, kind := m[1], m[2]
+			if _, dup := families[name]; dup {
+				t.Fatalf("line %d: family %q declared twice", i+1, name)
+			}
+			if name <= lastFam {
+				t.Fatalf("line %d: family %q out of sorted order (after %q)", i+1, name, lastFam)
+			}
+			families[name] = &family{kind: kind}
+			cur, lastFam = name, name
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: %q is neither a TYPE comment nor a sample", i+1, line)
+		}
+		name, quantile, value := m[1], m[2], m[3]
+		if value != "NaN" && value != "+Inf" && value != "-Inf" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Fatalf("line %d: sample value %q does not parse: %v", i+1, value, err)
+			}
+		}
+		fam := families[cur]
+		if fam == nil {
+			t.Fatalf("line %d: sample %q before any TYPE comment", i+1, line)
+		}
+		switch {
+		case name == cur:
+			if fam.kind == "summary" && quantile == "" {
+				t.Fatalf("line %d: bare summary sample %q without quantile label", i+1, line)
+			}
+			if fam.kind != "summary" && quantile != "" {
+				t.Fatalf("line %d: %s sample %q has a quantile label", i+1, fam.kind, line)
+			}
+		case fam.kind == "summary" && (name == cur+"_sum" || name == cur+"_count"):
+			if quantile != "" {
+				t.Fatalf("line %d: %q carries a quantile label", i+1, line)
+			}
+		default:
+			t.Fatalf("line %d: sample %q does not belong to family %q", i+1, name, cur)
+		}
+		fam.samples++
+	}
+
+	want := map[string]struct {
+		kind    string
+		samples int
+	}{
+		"decorr_engine_executions":  {"counter", 1},
+		"decorr_zero_touch_counter": {"counter", 1},
+		"decorr_exec_inflight":      {"gauge", 1},
+		"decorr_stage_exec_ns":      {"summary", 5}, // 3 quantiles + _sum + _count
+		"decorr_empty_hist_ns":      {"summary", 5},
+	}
+	for name, w := range want {
+		fam := families[name]
+		if fam == nil {
+			t.Errorf("family %q missing from exposition:\n%s", name, out)
+			continue
+		}
+		if fam.kind != w.kind || fam.samples != w.samples {
+			t.Errorf("family %q: kind=%s samples=%d, want kind=%s samples=%d",
+				name, fam.kind, fam.samples, w.kind, w.samples)
+		}
+	}
+	if len(families) != len(want) {
+		t.Errorf("exposition has %d families, want %d:\n%s", len(families), len(want), out)
 	}
 }
 

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"decorr/internal/exec"
+)
+
+// ErrorCode classifies a server-side failure coarsely enough to travel
+// the wire and still support errors.Is on the client: governance trips
+// keep their typed identity end-to-end, so a database/sql caller can
+// match exec.ErrRowBudget on an error that crossed the network.
+type ErrorCode uint16
+
+const (
+	// CodeInternal is any failure without a more specific class (parse
+	// errors, semantic errors, evaluation errors).
+	CodeInternal ErrorCode = 1
+	// CodeCanceled maps to exec.ErrCanceled.
+	CodeCanceled ErrorCode = 2
+	// CodeDeadline maps to exec.ErrDeadlineExceeded.
+	CodeDeadline ErrorCode = 3
+	// CodeRowBudget maps to exec.ErrRowBudget.
+	CodeRowBudget ErrorCode = 4
+	// CodeMemBudget maps to exec.ErrMemBudget.
+	CodeMemBudget ErrorCode = 5
+	// CodePanic maps to exec.ErrPanic (a recovered operator panic).
+	CodePanic ErrorCode = 6
+	// CodeProtocol is a wire-level violation: bad frame, unexpected
+	// message, unknown statement or cursor handle. The server closes the
+	// connection after sending it.
+	CodeProtocol ErrorCode = 7
+	// CodeUnavailable reports admission rejection (too many sessions).
+	CodeUnavailable ErrorCode = 8
+)
+
+// Error is the wire form of a server-side failure. It implements error
+// (see RemoteError below for the client-facing alias with sentinel
+// matching).
+type Error struct {
+	Code ErrorCode
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Is maps the code back to the executor's typed sentinels, so
+// errors.Is(err, exec.ErrRowBudget) holds across the network exactly as
+// it does in-process.
+func (e *Error) Is(target error) bool {
+	switch e.Code {
+	case CodeCanceled:
+		return target == exec.ErrCanceled
+	case CodeDeadline:
+		return target == exec.ErrDeadlineExceeded
+	case CodeRowBudget:
+		return target == exec.ErrRowBudget
+	case CodeMemBudget:
+		return target == exec.ErrMemBudget
+	case CodePanic:
+		return target == exec.ErrPanic
+	}
+	return false
+}
+
+// RemoteError is the name client code sees; *Error is what crosses the
+// wire. They are one type.
+type RemoteError = Error
+
+// CodeOf classifies err for the wire, the inverse of Error.Is.
+func CodeOf(err error) ErrorCode {
+	switch {
+	case errors.Is(err, exec.ErrCanceled):
+		return CodeCanceled
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, exec.ErrRowBudget):
+		return CodeRowBudget
+	case errors.Is(err, exec.ErrMemBudget):
+		return CodeMemBudget
+	case errors.Is(err, exec.ErrPanic):
+		return CodePanic
+	}
+	return CodeInternal
+}
+
+// ToError converts any error to its wire form, preserving an existing
+// *Error (so codes survive a proxy hop) and classifying everything else.
+func ToError(err error) *Error {
+	var we *Error
+	if errors.As(err, &we) {
+		return we
+	}
+	return &Error{Code: CodeOf(err), Msg: err.Error()}
+}
+
+// Protocolf builds a CodeProtocol error.
+func Protocolf(format string, args ...any) *Error {
+	return &Error{Code: CodeProtocol, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,390 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"decorr/internal/exec"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// Message type bytes. Requests and replies share one space; the
+// request/reply pairing is by protocol state, not by byte value.
+const (
+	typeHello       = 0x01
+	typeHelloOK     = 0x02
+	typePrepare     = 0x03
+	typePrepareOK   = 0x04
+	typeExecute     = 0x05
+	typeExecuteOK   = 0x06
+	typeFetch       = 0x07
+	typeBatch       = 0x08
+	typeDone        = 0x09
+	typeExec        = 0x0a
+	typeExecOK      = 0x0b
+	typeCancel      = 0x0c
+	typeKillOK      = 0x0d
+	typeCloseCursor = 0x0e
+	typeCloseStmt   = 0x0f
+	typeCloseOK     = 0x10
+	typeStatus      = 0x11
+	typeStatusOK    = 0x12
+	typePing        = 0x13
+	typePong        = 0x14
+	typeError       = 0x15
+)
+
+// Version is the protocol version sent in the handshake. The server
+// refuses mismatched majors rather than guessing at compatibility.
+const Version = 1
+
+// Message is one protocol frame's decoded form.
+type Message interface {
+	msgType() byte
+	encode(e *enc)
+}
+
+// Hello opens a connection. Options carries session knobs parsed from the
+// client DSN (e.g. "strategy", "workers") as alternating key/value pairs.
+type Hello struct {
+	Version uint32
+	Options []string
+}
+
+// HelloOK accepts the handshake.
+type HelloOK struct {
+	Version    uint32
+	ServerName string
+}
+
+// Prepare compiles a statement server-side.
+type Prepare struct {
+	SQL string
+}
+
+// PrepareOK reports the prepared statement's handle and shape. Columns is
+// empty for DDL statements, which have no result shape.
+type PrepareOK struct {
+	StmtID    uint64
+	NumParams uint32
+	Columns   []string
+}
+
+// Execute begins a streaming query. With StmtID != 0 it runs that
+// prepared statement with Params bound; with StmtID == 0 it prepares and
+// runs SQL directly (the one-shot path).
+type Execute struct {
+	StmtID uint64
+	SQL    string
+	Params []sqltypes.Value
+}
+
+// ExecuteOK reports the opened cursor. QueryID is the server registry's
+// query ID — the handle for out-of-band Cancel — or zero when the server
+// runs without a registry.
+type ExecuteOK struct {
+	CursorID uint64
+	QueryID  int64
+	Columns  []string
+}
+
+// Fetch pulls the next batch from a cursor. MaxRows caps the reply batch;
+// zero means the server's default.
+type Fetch struct {
+	CursorID uint64
+	MaxRows  uint32
+}
+
+// Batch is a non-empty slice of result rows. The cursor remains open;
+// the client fetches again for more.
+type Batch struct {
+	Rows []storage.Row
+}
+
+// Done reports cursor exhaustion: the total row count and the execution's
+// final work counters. The server closes the cursor before replying, so
+// no CloseCursor is needed after Done.
+type Done struct {
+	RowsOut uint64
+	Stats   exec.Stats
+}
+
+// Exec runs a statement to completion server-side (DDL, or any statement
+// whose rows the client does not want streamed).
+type Exec struct {
+	StmtID uint64
+	SQL    string
+	Params []sqltypes.Value
+}
+
+// ExecOK reports a completed Exec.
+type ExecOK struct {
+	RowsOut uint64
+}
+
+// Cancel kills the query with the given registry ID. It travels on its
+// own connection (see the package comment) and is answered by KillOK.
+type Cancel struct {
+	QueryID int64
+}
+
+// KillOK reports whether Cancel found a matching active query.
+type KillOK struct {
+	Found bool
+}
+
+// CloseCursor abandons a cursor before exhaustion.
+type CloseCursor struct {
+	CursorID uint64
+}
+
+// CloseStmt discards a prepared statement handle.
+type CloseStmt struct {
+	StmtID uint64
+}
+
+// CloseOK acknowledges CloseCursor or CloseStmt.
+type CloseOK struct{}
+
+// Status asks for a server health snapshot.
+type Status struct{}
+
+// StatusOK is the server health snapshot. HeapAlloc is the live Go heap
+// in bytes — the server-smoke benchmark polls it mid-stream to prove the
+// server never materializes a full result.
+type StatusOK struct {
+	HeapAlloc     uint64
+	TotalAlloc    uint64
+	NumGoroutine  uint32
+	Sessions      uint32
+	OpenCursors   uint32
+	ActiveQueries uint32
+}
+
+// Ping is a liveness probe; Pong answers it.
+type Ping struct{}
+
+// Pong answers Ping.
+type Pong struct{}
+
+func (*Hello) msgType() byte       { return typeHello }
+func (*HelloOK) msgType() byte     { return typeHelloOK }
+func (*Prepare) msgType() byte     { return typePrepare }
+func (*PrepareOK) msgType() byte   { return typePrepareOK }
+func (*Execute) msgType() byte     { return typeExecute }
+func (*ExecuteOK) msgType() byte   { return typeExecuteOK }
+func (*Fetch) msgType() byte       { return typeFetch }
+func (*Batch) msgType() byte       { return typeBatch }
+func (*Done) msgType() byte        { return typeDone }
+func (*Exec) msgType() byte        { return typeExec }
+func (*ExecOK) msgType() byte      { return typeExecOK }
+func (*Cancel) msgType() byte      { return typeCancel }
+func (*KillOK) msgType() byte      { return typeKillOK }
+func (*CloseCursor) msgType() byte { return typeCloseCursor }
+func (*CloseStmt) msgType() byte   { return typeCloseStmt }
+func (*CloseOK) msgType() byte     { return typeCloseOK }
+func (*Status) msgType() byte      { return typeStatus }
+func (*StatusOK) msgType() byte    { return typeStatusOK }
+func (*Ping) msgType() byte        { return typePing }
+func (*Pong) msgType() byte        { return typePong }
+func (*Error) msgType() byte       { return typeError }
+
+func (m *Hello) encode(e *enc) {
+	e.uvarint(uint64(m.Version))
+	e.strs(m.Options)
+}
+
+func (m *HelloOK) encode(e *enc) {
+	e.uvarint(uint64(m.Version))
+	e.str(m.ServerName)
+}
+
+func (m *Prepare) encode(e *enc) {
+	e.str(m.SQL)
+}
+
+func (m *PrepareOK) encode(e *enc) {
+	e.uvarint(m.StmtID)
+	e.uvarint(uint64(m.NumParams))
+	e.strs(m.Columns)
+}
+
+func (m *Execute) encode(e *enc) {
+	e.uvarint(m.StmtID)
+	e.str(m.SQL)
+	e.values(m.Params)
+}
+
+func (m *ExecuteOK) encode(e *enc) {
+	e.uvarint(m.CursorID)
+	e.varint(m.QueryID)
+	e.strs(m.Columns)
+}
+
+func (m *Fetch) encode(e *enc) {
+	e.uvarint(m.CursorID)
+	e.uvarint(uint64(m.MaxRows))
+}
+
+func (m *Batch) encode(e *enc) {
+	e.rows(m.Rows)
+}
+
+func (m *Done) encode(e *enc) {
+	e.uvarint(m.RowsOut)
+	encodeStats(e, m.Stats)
+}
+
+func (m *Exec) encode(e *enc) {
+	e.uvarint(m.StmtID)
+	e.str(m.SQL)
+	e.values(m.Params)
+}
+
+func (m *ExecOK) encode(e *enc) {
+	e.uvarint(m.RowsOut)
+}
+
+func (m *Cancel) encode(e *enc) {
+	e.varint(m.QueryID)
+}
+
+func (m *KillOK) encode(e *enc) {
+	e.bool(m.Found)
+}
+
+func (m *CloseCursor) encode(e *enc) {
+	e.uvarint(m.CursorID)
+}
+
+func (m *CloseStmt) encode(e *enc) {
+	e.uvarint(m.StmtID)
+}
+
+func (*CloseOK) encode(*enc) {}
+
+func (*Status) encode(*enc) {}
+
+func (m *StatusOK) encode(e *enc) {
+	e.uvarint(m.HeapAlloc)
+	e.uvarint(m.TotalAlloc)
+	e.uvarint(uint64(m.NumGoroutine))
+	e.uvarint(uint64(m.Sessions))
+	e.uvarint(uint64(m.OpenCursors))
+	e.uvarint(uint64(m.ActiveQueries))
+}
+
+func (*Ping) encode(*enc) {}
+
+func (*Pong) encode(*enc) {}
+
+func (m *Error) encode(e *enc) {
+	e.uvarint(uint64(m.Code))
+	e.str(m.Msg)
+}
+
+// encodeStats lays out the counters as varints in struct-field order.
+// Both peers compile from one source tree, so the order is the contract.
+func encodeStats(e *enc, s exec.Stats) {
+	e.varint(s.SubqueryInvocations)
+	e.varint(s.DistinctInvocations)
+	e.varint(s.MemoHits)
+	e.varint(s.BoxEvals)
+	e.varint(s.RowsScanned)
+	e.varint(s.IndexLookups)
+	e.varint(s.RowsJoined)
+	e.varint(s.RowsGrouped)
+	e.varint(s.HashBuilds)
+	e.varint(s.CSERecomputes)
+}
+
+func decodeStats(d *dec) exec.Stats {
+	return exec.Stats{
+		SubqueryInvocations: d.varint(),
+		DistinctInvocations: d.varint(),
+		MemoHits:            d.varint(),
+		BoxEvals:            d.varint(),
+		RowsScanned:         d.varint(),
+		IndexLookups:        d.varint(),
+		RowsJoined:          d.varint(),
+		RowsGrouped:         d.varint(),
+		HashBuilds:          d.varint(),
+		CSERecomputes:       d.varint(),
+	}
+}
+
+// Write encodes m and writes it as one frame.
+func Write(w io.Writer, m Message) error {
+	var e enc
+	m.encode(&e)
+	return writeFrame(w, m.msgType(), e.buf)
+}
+
+// Read reads one frame and decodes it into its message type. Protocol
+// state (who may send what, and when) is the caller's to enforce.
+func Read(r io.Reader) (Message, error) {
+	t, payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{buf: payload}
+	var m Message
+	switch t {
+	case typeHello:
+		m = &Hello{Version: uint32(d.uvarint()), Options: d.strs()}
+	case typeHelloOK:
+		m = &HelloOK{Version: uint32(d.uvarint()), ServerName: d.str()}
+	case typePrepare:
+		m = &Prepare{SQL: d.str()}
+	case typePrepareOK:
+		m = &PrepareOK{StmtID: d.uvarint(), NumParams: uint32(d.uvarint()), Columns: d.strs()}
+	case typeExecute:
+		m = &Execute{StmtID: d.uvarint(), SQL: d.str(), Params: d.values()}
+	case typeExecuteOK:
+		m = &ExecuteOK{CursorID: d.uvarint(), QueryID: d.varint(), Columns: d.strs()}
+	case typeFetch:
+		m = &Fetch{CursorID: d.uvarint(), MaxRows: uint32(d.uvarint())}
+	case typeBatch:
+		m = &Batch{Rows: d.rows()}
+	case typeDone:
+		m = &Done{RowsOut: d.uvarint(), Stats: decodeStats(d)}
+	case typeExec:
+		m = &Exec{StmtID: d.uvarint(), SQL: d.str(), Params: d.values()}
+	case typeExecOK:
+		m = &ExecOK{RowsOut: d.uvarint()}
+	case typeCancel:
+		m = &Cancel{QueryID: d.varint()}
+	case typeKillOK:
+		m = &KillOK{Found: d.bool()}
+	case typeCloseCursor:
+		m = &CloseCursor{CursorID: d.uvarint()}
+	case typeCloseStmt:
+		m = &CloseStmt{StmtID: d.uvarint()}
+	case typeCloseOK:
+		m = &CloseOK{}
+	case typeStatus:
+		m = &Status{}
+	case typeStatusOK:
+		m = &StatusOK{
+			HeapAlloc:     d.uvarint(),
+			TotalAlloc:    d.uvarint(),
+			NumGoroutine:  uint32(d.uvarint()),
+			Sessions:      uint32(d.uvarint()),
+			OpenCursors:   uint32(d.uvarint()),
+			ActiveQueries: uint32(d.uvarint()),
+		}
+	case typePing:
+		m = &Ping{}
+	case typePong:
+		m = &Pong{}
+	case typeError:
+		m = &Error{Code: ErrorCode(d.uvarint()), Msg: d.str()}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type 0x%02x", t)
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("%w (message type 0x%02x)", err, t)
+	}
+	return m, nil
+}

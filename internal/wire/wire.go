@@ -1,0 +1,329 @@
+// Package wire implements decorrd's client/server protocol: a
+// length-prefixed binary framing, a tagged value codec over the engine's
+// SQL value domain, and the message vocabulary of the remote query
+// lifecycle (handshake, prepare, execute, fetch, cancel).
+//
+// Framing. Every frame is
+//
+//	uint32 big-endian length  |  1 type byte  |  payload
+//
+// where length counts the type byte plus the payload, so a frame reader
+// needs exactly one length read and one body read. Frames are capped at
+// MaxFrame; a peer announcing a larger frame is broken or hostile and the
+// connection is abandoned rather than the length trusted.
+//
+// Flow control is strict request/response: the client sends one request
+// frame and reads exactly one reply frame. Result sets never stream
+// unsolicited — the client pulls each batch with a Fetch, which is what
+// bounds both peers' memory to one batch regardless of result size.
+// Cancellation is therefore out-of-band, Postgres style: a Cancel frame
+// travels on a separate short-lived connection carrying the target query
+// ID, because the primary connection is (by protocol) blocked inside a
+// request/reply exchange.
+//
+// Values are tagged per sqltypes.Kind: nulls are a bare tag, integers are
+// zigzag varints, floats are 8 fixed bytes of IEEE bits, strings are
+// length-prefixed. The codec round-trips exactly (NaN bits included) —
+// the differential tests compare server-side and client-side rows for
+// byte equality.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// MaxFrame caps one frame's encoded size (type byte + payload). It is far
+// above anything the protocol produces — result batches are bounded by
+// the fetch size — and exists so a corrupt or malicious length prefix
+// cannot drive an arbitrarily large allocation.
+const MaxFrame = 16 << 20
+
+// writeFrame emits one frame: length prefix, type byte, payload.
+func writeFrame(w io.Writer, t byte, payload []byte) error {
+	n := len(payload) + 1
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", n)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(n))
+	hdr[4] = t
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, returning its type byte and payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// enc builds a message payload. Append-only; errors are impossible until
+// the frame write, so the methods have no error returns.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u8(b byte)    { e.buf = append(e.buf, b) }
+func (e *enc) bool(b bool)  { e.buf = append(e.buf, boolByte(b)) }
+func (e *enc) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+func (e *enc) varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+func (e *enc) f64(f float64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *enc) strs(ss []string) {
+	e.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Value tags. Each value on the wire is one tag byte plus a
+// kind-dependent payload.
+const (
+	tagNull  = 'n'
+	tagInt   = 'i'
+	tagFloat = 'f'
+	tagStr   = 's'
+	tagTrue  = 'T'
+	tagFalse = 'F'
+)
+
+func (e *enc) value(v sqltypes.Value) {
+	switch v.K {
+	case sqltypes.KindNull:
+		e.u8(tagNull)
+	case sqltypes.KindInt:
+		e.u8(tagInt)
+		e.varint(v.I)
+	case sqltypes.KindFloat:
+		e.u8(tagFloat)
+		e.f64(v.F)
+	case sqltypes.KindString:
+		e.u8(tagStr)
+		e.str(v.S)
+	case sqltypes.KindBool:
+		if v.B {
+			e.u8(tagTrue)
+		} else {
+			e.u8(tagFalse)
+		}
+	default:
+		// Unknown kinds cannot arise from the engine; encode as NULL so a
+		// future kind degrades visibly rather than corrupting the frame.
+		e.u8(tagNull)
+	}
+}
+
+func (e *enc) values(vs []sqltypes.Value) {
+	e.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.value(v)
+	}
+}
+
+func (e *enc) rows(rows []storage.Row) {
+	e.uvarint(uint64(len(rows)))
+	for _, r := range rows {
+		e.values(r)
+	}
+}
+
+// dec consumes a message payload. The first malformed read latches err
+// and every later read returns zero values, so decode functions can run
+// straight-line and check err once at the end.
+type dec struct {
+	buf []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail("truncated payload")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail("truncated string of %d bytes", n)
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *dec) strs() []string {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.buf)) { // each string costs ≥ 1 byte
+		d.fail("string count %d exceeds payload", n)
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+func (d *dec) value() sqltypes.Value {
+	switch t := d.u8(); t {
+	case tagNull:
+		return sqltypes.Null
+	case tagInt:
+		return sqltypes.NewInt(d.varint())
+	case tagFloat:
+		return sqltypes.NewFloat(d.f64())
+	case tagStr:
+		return sqltypes.NewString(d.str())
+	case tagTrue:
+		return sqltypes.NewBool(true)
+	case tagFalse:
+		return sqltypes.NewBool(false)
+	default:
+		if d.err == nil {
+			d.fail("unknown value tag %q", t)
+		}
+		return sqltypes.Null
+	}
+}
+
+func (d *dec) values() []sqltypes.Value {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.buf)) { // each value costs ≥ 1 byte
+		d.fail("value count %d exceeds payload", n)
+		return nil
+	}
+	out := make([]sqltypes.Value, n)
+	for i := range out {
+		out[i] = d.value()
+	}
+	return out
+}
+
+func (d *dec) rows() []storage.Row {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("row count %d exceeds payload", n)
+		return nil
+	}
+	out := make([]storage.Row, n)
+	for i := range out {
+		out[i] = d.values()
+	}
+	return out
+}
+
+// done checks that the payload was consumed exactly. Trailing bytes mean
+// the peer speaks a different dialect; failing loudly beats silently
+// ignoring fields.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in payload", len(d.buf))
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"decorr/internal/exec"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// roundtrip writes m as a frame and reads it back.
+func roundtrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write(%T): %v", m, err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read(%T): %v", m, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%T: %d bytes left after one frame", m, buf.Len())
+	}
+	return got
+}
+
+func TestMessageRoundtrip(t *testing.T) {
+	stats := exec.Stats{
+		SubqueryInvocations: 3954, DistinctInvocations: 2138, MemoHits: 7,
+		BoxEvals: 12, RowsScanned: 1 << 40, IndexLookups: 5, RowsJoined: 99,
+		RowsGrouped: 4, HashBuilds: 2, CSERecomputes: 1,
+	}
+	msgs := []Message{
+		&Hello{Version: Version, Options: []string{"strategy", "auto", "workers", "4"}},
+		&Hello{Version: Version},
+		&HelloOK{Version: Version, ServerName: "decorrd/test"},
+		&Prepare{SQL: "select name from dept where budget > ?"},
+		&PrepareOK{StmtID: 7, NumParams: 1, Columns: []string{"name"}},
+		&PrepareOK{StmtID: 8}, // DDL shape: no columns
+		&Execute{StmtID: 7, Params: []sqltypes.Value{sqltypes.NewInt(100)}},
+		&Execute{SQL: "select 1 from dept"},
+		&ExecuteOK{CursorID: 3, QueryID: 41, Columns: []string{"name", "budget"}},
+		&ExecuteOK{CursorID: 3, QueryID: 0, Columns: []string{"?column?"}},
+		&Fetch{CursorID: 3, MaxRows: 1024},
+		&Batch{Rows: []storage.Row{
+			{sqltypes.NewString("eng"), sqltypes.NewInt(-12)},
+			{sqltypes.Null, sqltypes.NewFloat(2.5)},
+		}},
+		&Done{RowsOut: 1_000_000, Stats: stats},
+		&Done{},
+		&Exec{SQL: "create view v as select name from dept"},
+		&ExecOK{RowsOut: 0},
+		&Cancel{QueryID: 41},
+		&KillOK{Found: true},
+		&KillOK{Found: false},
+		&CloseCursor{CursorID: 3},
+		&CloseStmt{StmtID: 7},
+		&CloseOK{},
+		&Status{},
+		&StatusOK{HeapAlloc: 1 << 30, TotalAlloc: 1 << 33, NumGoroutine: 12, Sessions: 2, OpenCursors: 1, ActiveQueries: 1},
+		&Ping{},
+		&Pong{},
+		&Error{Code: CodeRowBudget, Msg: "exec: row budget exceeded"},
+	}
+	for _, m := range msgs {
+		got := roundtrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("roundtrip %T:\n got %+v\nwant %+v", m, got, m)
+		}
+	}
+}
+
+// Values must round-trip exactly, including the bit patterns the string
+// form would lose.
+func TestValueCodecExact(t *testing.T) {
+	values := []sqltypes.Value{
+		sqltypes.Null,
+		sqltypes.NewInt(0),
+		sqltypes.NewInt(math.MaxInt64),
+		sqltypes.NewInt(math.MinInt64),
+		sqltypes.NewFloat(0),
+		sqltypes.NewFloat(math.Copysign(0, -1)),
+		sqltypes.NewFloat(math.Inf(1)),
+		sqltypes.NewFloat(math.Inf(-1)),
+		sqltypes.NewFloat(math.NaN()),
+		sqltypes.NewFloat(1e-300),
+		sqltypes.NewString(""),
+		sqltypes.NewString("héllo\x00world"),
+		sqltypes.NewString(strings.Repeat("x", 1<<16)),
+		sqltypes.NewBool(true),
+		sqltypes.NewBool(false),
+	}
+	got := roundtrip(t, &Batch{Rows: []storage.Row{values}}).(*Batch)
+	if len(got.Rows) != 1 || len(got.Rows[0]) != len(values) {
+		t.Fatalf("shape mismatch: %v", got.Rows)
+	}
+	for i, want := range values {
+		v := got.Rows[0][i]
+		if v.K != want.K || v.I != want.I || v.S != want.S || v.B != want.B ||
+			math.Float64bits(v.F) != math.Float64bits(want.F) {
+			t.Errorf("value %d: got %#v, want %#v", i, v, want)
+		}
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	// Oversized length prefix: rejected before allocating.
+	var buf bytes.Buffer
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("oversized frame: got %v", err)
+	}
+
+	// Zero-length frame (no room for the type byte).
+	buf.Reset()
+	buf.Write(make([]byte, 5))
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("zero-length frame: got %v", err)
+	}
+
+	// Truncated body.
+	buf.Reset()
+	if err := Write(&buf, &Prepare{SQL: "select 1 from dept"}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	if _, err := Read(trunc); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated body: got %v", err)
+	}
+
+	// Unknown type byte.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:4], 1)
+	hdr[4] = 0xee
+	buf.Write(hdr[:])
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "unknown message type") {
+		t.Errorf("unknown type: got %v", err)
+	}
+
+	// Trailing bytes in an otherwise valid payload.
+	buf.Reset()
+	payload := []byte{1, 0xff} // Ping carries no payload
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typePing
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "trailing bytes") {
+		t.Errorf("trailing bytes: got %v", err)
+	}
+
+	// Hostile count prefix: a Batch claiming 2^50 rows in a tiny payload
+	// must fail without attempting the allocation.
+	buf.Reset()
+	var e enc
+	e.uvarint(1 << 50)
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(e.buf)+1))
+	hdr[4] = typeBatch
+	buf.Write(hdr[:])
+	buf.Write(e.buf)
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "exceeds payload") {
+		t.Errorf("hostile row count: got %v", err)
+	}
+}
+
+// The sentinel mapping must hold in both directions so typed governance
+// errors survive the network: server classifies with CodeOf, client
+// matches with errors.Is.
+func TestRemoteErrorSentinels(t *testing.T) {
+	cases := []struct {
+		err      error
+		code     ErrorCode
+		sentinel error
+	}{
+		{exec.ErrCanceled, CodeCanceled, exec.ErrCanceled},
+		{exec.ErrDeadlineExceeded, CodeDeadline, exec.ErrDeadlineExceeded},
+		{fmt.Errorf("%w: 10 output rows over budget 5", exec.ErrRowBudget), CodeRowBudget, exec.ErrRowBudget},
+		{exec.ErrMemBudget, CodeMemBudget, exec.ErrMemBudget},
+		{&exec.PanicError{Val: "boom"}, CodePanic, exec.ErrPanic},
+		{errors.New("parse error"), CodeInternal, nil},
+	}
+	for _, tc := range cases {
+		we := ToError(tc.err)
+		if we.Code != tc.code {
+			t.Errorf("CodeOf(%v) = %d, want %d", tc.err, we.Code, tc.code)
+			continue
+		}
+		// Across the wire: encode, decode, then match.
+		got := roundtrip(t, we).(*Error)
+		if tc.sentinel != nil && !errors.Is(got, tc.sentinel) {
+			t.Errorf("decoded %v does not match sentinel %v", got, tc.sentinel)
+		}
+		if tc.sentinel == nil {
+			for _, s := range []error{exec.ErrCanceled, exec.ErrDeadlineExceeded, exec.ErrRowBudget, exec.ErrMemBudget, exec.ErrPanic} {
+				if errors.Is(got, s) {
+					t.Errorf("internal error %v spuriously matches %v", got, s)
+				}
+			}
+		}
+	}
+	// ToError preserves an existing wire error rather than reclassifying.
+	orig := &Error{Code: CodeUnavailable, Msg: "too many sessions"}
+	if got := ToError(fmt.Errorf("wrapped: %w", orig)); got.Code != CodeUnavailable {
+		t.Errorf("ToError reclassified a wire error: %+v", got)
+	}
+}
