@@ -184,6 +184,104 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkFigureRowVsColumnar pits the vectorized executor against the
+// row-at-a-time path on every Figure 5–9 workload at workers=1 (no
+// parallelism — the ratio is pure batch-execution gain). The row and
+// columnar sub-benchmarks carry allocs/op so the allocation reduction is
+// visible next to the time; the speedup sub-benchmark interleaves both
+// engines in one timed loop and reports the wall-clock ratio, verifying
+// on the first iteration that the two paths produce identical rows in
+// identical order. make bench-smoke lands all three in BENCH_exec.json.
+func BenchmarkFigureRowVsColumnar(b *testing.B) {
+	figures := []struct {
+		name, sql string
+		db        func() *decorr.DB
+	}{
+		{"Figure5", decorr.Query1, tpcdOnce},
+		{"Figure6", decorr.Query1b, tpcdOnce},
+		{"Figure7", decorr.Query1b, tpcdNoIndexOnce},
+		{"Figure8", decorr.Query2, tpcdOnce},
+		{"Figure9", decorr.Query3, tpcdOnce},
+	}
+	prep := func(b *testing.B, db *decorr.DB, sql string, rowMode bool) *decorr.Prepared {
+		e := decorr.NewEngine(db)
+		e.Workers = 1
+		e.RowMode = rowMode
+		p, err := e.Prepare(sql, decorr.Magic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	for _, fig := range figures {
+		b.Run(fig.name+"/row", func(b *testing.B) {
+			p := prep(b, fig.db(), fig.sql, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fig.name+"/columnar", func(b *testing.B) {
+			p := prep(b, fig.db(), fig.sql, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fig.name+"/speedup", func(b *testing.B) {
+			db := fig.db()
+			pRow := prep(b, db, fig.sql, true)
+			pCol := prep(b, db, fig.sql, false)
+			rowRows, _, err := pRow.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			colRows, _, err := pCol.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rowRows) != len(colRows) {
+				b.Fatalf("row path produced %d rows, columnar %d", len(rowRows), len(colRows))
+			}
+			for i := range rowRows {
+				for j := range rowRows[i] {
+					if rowRows[i][j].String() != colRows[i][j].String() {
+						b.Fatalf("row %d col %d: row path %q, columnar %q",
+							i, j, rowRows[i][j], colRows[i][j])
+					}
+				}
+			}
+			var tRow, tCol time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				if _, _, err := pRow.Run(); err != nil {
+					b.Fatal(err)
+				}
+				tRow += time.Since(start)
+				// Collect outside the timed windows so one engine's garbage
+				// is not charged to the other's wall clock.
+				runtime.GC()
+				start = time.Now()
+				if _, _, err := pCol.Run(); err != nil {
+					b.Fatal(err)
+				}
+				tCol += time.Since(start)
+				runtime.GC()
+			}
+			if tCol > 0 {
+				b.ReportMetric(float64(tRow)/float64(tCol), "speedup/op")
+			}
+		})
+	}
+}
+
 // BenchmarkExampleQuery — the §2 running example under every strategy
 // (including Ganski/Wong, which applies to its single-table outer block).
 func BenchmarkExampleQuery(b *testing.B) {

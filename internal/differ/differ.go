@@ -31,8 +31,9 @@ type Variant struct {
 
 // Variants lists every configuration the harness checks: the five paper
 // strategies, the memoized baseline, Auto, the §4.4 decorrelation knobs,
-// the §5.3 CSE ablation, magic sets, and a cleanup rule toggle that
-// disables predicate pushdown and projection pruning.
+// the §5.3 CSE ablation, magic sets, a cleanup rule toggle that disables
+// predicate pushdown and projection pruning, and the rowmode pair that
+// pits the row-at-a-time executor against the vectorized oracle.
 func Variants() []Variant {
 	return []Variant{
 		{Name: "nimemo", Strategy: engine.NIMemo},
@@ -56,6 +57,14 @@ func Variants() []Variant {
 					return rewrite.NewCleanupWithout("push-predicates", "prune-projections")
 				}
 			}},
+		// The rowmode variants force the row-at-a-time executor; since the
+		// oracle runs with default knobs (vectorized engine on), every
+		// fuzzed statement cross-checks the columnar and row paths for
+		// bit-identical bags under both NI and decorrelated plan shapes.
+		{Name: "rowmode-ni", Strategy: engine.NI,
+			Configure: func(e *engine.Engine) { e.RowMode = true }},
+		{Name: "rowmode-magic", Strategy: engine.Magic,
+			Configure: func(e *engine.Engine) { e.RowMode = true }},
 	}
 }
 

@@ -111,6 +111,13 @@ type Engine struct {
 	// run, are deliberately absent from the plan-cache key, and a plan
 	// prepared under one deadline runs correctly under another.
 	Limits exec.Limits
+	// RowMode forces the row-at-a-time executor, disabling the vectorized
+	// columnar engine even for plans it supports. Rows, statistics, and
+	// errors are identical either way; the knob exists for benchmarking
+	// the two engines against each other and for bisecting a suspected
+	// vectorization bug. Like Limits it is execution-time policy, read at
+	// each run and absent from the plan-cache key.
+	RowMode bool
 	// Tracer, when non-nil, threads span/event tracing through the whole
 	// pipeline: parse, semant, every rewrite rule, decorrelation steps,
 	// and per-box execution. Nil disables tracing at zero cost. Attaching
@@ -656,6 +663,7 @@ func (p *Prepared) RunParamsContext(ctx context.Context, params []sqltypes.Value
 		Params:            params,
 		Ctx:               ctx,
 		Limits:            p.engine.Limits,
+		DisableColumnar:   p.engine.RowMode,
 	})
 	if aq != nil {
 		// Publish the live counters: workers bump them atomically, so

@@ -85,6 +85,7 @@ func (p *Prepared) StreamWithOpts(ctx context.Context, params []sqltypes.Value, 
 		Params:            params,
 		Ctx:               ctx,
 		Limits:            limits,
+		DisableColumnar:   p.engine.RowMode,
 	})
 	if s.aq != nil {
 		s.aq.stats.Store(&s.ex.Stats)

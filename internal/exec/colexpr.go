@@ -1,0 +1,783 @@
+// Vectorized expression evaluation. colEval and colEvalPred are the
+// columnar counterparts of EvalExpr and EvalPred: one dispatch per
+// expression node per batch instead of per row, with typed kernels for the
+// hot same-kind comparison and arithmetic cases and a boxed per-element
+// fallback (through the exact row-path helpers) everywhere else, so the
+// two engines compute identical values, identical three-valued logic, and
+// identical error values.
+//
+// Evaluation order within one predicate is vector-major: the left operand
+// evaluates over the whole chunk before the right. Which of several
+// co-occurring expression errors surfaces first can therefore differ from
+// the row-major interpreter — the same documented divergence class as the
+// streaming modes — but per-row short-circuiting (AND skips the right side
+// where the left is FALSE, CASE evaluates a result only where its
+// condition is TRUE) is preserved exactly by evaluating each sub-tree over
+// the narrowed index subset, so vectorization never evaluates an
+// expression the row engine would have skipped.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"decorr/internal/colvec"
+	"decorr/internal/qgm"
+	"decorr/internal/sqltypes"
+)
+
+// colExprOK reports whether the vectorized engine supports every node of
+// e. Aggregates never appear in select boxes; unknown functions decline so
+// the row path produces its per-row error.
+func colExprOK(e qgm.Expr) bool {
+	ok := true
+	qgm.Walk(e, func(x qgm.Expr) bool {
+		switch f := x.(type) {
+		case *qgm.Agg:
+			ok = false
+		case *qgm.Func:
+			if f.Name != "coalesce" && f.Name != "abs" {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// colEval evaluates e over the batch rows at the physical indices idx,
+// returning a dense vector aligned with idx. Outer (correlated) column
+// references resolve through env and broadcast.
+func (ex *Exec) colEval(e qgm.Expr, b *colBatch, idx []int32, env *Env) (colvec.Vec, error) {
+	switch x := e.(type) {
+	case *qgm.ColRef:
+		if qi := b.quantIdx(x.Q); qi >= 0 {
+			vecs := b.cols[qi]
+			if x.Col >= len(vecs) {
+				return colvec.Vec{}, fmt.Errorf("exec: column %d out of range for %s (row width %d)",
+					x.Col, x.Q.Name(), len(vecs))
+			}
+			return vecs[x.Col].GatherVia(idx, b.rowMap(qi)), nil
+		}
+		row, ok := env.Get(x.Q)
+		if !ok {
+			return colvec.Vec{}, fmt.Errorf("exec: unbound quantifier %s", x.Q.Name())
+		}
+		if x.Col >= len(row) {
+			return colvec.Vec{}, fmt.Errorf("exec: column %d out of range for %s (row width %d)",
+				x.Col, x.Q.Name(), len(row))
+		}
+		return colvec.Broadcast(row[x.Col], len(idx)), nil
+	case *qgm.Const:
+		return colvec.Broadcast(x.V, len(idx)), nil
+	case *qgm.Param:
+		if x.Idx < 0 || x.Idx >= len(ex.opts.Params) {
+			return colvec.Vec{}, fmt.Errorf("exec: parameter ?%d not bound (%d values supplied)",
+				x.Idx+1, len(ex.opts.Params))
+		}
+		return colvec.Broadcast(ex.opts.Params[x.Idx], len(idx)), nil
+	case *qgm.Bin:
+		switch x.Op {
+		case qgm.OpAdd, qgm.OpSub, qgm.OpMul, qgm.OpDiv:
+			if s, ok, err := ex.colScalar(x.R, b, env); ok {
+				if err != nil {
+					return colvec.Vec{}, err
+				}
+				l, err := ex.colEval(x.L, b, idx, env)
+				if err != nil {
+					return colvec.Vec{}, err
+				}
+				return colArithScalar(x.Op, &l, s, false)
+			}
+			if s, ok, err := ex.colScalar(x.L, b, env); ok {
+				if err != nil {
+					return colvec.Vec{}, err
+				}
+				r, err := ex.colEval(x.R, b, idx, env)
+				if err != nil {
+					return colvec.Vec{}, err
+				}
+				return colArithScalar(x.Op, &r, s, true)
+			}
+			l, err := ex.colEval(x.L, b, idx, env)
+			if err != nil {
+				return colvec.Vec{}, err
+			}
+			r, err := ex.colEval(x.R, b, idx, env)
+			if err != nil {
+				return colvec.Vec{}, err
+			}
+			return colArith(x.Op, &l, &r)
+		}
+		return ex.colPredValue(e, b, idx, env)
+	case *qgm.Not, *qgm.IsNull, *qgm.Like:
+		return ex.colPredValue(e, b, idx, env)
+	case *qgm.Func:
+		return ex.colFunc(x, b, idx, env)
+	case *qgm.Case:
+		return ex.colCase(x, b, idx, env)
+	case *qgm.Agg:
+		return colvec.Vec{}, fmt.Errorf("exec: aggregate evaluated outside a group box")
+	}
+	return colvec.Vec{}, fmt.Errorf("exec: unknown expression %T", e)
+}
+
+// colPredValue evaluates a predicate used in value position (row path:
+// EvalExpr falling through to EvalPred + triValue).
+func (ex *Exec) colPredValue(e qgm.Expr, b *colBatch, idx []int32, env *Env) (colvec.Vec, error) {
+	tris, err := ex.colEvalPred(e, b, idx, env)
+	if err != nil {
+		return colvec.Vec{}, err
+	}
+	out := make([]sqltypes.Value, len(tris))
+	for i, t := range tris {
+		out[i] = triValue(t)
+	}
+	return colvec.FromValues(out), nil
+}
+
+func (ex *Exec) colFunc(f *qgm.Func, b *colBatch, idx []int32, env *Env) (colvec.Vec, error) {
+	args := make([]colvec.Vec, len(f.Args))
+	for i, a := range f.Args {
+		v, err := ex.colEval(a, b, idx, env)
+		if err != nil {
+			return colvec.Vec{}, err
+		}
+		args[i] = v
+	}
+	switch f.Name {
+	case "coalesce":
+		out := make([]sqltypes.Value, len(idx))
+		scratch := make([]sqltypes.Value, len(args))
+		for k := range idx {
+			for ai := range args {
+				scratch[ai] = args[ai].Value(k)
+			}
+			out[k] = sqltypes.Coalesce(scratch...)
+		}
+		return colvec.FromValues(out), nil
+	case "abs":
+		if len(args) != 1 {
+			return colvec.Vec{}, fmt.Errorf("exec: abs takes one argument")
+		}
+		a := &args[0]
+		if a.Mixed == nil && a.K == sqltypes.KindInt {
+			out := make([]int64, len(idx))
+			for k, x := range a.Ints {
+				if x < 0 {
+					x = -x
+				}
+				out[k] = x
+			}
+			v := colvec.FromInts(out)
+			v.Nulls = a.Nulls
+			return v, nil
+		}
+		out := make([]sqltypes.Value, len(idx))
+		for k := range idx {
+			x := a.Value(k)
+			switch x.K {
+			case sqltypes.KindNull:
+				out[k] = sqltypes.Null
+			case sqltypes.KindInt:
+				if x.I < 0 {
+					x = sqltypes.NewInt(-x.I)
+				}
+				out[k] = x
+			case sqltypes.KindFloat:
+				if x.F < 0 {
+					x = sqltypes.NewFloat(-x.F)
+				}
+				out[k] = x
+			default:
+				return colvec.Vec{}, fmt.Errorf("exec: abs of %s", x.K)
+			}
+		}
+		return colvec.FromValues(out), nil
+	}
+	return colvec.Vec{}, fmt.Errorf("exec: unknown function %q", f.Name)
+}
+
+// colCase evaluates CASE with per-row laziness: each WHEN condition is
+// evaluated only over rows no earlier branch matched, and each result only
+// over the rows its condition made TRUE — exactly the rows the interpreter
+// would evaluate.
+func (ex *Exec) colCase(x *qgm.Case, b *colBatch, idx []int32, env *Env) (colvec.Vec, error) {
+	out := make([]sqltypes.Value, len(idx))
+	remaining := idx
+	remPos := make([]int, len(idx)) // position of remaining[k] in out
+	for i := range remPos {
+		remPos[i] = i
+	}
+	assign := func(sub []int32, pos []int, e qgm.Expr) error {
+		if len(sub) == 0 {
+			return nil
+		}
+		v, err := ex.colEval(e, b, sub, env)
+		if err != nil {
+			return err
+		}
+		for k := range sub {
+			out[pos[k]] = v.Value(k)
+		}
+		return nil
+	}
+	for _, w := range x.Whens {
+		if len(remaining) == 0 {
+			break
+		}
+		tris, err := ex.colEvalPred(w.Cond, b, remaining, env)
+		if err != nil {
+			return colvec.Vec{}, err
+		}
+		var hit []int32
+		var hitPos []int
+		var rest []int32
+		var restPos []int
+		for k, t := range tris {
+			if t == sqltypes.True {
+				hit = append(hit, remaining[k])
+				hitPos = append(hitPos, remPos[k])
+			} else {
+				rest = append(rest, remaining[k])
+				restPos = append(restPos, remPos[k])
+			}
+		}
+		if err := assign(hit, hitPos, w.Result); err != nil {
+			return colvec.Vec{}, err
+		}
+		remaining, remPos = rest, restPos
+	}
+	if x.Else != nil {
+		if err := assign(remaining, remPos, x.Else); err != nil {
+			return colvec.Vec{}, err
+		}
+	} else {
+		for _, p := range remPos {
+			out[p] = sqltypes.Null
+		}
+	}
+	return colvec.FromValues(out), nil
+}
+
+// colEvalPred evaluates a predicate over the batch rows at idx in SQL
+// three-valued logic, returning one Tri per index.
+func (ex *Exec) colEvalPred(e qgm.Expr, b *colBatch, idx []int32, env *Env) ([]sqltypes.Tri, error) {
+	switch x := e.(type) {
+	case *qgm.Bin:
+		switch x.Op {
+		case qgm.OpAnd:
+			return ex.colAndOr(x, b, idx, env, true)
+		case qgm.OpOr:
+			return ex.colAndOr(x, b, idx, env, false)
+		}
+		if x.Op.IsComparison() {
+			if s, ok, err := ex.colScalar(x.R, b, env); ok {
+				if err != nil {
+					return nil, err
+				}
+				l, err := ex.colEval(x.L, b, idx, env)
+				if err != nil {
+					return nil, err
+				}
+				return colCompareScalar(x.Op, &l, s, false), nil
+			}
+			if s, ok, err := ex.colScalar(x.L, b, env); ok {
+				if err != nil {
+					return nil, err
+				}
+				r, err := ex.colEval(x.R, b, idx, env)
+				if err != nil {
+					return nil, err
+				}
+				return colCompareScalar(x.Op, &r, s, true), nil
+			}
+			l, err := ex.colEval(x.L, b, idx, env)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ex.colEval(x.R, b, idx, env)
+			if err != nil {
+				return nil, err
+			}
+			return colCompare(x.Op, &l, &r), nil
+		}
+		return nil, fmt.Errorf("exec: %s is not a predicate", x.Op)
+	case *qgm.Not:
+		tris, err := ex.colEvalPred(x.E, b, idx, env)
+		if err != nil {
+			return nil, err
+		}
+		for i := range tris {
+			tris[i] = tris[i].Not()
+		}
+		return tris, nil
+	case *qgm.IsNull:
+		v, err := ex.colEval(x.E, b, idx, env)
+		if err != nil {
+			return nil, err
+		}
+		tris := make([]sqltypes.Tri, len(idx))
+		for k := range idx {
+			res := v.IsNull(k)
+			if x.Negate {
+				res = !res
+			}
+			tris[k] = sqltypes.TriOf(res)
+		}
+		return tris, nil
+	case *qgm.Like:
+		v, err := ex.colEval(x.E, b, idx, env)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ex.colEval(x.Pattern, b, idx, env)
+		if err != nil {
+			return nil, err
+		}
+		tris := make([]sqltypes.Tri, len(idx))
+		for k := range idx {
+			t := sqltypes.Like(v.Value(k), p.Value(k))
+			if x.Negate {
+				t = t.Not()
+			}
+			tris[k] = t
+		}
+		return tris, nil
+	case *qgm.Const:
+		if x.V.IsNull() {
+			return fillTri(len(idx), sqltypes.Unknown), nil
+		}
+		if x.V.K == sqltypes.KindBool {
+			return fillTri(len(idx), sqltypes.TriOf(x.V.B)), nil
+		}
+		return nil, fmt.Errorf("exec: non-boolean constant %s used as predicate", x.V)
+	case *qgm.ColRef, *qgm.Case, *qgm.Func, *qgm.Param:
+		v, err := ex.colEval(x, b, idx, env)
+		if err != nil {
+			return nil, err
+		}
+		tris := make([]sqltypes.Tri, len(idx))
+		for k := range idx {
+			val := v.Value(k)
+			switch {
+			case val.IsNull():
+				tris[k] = sqltypes.Unknown
+			case val.K == sqltypes.KindBool:
+				tris[k] = sqltypes.TriOf(val.B)
+			default:
+				return nil, fmt.Errorf("exec: non-boolean value used as predicate")
+			}
+		}
+		return tris, nil
+	}
+	return nil, fmt.Errorf("exec: unknown predicate %T", e)
+}
+
+// colAndOr evaluates AND/OR with the interpreter's short-circuiting: the
+// right side evaluates only over rows the left side did not decide.
+func (ex *Exec) colAndOr(x *qgm.Bin, b *colBatch, idx []int32, env *Env, isAnd bool) ([]sqltypes.Tri, error) {
+	l, err := ex.colEvalPred(x.L, b, idx, env)
+	if err != nil {
+		return nil, err
+	}
+	short := sqltypes.False
+	if !isAnd {
+		short = sqltypes.True
+	}
+	n := 0
+	for _, t := range l {
+		if t != short {
+			n++
+		}
+	}
+	if n == 0 {
+		return l, nil
+	}
+	if n == len(l) {
+		// Nothing short-circuited: evaluate the right side over the same
+		// index list and combine in place, no subset copies.
+		r, err := ex.colEvalPred(x.R, b, idx, env)
+		if err != nil {
+			return nil, err
+		}
+		for k := range l {
+			if isAnd {
+				l[k] = l[k].And(r[k])
+			} else {
+				l[k] = l[k].Or(r[k])
+			}
+		}
+		return l, nil
+	}
+	sub := make([]int32, 0, n)
+	subPos := make([]int, 0, n)
+	for k, t := range l {
+		if t != short {
+			sub = append(sub, idx[k])
+			subPos = append(subPos, k)
+		}
+	}
+	r, err := ex.colEvalPred(x.R, b, sub, env)
+	if err != nil {
+		return nil, err
+	}
+	for k, pos := range subPos {
+		if isAnd {
+			l[pos] = l[pos].And(r[k])
+		} else {
+			l[pos] = l[pos].Or(r[k])
+		}
+	}
+	return l, nil
+}
+
+func fillTri(n int, t sqltypes.Tri) []sqltypes.Tri {
+	tris := make([]sqltypes.Tri, n)
+	for i := range tris {
+		tris[i] = t
+	}
+	return tris
+}
+
+// colCompare compares two aligned vectors elementwise under op. Typed
+// same-kind null-free inputs take tight loops; everything else goes
+// through the row path's comparePred on boxed elements.
+func colCompare(op qgm.Op, l, r *colvec.Vec) []sqltypes.Tri {
+	n := l.Len()
+	tris := make([]sqltypes.Tri, n)
+	typed := l.Mixed == nil && r.Mixed == nil && l.Nulls == nil && r.Nulls == nil
+	switch {
+	case typed && l.K == sqltypes.KindInt && r.K == sqltypes.KindInt:
+		li, ri := l.Ints, r.Ints
+		for i := 0; i < n; i++ {
+			c := 0
+			switch {
+			case li[i] < ri[i]:
+				c = -1
+			case li[i] > ri[i]:
+				c = 1
+			}
+			tris[i] = triOfCmp(op, c)
+		}
+	case typed && l.K == sqltypes.KindFloat && r.K == sqltypes.KindFloat:
+		lf, rf := l.Floats, r.Floats
+		for i := 0; i < n; i++ {
+			a, b := lf[i], rf[i]
+			switch {
+			case a < b:
+				tris[i] = triOfCmp(op, -1)
+			case a > b:
+				tris[i] = triOfCmp(op, 1)
+			case a == b:
+				tris[i] = triOfCmp(op, 0)
+			default: // NaN: incomparable
+				tris[i] = sqltypes.Unknown
+			}
+		}
+	case typed && l.K == sqltypes.KindString && r.K == sqltypes.KindString:
+		ls, rs := l.Strs, r.Strs
+		for i := 0; i < n; i++ {
+			tris[i] = triOfCmp(op, strings.Compare(ls[i], rs[i]))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			tris[i] = comparePred(op, l.Value(i), r.Value(i))
+		}
+	}
+	return tris
+}
+
+func triOfCmp(op qgm.Op, c int) sqltypes.Tri {
+	switch op {
+	case qgm.OpEq:
+		return sqltypes.TriOf(c == 0)
+	case qgm.OpNe:
+		return sqltypes.TriOf(c != 0)
+	case qgm.OpLt:
+		return sqltypes.TriOf(c < 0)
+	case qgm.OpLe:
+		return sqltypes.TriOf(c <= 0)
+	case qgm.OpGt:
+		return sqltypes.TriOf(c > 0)
+	case qgm.OpGe:
+		return sqltypes.TriOf(c >= 0)
+	}
+	return sqltypes.Unknown
+}
+
+// colScalar resolves e to a single batch-independent value: a literal, a
+// bound parameter, or an outer (correlated) column reference. ok=false
+// means e varies per batch row and must evaluate as a vector. Resolution
+// errors are the exact values colEval would produce for the same node.
+func (ex *Exec) colScalar(e qgm.Expr, b *colBatch, env *Env) (sqltypes.Value, bool, error) {
+	switch x := e.(type) {
+	case *qgm.Const:
+		return x.V, true, nil
+	case *qgm.Param:
+		if x.Idx < 0 || x.Idx >= len(ex.opts.Params) {
+			return sqltypes.Null, true, fmt.Errorf("exec: parameter ?%d not bound (%d values supplied)",
+				x.Idx+1, len(ex.opts.Params))
+		}
+		return ex.opts.Params[x.Idx], true, nil
+	case *qgm.ColRef:
+		if b.quantIdx(x.Q) >= 0 {
+			return sqltypes.Value{}, false, nil
+		}
+		row, ok := env.Get(x.Q)
+		if !ok {
+			return sqltypes.Null, true, fmt.Errorf("exec: unbound quantifier %s", x.Q.Name())
+		}
+		if x.Col >= len(row) {
+			return sqltypes.Null, true, fmt.Errorf("exec: column %d out of range for %s (row width %d)",
+				x.Col, x.Q.Name(), len(row))
+		}
+		return row[x.Col], true, nil
+	}
+	return sqltypes.Value{}, false, nil
+}
+
+// mirrorCmp swaps a comparison's operand order: a ⋄ b ≡ b ⋄' a.
+func mirrorCmp(op qgm.Op) qgm.Op {
+	switch op {
+	case qgm.OpLt:
+		return qgm.OpGt
+	case qgm.OpLe:
+		return qgm.OpGe
+	case qgm.OpGt:
+		return qgm.OpLt
+	case qgm.OpGe:
+		return qgm.OpLe
+	}
+	return op
+}
+
+// colCompareScalar compares a vector against one scalar operand.
+// Constants, parameters, and correlated outer references hit this kernel,
+// which never broadcasts the scalar into a vector. scalarLeft records the
+// scalar's operand position; the typed fast paths mirror the operator so
+// vector-on-the-left loops serve both orders, and the boxed fallback
+// preserves the original order through comparePred.
+func colCompareScalar(op qgm.Op, v *colvec.Vec, s sqltypes.Value, scalarLeft bool) []sqltypes.Tri {
+	n := v.Len()
+	tris := make([]sqltypes.Tri, n)
+	if s.IsNull() || (v.Mixed == nil && v.K == sqltypes.KindNull) {
+		for i := range tris {
+			tris[i] = sqltypes.Unknown
+		}
+		return tris
+	}
+	vop := op
+	if scalarLeft {
+		vop = mirrorCmp(op)
+	}
+	nulls := v.Nulls
+	switch {
+	case v.Mixed == nil && v.K == sqltypes.KindInt && s.K == sqltypes.KindInt:
+		c := s.I
+		for i, x := range v.Ints {
+			if nulls.Get(i) {
+				tris[i] = sqltypes.Unknown
+				continue
+			}
+			r := 0
+			switch {
+			case x < c:
+				r = -1
+			case x > c:
+				r = 1
+			}
+			tris[i] = triOfCmp(vop, r)
+		}
+	case v.Mixed == nil && v.K == sqltypes.KindFloat && s.K == sqltypes.KindFloat:
+		c := s.F
+		for i, x := range v.Floats {
+			if nulls.Get(i) {
+				tris[i] = sqltypes.Unknown
+				continue
+			}
+			switch {
+			case x < c:
+				tris[i] = triOfCmp(vop, -1)
+			case x > c:
+				tris[i] = triOfCmp(vop, 1)
+			case x == c:
+				tris[i] = triOfCmp(vop, 0)
+			default: // NaN: incomparable
+				tris[i] = sqltypes.Unknown
+			}
+		}
+	case v.Mixed == nil && v.K == sqltypes.KindString && s.K == sqltypes.KindString:
+		c := s.S
+		for i, x := range v.Strs {
+			if nulls.Get(i) {
+				tris[i] = sqltypes.Unknown
+				continue
+			}
+			tris[i] = triOfCmp(vop, strings.Compare(x, c))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			if scalarLeft {
+				tris[i] = comparePred(op, s, v.Value(i))
+			} else {
+				tris[i] = comparePred(op, v.Value(i), s)
+			}
+		}
+	}
+	return tris
+}
+
+// colArithScalar applies +,-,*,/ between a vector and one scalar operand,
+// with the same typed fast paths and boxed fallback as colArith (division
+// always falls through to sqltypes.Arith so zero-divisor errors match).
+func colArithScalar(op qgm.Op, v *colvec.Vec, s sqltypes.Value, scalarLeft bool) (colvec.Vec, error) {
+	n := v.Len()
+	typed := v.Mixed == nil && v.Nulls == nil && v.K != sqltypes.KindNull
+	if typed && op != qgm.OpDiv && v.K == sqltypes.KindInt && s.K == sqltypes.KindInt {
+		out := make([]int64, n)
+		c := s.I
+		switch op {
+		case qgm.OpAdd:
+			for i, x := range v.Ints {
+				out[i] = x + c
+			}
+		case qgm.OpSub:
+			if scalarLeft {
+				for i, x := range v.Ints {
+					out[i] = c - x
+				}
+			} else {
+				for i, x := range v.Ints {
+					out[i] = x - c
+				}
+			}
+		case qgm.OpMul:
+			for i, x := range v.Ints {
+				out[i] = x * c
+			}
+		}
+		return colvec.FromInts(out), nil
+	}
+	if typed && op != qgm.OpDiv &&
+		(v.K == sqltypes.KindInt || v.K == sqltypes.KindFloat) &&
+		(s.K == sqltypes.KindInt || s.K == sqltypes.KindFloat) {
+		out := make([]float64, n)
+		c := s.F
+		if s.K == sqltypes.KindInt {
+			c = float64(s.I)
+		}
+		vf := func(i int) float64 {
+			if v.K == sqltypes.KindInt {
+				return float64(v.Ints[i])
+			}
+			return v.Floats[i]
+		}
+		switch op {
+		case qgm.OpAdd:
+			for i := range out {
+				out[i] = vf(i) + c
+			}
+		case qgm.OpSub:
+			if scalarLeft {
+				for i := range out {
+					out[i] = c - vf(i)
+				}
+			} else {
+				for i := range out {
+					out[i] = vf(i) - c
+				}
+			}
+		case qgm.OpMul:
+			for i := range out {
+				out[i] = vf(i) * c
+			}
+		}
+		return colvec.FromFloats(out), nil
+	}
+	out := make([]sqltypes.Value, n)
+	aop := arithOf(op)
+	for i := 0; i < n; i++ {
+		a, b := v.Value(i), s
+		if scalarLeft {
+			a, b = s, v.Value(i)
+		}
+		r, err := sqltypes.Arith(aop, a, b)
+		if err != nil {
+			return colvec.Vec{}, err
+		}
+		out[i] = r
+	}
+	return colvec.FromValues(out), nil
+}
+
+// colArith applies +,-,*,/ elementwise. Same-kind null-free int and float
+// inputs take typed loops that reproduce sqltypes.Arith exactly (integer
+// ops wrap, division is always float); other shapes — including every
+// division, whose zero-divisor error must match — evaluate per element
+// through sqltypes.Arith itself.
+func colArith(op qgm.Op, l, r *colvec.Vec) (colvec.Vec, error) {
+	n := l.Len()
+	typed := l.Mixed == nil && r.Mixed == nil && l.Nulls == nil && r.Nulls == nil
+	if typed && op != qgm.OpDiv && l.K == sqltypes.KindInt && r.K == sqltypes.KindInt {
+		out := make([]int64, n)
+		li, ri := l.Ints, r.Ints
+		switch op {
+		case qgm.OpAdd:
+			for i := range out {
+				out[i] = li[i] + ri[i]
+			}
+		case qgm.OpSub:
+			for i := range out {
+				out[i] = li[i] - ri[i]
+			}
+		case qgm.OpMul:
+			for i := range out {
+				out[i] = li[i] * ri[i]
+			}
+		}
+		return colvec.FromInts(out), nil
+	}
+	if typed && op != qgm.OpDiv &&
+		(l.K == sqltypes.KindInt || l.K == sqltypes.KindFloat) &&
+		(r.K == sqltypes.KindInt || r.K == sqltypes.KindFloat) {
+		out := make([]float64, n)
+		lf := func(i int) float64 {
+			if l.K == sqltypes.KindInt {
+				return float64(l.Ints[i])
+			}
+			return l.Floats[i]
+		}
+		rf := func(i int) float64 {
+			if r.K == sqltypes.KindInt {
+				return float64(r.Ints[i])
+			}
+			return r.Floats[i]
+		}
+		switch op {
+		case qgm.OpAdd:
+			for i := range out {
+				out[i] = lf(i) + rf(i)
+			}
+		case qgm.OpSub:
+			for i := range out {
+				out[i] = lf(i) - rf(i)
+			}
+		case qgm.OpMul:
+			for i := range out {
+				out[i] = lf(i) * rf(i)
+			}
+		}
+		return colvec.FromFloats(out), nil
+	}
+	out := make([]sqltypes.Value, n)
+	aop := arithOf(op)
+	for i := 0; i < n; i++ {
+		v, err := sqltypes.Arith(aop, l.Value(i), r.Value(i))
+		if err != nil {
+			return colvec.Vec{}, err
+		}
+		out[i] = v
+	}
+	return colvec.FromValues(out), nil
+}

@@ -3,10 +3,14 @@ package exec
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"decorr/internal/colvec"
 	"decorr/internal/faultinject"
 	"decorr/internal/qgm"
 	"decorr/internal/sqltypes"
@@ -47,6 +51,13 @@ type Options struct {
 	// Limits are the per-Run resource budgets (deadline, output rows,
 	// intermediate rows, tracked bytes). The zero value imposes none.
 	Limits Limits
+	// DisableColumnar forces the row-at-a-time interpreter even for plans
+	// the vectorized engine could run. Rows, Stats, and errors are
+	// identical either way (the differ cross-checks the two paths); the
+	// knob exists for benchmarking and for bisecting a suspected
+	// vectorization bug. The DECORR_ROWMODE environment variable (any
+	// non-empty value) forces it process-wide.
+	DisableColumnar bool
 }
 
 // Exec evaluates QGM graphs against a database. An Exec is single-use per
@@ -76,6 +87,7 @@ type Exec struct {
 	freeRefs map[*qgm.Box][]qgm.RefKey
 	refCount map[*qgm.Box]int
 	cse      map[*qgm.Box][]storage.Row
+	cseVecs  map[*qgm.Box]*cseVecEntry
 	memo     map[*qgm.Box]map[string][]storage.Row
 	bindings map[*qgm.Box]map[string]bool
 
@@ -84,6 +96,45 @@ type Exec struct {
 	costMemo map[*qgm.Box]float64
 
 	profile map[*qgm.Box]*BoxProfile
+
+	// colOK enables the vectorized engine; colSel/colGrp mark the boxes it
+	// may evaluate. Both maps are written only by analyze (before any
+	// fan-out) and read-only afterwards, like freeRefs.
+	colOK  bool
+	colSel map[*qgm.Box]bool
+	colGrp map[*qgm.Box]bool
+
+}
+
+// idSel caches one shared identity selection vector (0,1,2,...) for the
+// whole process: every fresh scan batch and join output starts fully
+// live, and the prefix slices handed out are read-only by the colBatch
+// immutability contract. Package-level so short queries don't refill it
+// every Run; atomic swap keeps readers lock-free once grown.
+var idSel atomic.Pointer[[]int32]
+
+// identity returns a shared read-only [0,1,...,n-1] selection vector.
+func (ex *Exec) identity(n int) []int32 {
+	for {
+		cur := idSel.Load()
+		if cur != nil && len(*cur) >= n {
+			return (*cur)[:n]
+		}
+		s := make([]int32, n)
+		for i := range s {
+			s[i] = int32(i)
+		}
+		if idSel.CompareAndSwap(cur, &s) {
+			return s[:n]
+		}
+	}
+}
+
+// colEnabled reports whether this Run may take columnar paths. Profiled
+// runs (EXPLAIN ANALYZE) stay on the row path: per-box timings are the
+// row interpreter's observability contract.
+func (ex *Exec) colEnabled() bool {
+	return ex.colOK && ex.profile == nil
 }
 
 // New creates an executor over db.
@@ -105,9 +156,13 @@ func New(db *storage.DB, opts Options) *Exec {
 		freeRefs: map[*qgm.Box][]qgm.RefKey{},
 		refCount: map[*qgm.Box]int{},
 		cse:      map[*qgm.Box][]storage.Row{},
+		cseVecs:  map[*qgm.Box]*cseVecEntry{},
 		memo:     map[*qgm.Box]map[string][]storage.Row{},
 		bindings: map[*qgm.Box]map[string]bool{},
 		est:      map[*qgm.Box]float64{},
+		colOK:    !opts.DisableColumnar && os.Getenv("DECORR_ROWMODE") == "",
+		colSel:   map[*qgm.Box]bool{},
+		colGrp:   map[*qgm.Box]bool{},
 	}
 }
 
@@ -142,10 +197,27 @@ func publishStats(d Stats) {
 	trace.Metrics.Gauge("exec.last_work").Set(d.Work())
 }
 
+// sortRows orders rows by the ORDER BY keys. The sort keys are extracted
+// into column vectors up front, so each of the O(n log n) comparisons
+// indexes two typed arrays instead of chasing two row pointers and boxing
+// both values — and uniformly typed null-free key columns compare without
+// entering OrderCompare at all.
 func sortRows(rows []storage.Row, keys []qgm.OrderKey) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			c := sqltypes.OrderCompare(rows[i][k.Col], rows[j][k.Col])
+	if len(rows) < 2 || len(keys) == 0 {
+		return
+	}
+	cmps := make([]func(a, b int32) int, len(keys))
+	for ki, k := range keys {
+		v := colvec.FromColumn(rows, k.Col)
+		cmps[ki] = orderCmp(v)
+	}
+	perm := make([]int32, len(rows))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		for ki, k := range keys {
+			c := cmps[ki](perm[i], perm[j])
 			if c == 0 {
 				continue
 			}
@@ -156,6 +228,40 @@ func sortRows(rows []storage.Row, keys []qgm.OrderKey) {
 		}
 		return false
 	})
+	sorted := make([]storage.Row, len(rows))
+	for i, p := range perm {
+		sorted[i] = rows[p]
+	}
+	copy(rows, sorted)
+}
+
+// orderCmp returns a comparator over the key column with OrderCompare
+// semantics (NULLs first). Null-free int and string columns take direct
+// typed comparisons; floats keep the boxed path (OrderCompare's NaN
+// ordering has no cheap typed equivalent).
+func orderCmp(v colvec.Vec) func(a, b int32) int {
+	if v.Mixed == nil && v.Nulls == nil {
+		switch v.K {
+		case sqltypes.KindInt:
+			xs := v.Ints
+			return func(a, b int32) int {
+				x, y := xs[a], xs[b]
+				switch {
+				case x < y:
+					return -1
+				case x > y:
+					return 1
+				}
+				return 0
+			}
+		case sqltypes.KindString:
+			xs := v.Strs
+			return func(a, b int32) int { return strings.Compare(xs[a], xs[b]) }
+		}
+	}
+	return func(a, b int32) int {
+		return sqltypes.OrderCompare(v.Value(int(a)), v.Value(int(b)))
+	}
 }
 
 // analyze precomputes per-box free references, reference counts, and
@@ -165,19 +271,34 @@ func sortRows(rows []storage.Row, keys []qgm.OrderKey) {
 // order, and with it the output row order, identical at every worker
 // count.
 func (ex *Exec) analyze(root *qgm.Box) {
-	for _, b := range qgm.Boxes(root) {
+	boxes := qgm.Boxes(root)
+	for _, b := range boxes {
 		if _, ok := ex.freeRefs[b]; !ok {
 			ex.freeRefs[b] = dedupRefs(qgm.FreeRefs(b))
 		}
 	}
 	ex.refCount = map[*qgm.Box]int{}
-	for _, b := range qgm.Boxes(root) {
+	for _, b := range boxes {
 		for _, q := range b.Quants {
 			ex.refCount[q.Input]++
 		}
 	}
-	for _, b := range qgm.Boxes(root) {
+	for _, b := range boxes {
 		ex.estBoxRows(b)
+	}
+	if ex.colOK {
+		for _, b := range boxes {
+			switch b.Kind {
+			case qgm.BoxSelect:
+				if ex.colSelectable(b) {
+					ex.colSel[b] = true
+				}
+			case qgm.BoxGroup:
+				if ex.colGroupable(b) {
+					ex.colGrp[b] = true
+				}
+			}
+		}
 	}
 }
 
@@ -300,9 +421,26 @@ func (ex *Exec) evalBox(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	if uncorrelated && shared {
 		ex.mu.Lock()
 		rows, ok := ex.cse[b]
+		ve := ex.cseVecs[b]
 		ex.mu.Unlock()
-		if ok {
+		if ok || ve != nil {
 			if ex.opts.MaterializeCSE {
+				if !ok {
+					// A fused columnar consumer cached this box's output
+					// as vectors; materialize rows once and share them.
+					rows, err := ex.colMaterialize(ve.vecs, ve.phys)
+					if err != nil {
+						return nil, err
+					}
+					ex.mu.Lock()
+					if prior, dup := ex.cse[b]; dup {
+						rows = prior
+					} else {
+						ex.cse[b] = rows
+					}
+					ex.mu.Unlock()
+					return rows, nil
+				}
 				return rows, nil
 			}
 			bump(&ex.Stats.CSERecomputes, 1)
@@ -359,8 +497,14 @@ func (ex *Exec) dispatch(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		}
 		return rows, nil
 	case qgm.BoxSelect:
+		if ex.colEnabled() && ex.colSel[b] {
+			return ex.colEvalSelect(b, env)
+		}
 		return ex.evalSelect(b, env)
 	case qgm.BoxGroup:
+		if ex.colEnabled() && ex.colGrp[b] {
+			return ex.colEvalGroup(b, env)
+		}
 		return ex.evalGroup(b, env)
 	case qgm.BoxUnion:
 		return ex.evalUnion(b, env)
@@ -447,10 +591,11 @@ func (ex *Exec) evalUnion(b *qgm.Box, env *Env) ([]storage.Row, error) {
 func dedupeRows(rows []storage.Row) []storage.Row {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0:0]
+	var buf []byte
 	for _, r := range rows {
-		k := sqltypes.Key(r)
-		if !seen[k] {
-			seen[k] = true
+		buf = sqltypes.AppendKey(buf[:0], r...)
+		if !seen[string(buf)] { // no-alloc map lookup
+			seen[string(buf)] = true
 			out = append(out, r)
 		}
 	}
@@ -469,21 +614,7 @@ func (ex *Exec) evalGroup(b *qgm.Box, env *Env) ([]storage.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Collect the aggregate nodes appearing in the outputs.
-	var aggs []*qgm.Agg
-	aggIndex := map[*qgm.Agg]int{}
-	for _, c := range b.Cols {
-		qgm.Walk(c.Expr, func(e qgm.Expr) bool {
-			if a, ok := e.(*qgm.Agg); ok {
-				if _, dup := aggIndex[a]; !dup {
-					aggIndex[a] = len(aggs)
-					aggs = append(aggs, a)
-				}
-				return false
-			}
-			return true
-		})
-	}
+	aggs, aggIndex := collectAggs(b)
 	var groups map[string]*groupState
 	var order []string
 	if mergeableAggs(aggs) {
@@ -505,26 +636,7 @@ func (ex *Exec) evalGroup(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		groups[""] = gs
 		order = append(order, "")
 	}
-	out, err := parallelMap(ex, order, rowMorsel, func(k string) (storage.Row, error) {
-		gs := groups[k]
-		row := make(storage.Row, len(b.Cols))
-		for i, c := range b.Cols {
-			v, err := ex.evalWithAggs(c.Expr, gs.rep, aggs, aggIndex, gs.accs)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		return row, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	bump(&ex.Stats.RowsGrouped, int64(len(out)))
-	if err := ex.govRows(len(out)); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return ex.emitGroupRows(b, groups, order, aggs, aggIndex)
 }
 
 // groupKeyVals evaluates the grouping key of one input row.

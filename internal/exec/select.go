@@ -403,7 +403,7 @@ func (ex *Exec) keyFor(exprs []qgm.Expr, env *Env) (string, bool, error) {
 		}
 		vals[i] = v
 	}
-	return sqltypes.Key(vals), false, nil
+	return string(sqltypes.AppendKey(nil, vals...)), false, nil
 }
 
 // filterLocal applies predicates referencing only q (plus outer bindings).

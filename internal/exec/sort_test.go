@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"decorr/internal/qgm"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
+)
+
+// legacySortRows is the pre-vectorization ORDER BY comparator: every
+// comparison chases two row pointers and boxes both values through
+// OrderCompare. Kept as the correctness oracle and benchmark baseline for
+// the column-extracted sortRows.
+func legacySortRows(rows []storage.Row, keys []qgm.OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := sqltypes.OrderCompare(rows[i][k.Col], rows[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// sortTestRows generates rows with deliberately colliding keys (so
+// stability is observable), NULLs, and mixed types in the last column.
+func sortTestRows(n int, seed int64) []storage.Row {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		var v1 sqltypes.Value
+		switch r.Intn(4) {
+		case 0:
+			v1 = sqltypes.Null
+		case 1:
+			v1 = sqltypes.NewFloat(r.NormFloat64())
+		default:
+			v1 = sqltypes.NewInt(int64(r.Intn(8)))
+		}
+		rows[i] = storage.Row{
+			sqltypes.NewInt(int64(r.Intn(16))),
+			sqltypes.NewString(fmt.Sprintf("s%02d", r.Intn(12))),
+			v1,
+			sqltypes.NewInt(int64(i)), // unique id: exposes any ordering difference
+		}
+	}
+	return rows
+}
+
+func TestSortRowsMatchesLegacy(t *testing.T) {
+	keySets := [][]qgm.OrderKey{
+		{{Col: 0}},
+		{{Col: 0, Desc: true}},
+		{{Col: 1}, {Col: 0, Desc: true}},
+		{{Col: 2}, {Col: 1}},
+		{{Col: 2, Desc: true}, {Col: 0}, {Col: 1}},
+	}
+	for _, n := range []int{0, 1, 2, 100, 2500} {
+		for ki, keys := range keySets {
+			a := sortTestRows(n, int64(ki+1))
+			b := make([]storage.Row, n)
+			copy(b, a)
+			sortRows(a, keys)
+			legacySortRows(b, keys)
+			for i := range a {
+				for c := range a[i] {
+					if !sqltypes.Identical(a[i][c], b[i][c]) {
+						t.Fatalf("n=%d keys=%d row %d col %d: got %v want %v",
+							n, ki, i, c, a[i][c], b[i][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSortRows compares the column-extracted sort against the legacy
+// per-comparison boxed path on a multi-key ORDER BY.
+func BenchmarkSortRows(b *testing.B) {
+	const n = 10000
+	keys := []qgm.OrderKey{{Col: 1}, {Col: 0, Desc: true}, {Col: 3}}
+	base := sortTestRows(n, 42)
+	for _, bc := range []struct {
+		name string
+		sort func([]storage.Row, []qgm.OrderKey)
+	}{
+		{"columnar", sortRows},
+		{"legacy", legacySortRows},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			rows := make([]storage.Row, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(rows, base)
+				bc.sort(rows, keys)
+			}
+		})
+	}
+}

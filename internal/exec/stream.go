@@ -65,10 +65,14 @@ type RowIterator struct {
 
 	mode streamMode
 
-	// tuple mode: phase-1 bindings awaiting projection.
+	// tuple mode: phase-1 bindings awaiting projection. When the root
+	// select is vectorized, cbatch replaces tuples: the bound column batch
+	// streams through colProjectRows one selection-vector range at a time.
 	box    *qgm.Box
 	tuples []*Env
 	tpos   int
+	cbatch *colBatch
+	cpos   int
 
 	// scan mode: stored rows awaiting filter+projection.
 	q      *qgm.Quantifier
@@ -130,7 +134,7 @@ func (it *RowIterator) Next() ([]storage.Row, error) {
 	}
 	switch it.mode {
 	case modeTuples:
-		for it.tpos < len(it.tuples) {
+		for it.tupleRemaining() {
 			batch, err := it.tupleBatch()
 			if err != nil {
 				it.finish(err)
@@ -233,6 +237,17 @@ func (it *RowIterator) start() error {
 			return it.startScan(consts)
 		}
 		it.mode = modeTuples
+		if ex.colEnabled() && ex.colSel[root] {
+			batch, err := ex.colSelectBatch(root, nil)
+			if err != nil {
+				return err
+			}
+			if batch == nil {
+				batch = &colBatch{} // empty result; an armed cbatch marks columnar mode
+			}
+			it.cbatch = batch
+			return nil
+		}
 		tuples, err := ex.selectTuples(root, nil)
 		if err != nil {
 			return err
@@ -267,6 +282,7 @@ func (it *RowIterator) finish(err error) {
 	it.finished = true
 	it.err = err
 	it.tuples, it.scan, it.rows = nil, nil, nil
+	it.cbatch = nil
 	it.seen = nil
 	if err != nil {
 		if counter, ok := classifyGovernance(err); ok {
@@ -413,8 +429,27 @@ func (it *RowIterator) scanBatch() ([]storage.Row, error) {
 	return it.emit(batch)
 }
 
+// tupleRemaining reports whether phase-1 output (row tuples or the
+// columnar batch's selection vector) is still awaiting projection.
+func (it *RowIterator) tupleRemaining() bool {
+	if it.cbatch != nil {
+		return it.cpos < len(it.cbatch.sel)
+	}
+	return it.tpos < len(it.tuples)
+}
+
 // tupleBatch projects the next batch of phase-1 bindings.
 func (it *RowIterator) tupleBatch() ([]storage.Row, error) {
+	if it.cbatch != nil {
+		lo := it.cpos
+		hi := min(lo+streamBatchRows, len(it.cbatch.sel))
+		it.cpos = hi
+		batch, err := it.ex.colProjectRows(it.box, it.cbatch, it.cbatch.sel[lo:hi], nil)
+		if err != nil {
+			return nil, err
+		}
+		return it.emit(batch)
+	}
 	lo := it.tpos
 	hi := min(lo+streamBatchRows, len(it.tuples))
 	it.tpos = hi

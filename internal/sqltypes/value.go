@@ -368,10 +368,21 @@ func Coalesce(vs ...Value) Value {
 	return Null
 }
 
-// AppendKey appends a canonical, injective encoding of v to dst. Two values
-// produce the same encoding iff Identical(a, b). Numeric kinds normalize so
-// that INT 3 and DOUBLE 3.0 encode identically (they compare equal).
-func AppendKey(dst []byte, v Value) []byte {
+// AppendKey appends the canonical, injective encoding of each value to
+// dst in order and returns the extended slice. Two value sequences produce
+// the same encoding iff they are elementwise Identical. Numeric kinds
+// normalize so that INT 3 and DOUBLE 3.0 encode identically (they compare
+// equal). Reusing dst across calls is the hot-path idiom: the executor's
+// join, grouping, and DISTINCT keys encode into a scratch buffer and probe
+// maps via string(buf) without allocating.
+func AppendKey(dst []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		dst = appendValueKey(dst, v)
+	}
+	return dst
+}
+
+func appendValueKey(dst []byte, v Value) []byte {
 	switch v.K {
 	case KindNull:
 		return append(dst, 'n')
@@ -415,11 +426,7 @@ func appendFloatKey(dst []byte, f float64) []byte {
 // Key returns the canonical encoding of a tuple of values, suitable as a
 // map key for hash joins, grouping, and DISTINCT.
 func Key(vs []Value) string {
-	var dst []byte
-	for _, v := range vs {
-		dst = AppendKey(dst, v)
-	}
-	return string(dst)
+	return string(AppendKey(nil, vs...))
 }
 
 // Like evaluates the SQL LIKE predicate with % and _ wildcards. NULL

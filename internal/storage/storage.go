@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"decorr/internal/colvec"
 	"decorr/internal/faultinject"
 	"decorr/internal/schema"
 	"decorr/internal/sqltypes"
@@ -39,7 +40,7 @@ type Table struct {
 	Def     *schema.Table
 	Rows    []Row
 	src     RowSource
-	indexes map[int]map[string][]int
+	indexes map[int]*index
 
 	// statMu guards the lazily built optimizer statistics below. The
 	// estimator runs on the execution path, so parallel query workers can
@@ -48,6 +49,44 @@ type Table struct {
 	statMu    sync.Mutex
 	ndvCache  map[int]ndvEntry
 	histCache map[int]histEntry
+
+	// colMu guards the lazily built columnar projection. Like ndvCache it
+	// is keyed on the row count: inserts invalidate it by growing Rows.
+	colMu    sync.RWMutex
+	colCache []colvec.Vec
+	colRows  int
+}
+
+// ColVecs returns the table's columns as typed vectors, built lazily and
+// cached until the table grows. The vectors alias the stored rows' string
+// payloads; callers must treat them as read-only. Synthetic tables are not
+// cached (their rows change per scan) and return ok=false — the vectorized
+// executor declines them and stays on the row path.
+func (t *Table) ColVecs() ([]colvec.Vec, bool) {
+	if t.src != nil {
+		return nil, false
+	}
+	n := len(t.Rows)
+	t.colMu.RLock()
+	if t.colCache != nil && t.colRows == n {
+		vecs := t.colCache
+		t.colMu.RUnlock()
+		return vecs, true
+	}
+	t.colMu.RUnlock()
+	vecs := make([]colvec.Vec, len(t.Def.Columns))
+	rows := t.Rows[:n]
+	for c := range vecs {
+		vecs[c] = colvec.FromColumn(rows, c)
+	}
+	t.colMu.Lock()
+	if t.colCache == nil || t.colRows != n {
+		t.colCache, t.colRows = vecs, n
+	} else {
+		vecs = t.colCache // a racing builder stored first
+	}
+	t.colMu.Unlock()
+	return vecs, true
 }
 
 type ndvEntry struct {
@@ -83,7 +122,7 @@ func (t *Table) NDV(col int) int {
 
 // NewTable creates an empty stored table for a definition.
 func NewTable(def *schema.Table) *Table {
-	return &Table{Def: def, indexes: map[int]map[string][]int{}}
+	return &Table{Def: def, indexes: map[int]*index{}}
 }
 
 // Synthetic reports whether the table's rows come from a RowSource.
@@ -102,14 +141,41 @@ func (t *Table) Insert(r Row) error {
 	id := len(t.Rows)
 	t.Rows = append(t.Rows, r)
 	for col, idx := range t.indexes {
-		k := keyOf(r[col])
-		idx[k] = append(idx[k], id)
+		idx.add(r[col], id)
 	}
 	return nil
 }
 
 func keyOf(v sqltypes.Value) string {
-	return sqltypes.Key([]sqltypes.Value{v})
+	return string(sqltypes.AppendKey(nil, v))
+}
+
+// index is a per-column hash index. byKey maps the canonical key encoding
+// to row ids and answers every boxed probe. byInt is a typed fast path
+// maintained while every non-NULL key in the column is an integer — the
+// common case for join columns — letting the vectorized executor probe
+// with an int64 instead of encoding a key per row. It is abandoned (set
+// to nil) the first time a non-integer key is inserted.
+type index struct {
+	byKey map[string][]int
+	byInt map[int64][]int
+}
+
+func (idx *index) add(v sqltypes.Value, id int) {
+	k := keyOf(v)
+	idx.byKey[k] = append(idx.byKey[k], id)
+	if idx.byInt == nil {
+		return
+	}
+	switch v.K {
+	case sqltypes.KindInt:
+		idx.byInt[v.I] = append(idx.byInt[v.I], id)
+	case sqltypes.KindNull:
+		// NULL keys never match a probe (SQL equality), so they do not
+		// invalidate the typed path.
+	default:
+		idx.byInt = nil
+	}
 }
 
 // Scan returns the table's full row slice. It is the executor's only
@@ -144,10 +210,12 @@ func (t *Table) CreateIndex(col string) error {
 	if _, ok := t.indexes[c]; ok {
 		return nil
 	}
-	idx := make(map[string][]int, len(t.Rows))
+	idx := &index{
+		byKey: make(map[string][]int, len(t.Rows)),
+		byInt: make(map[int64][]int, len(t.Rows)),
+	}
 	for id, r := range t.Rows {
-		k := keyOf(r[c])
-		idx[k] = append(idx[k], id)
+		idx.add(r[c], id)
 	}
 	t.indexes[c] = idx
 	return nil
@@ -180,7 +248,57 @@ func (t *Table) Lookup(col int, v sqltypes.Value) (ids []int, ok bool) {
 	if v.IsNull() {
 		return nil, true
 	}
-	return idx[keyOf(v)], true
+	return idx.byKey[keyOf(v)], true
+}
+
+// IntIndex returns the typed integer probe map of the column's index, or
+// nil when the column is unindexed or holds non-integer keys. The map is
+// shared live state: callers may only read it. The vectorized executor
+// probes it directly from typed int64 vectors, skipping per-row key
+// encoding entirely.
+func (t *Table) IntIndex(col int) map[int64][]int {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil
+	}
+	return idx.byInt
+}
+
+// LookupBuf is Lookup with a caller-owned scratch buffer for the key
+// encoding: probe loops pass the returned buffer back in, so the per-probe
+// key string allocation disappears (the map access via string(buf) does
+// not allocate).
+func (t *Table) LookupBuf(col int, v sqltypes.Value, buf []byte) (ids []int, out []byte, ok bool) {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, buf, false
+	}
+	if v.IsNull() {
+		return nil, buf, true
+	}
+	if idx.byInt != nil {
+		switch v.K {
+		case sqltypes.KindInt:
+			return idx.byInt[v.I], buf, true
+		case sqltypes.KindFloat:
+			// A float probe can only equal an integer key when it converts
+			// to int64 exactly (the key encoding routes such integers
+			// through the float representation, so equality is exact
+			// numeric equality; -0.0 normalizes to 0).
+			f := v.F
+			if f >= -9223372036854775808 && f < 9223372036854775808 {
+				if i := int64(f); float64(i) == f {
+					return idx.byInt[i], buf, true
+				}
+			}
+			return nil, buf, true
+		default:
+			// Strings and booleans never compare equal to integer keys.
+			return nil, buf, true
+		}
+	}
+	buf = sqltypes.AppendKey(buf[:0], v)
+	return idx.byKey[string(buf)], buf, true
 }
 
 // DB is a database instance: a catalog plus stored tables.
@@ -209,7 +327,7 @@ func (db *DB) Create(def *schema.Table) *Table {
 // its sys.* introspection tables through this.
 func (db *DB) CreateSynthetic(def *schema.Table, src RowSource) *Table {
 	db.Catalog.Add(def)
-	t := &Table{Def: def, src: src, indexes: map[int]map[string][]int{}}
+	t := &Table{Def: def, src: src, indexes: map[int]*index{}}
 	db.tables[strings.ToLower(def.Name)] = t
 	return t
 }
