@@ -22,12 +22,14 @@ bench:
 # bench-smoke runs every paper figure benchmark once (-benchtime=1x) at
 # the -short scale and emits machine-readable results to BENCH_exec.json
 # — a cheap CI check that the measurement path itself works, not a
-# performance gate. The row-vs-columnar comparison additionally runs at
-# full scale with enough iterations for stable ratios, so the JSON's
-# speedup/op numbers reflect the real engine, not -short fixed overheads.
+# performance gate. The row-vs-columnar and batched-fan-out comparisons
+# additionally run at full scale with enough iterations for stable ratios,
+# so the JSON's speedup/op numbers reflect the real engine, not -short
+# fixed overheads.
 bench-smoke:
 	( $(GO) test -run '^$$' -bench '^BenchmarkFigure[0-9]' -benchtime=1x -benchmem -short . && \
-	  $(GO) test -run '^$$' -bench '^BenchmarkFigureRowVsColumnar' -benchtime=20x -benchmem . ) \
+	  $(GO) test -run '^$$' -bench '^BenchmarkFigureRowVsColumnar' -benchtime=20x -benchmem . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkFigureBatchedFanout' -benchtime=20x -benchmem . ) \
 		| $(GO) run ./cmd/benchjson > BENCH_exec.json
 	@echo "wrote BENCH_exec.json ($$(wc -c < BENCH_exec.json) bytes)"
 	$(GO) test -run '^$$' -bench 'BenchmarkPlanCache' -benchtime=100x -short . \

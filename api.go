@@ -65,6 +65,10 @@ const (
 	NI = engine.NI
 	// NIMemo is nested iteration with per-binding memoization.
 	NIMemo = engine.NIMemo
+	// NIBatch is nested iteration with runtime subquery batching:
+	// correlated subqueries evaluate set-at-a-time over the distinct
+	// outer bindings, bit-identical to NI.
+	NIBatch = engine.NIBatch
 	// Kim is Kim's method [Kim82] — COUNT bug included, faithfully.
 	Kim = engine.Kim
 	// Dayal is Dayal's outer-join method [Day87].

@@ -43,7 +43,7 @@ var tpcdNoIndexOnce = sync.OnceValue(func() *decorr.DB {
 })
 
 var figureStrategies = []decorr.Strategy{
-	decorr.NI, decorr.NIMemo, decorr.Kim, decorr.Dayal, decorr.Magic, decorr.OptMagic,
+	decorr.NI, decorr.NIMemo, decorr.NIBatch, decorr.Kim, decorr.Dayal, decorr.Magic, decorr.OptMagic,
 }
 
 func benchFigure(b *testing.B, db *decorr.DB, sql string) {
@@ -594,4 +594,121 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 		b.Fatalf("observability overhead %.2f%% exceeds the 5%% budget (bare %.0f ns/op, observed %.0f ns/op)",
 			pct, nsBare, nsObserved)
 	}
+}
+
+// fanoutOnce builds the high-fan-out workload of the batched-subquery
+// benchmark: 600 outer rows sharing 61 distinct correlation values probe a
+// 2000-row inner table with NO index on the correlation column. Per-row
+// nested iteration pays a full inner scan per outer row (600 scans); the
+// batched executor collapses the fan-out to one decorrelated execution of
+// the shared signature.
+var fanoutOnce = sync.OnceValue(func() *decorr.DB {
+	db := decorr.NewDB()
+	outr := db.Create(decorr.NewTable("outr",
+		decorr.Column{Name: "id", Type: decorr.TInt},
+		decorr.Column{Name: "k", Type: decorr.TInt}))
+	for i := 0; i < 600; i++ {
+		if err := outr.Insert(decorr.Row{decorr.Int(int64(i)), decorr.Int(int64(i % 61))}); err != nil {
+			panic(err)
+		}
+	}
+	innr := db.Create(decorr.NewTable("innr",
+		decorr.Column{Name: "k", Type: decorr.TInt},
+		decorr.Column{Name: "v", Type: decorr.TInt}))
+	for i := 0; i < 2000; i++ {
+		if err := innr.Insert(decorr.Row{decorr.Int(int64(i % 40)), decorr.Int(int64(i))}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+})
+
+const fanoutQuery = `Select O.id From outr O
+Where Exists (Select * From innr I Where I.k = O.k)
+Order By O.id`
+
+// BenchmarkFigureBatchedFanout measures runtime subquery batching against
+// per-row nested iteration on the high-fan-out shape NIBatch targets. The
+// speedup sub-benchmark interleaves both strategies in one timed loop
+// (verifying identical rows in identical order on the first iteration) and
+// reports the wall-clock ratio; make bench-smoke lands it in
+// BENCH_exec.json.
+func BenchmarkFigureBatchedFanout(b *testing.B) {
+	prep := func(b *testing.B, db *decorr.DB, s decorr.Strategy) *decorr.Prepared {
+		e := decorr.NewEngine(db)
+		e.Workers = 1
+		p, err := e.Prepare(fanoutQuery, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	b.Run("ni", func(b *testing.B) {
+		p := prep(b, fanoutOnce(), decorr.NI)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		p := prep(b, fanoutOnce(), decorr.NIBatch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		db := fanoutOnce()
+		pNI := prep(b, db, decorr.NI)
+		pBat := prep(b, db, decorr.NIBatch)
+		niRows, _, err := pNI.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		batRows, batStats, err := pBat.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if batStats.BatchExecutions == 0 {
+			b.Fatal("batched path never engaged on the fan-out workload")
+		}
+		if len(niRows) != len(batRows) {
+			b.Fatalf("NI produced %d rows, NIBatch %d", len(niRows), len(batRows))
+		}
+		for i := range niRows {
+			for j := range niRows[i] {
+				if niRows[i][j].String() != batRows[i][j].String() {
+					b.Fatalf("row %d col %d: NI %q, NIBatch %q",
+						i, j, niRows[i][j], batRows[i][j])
+				}
+			}
+		}
+		var tNI, tBat time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, _, err := pNI.Run(); err != nil {
+				b.Fatal(err)
+			}
+			tNI += time.Since(start)
+			// Collect outside the timed windows so one strategy's garbage
+			// is not charged to the other's wall clock.
+			runtime.GC()
+			start = time.Now()
+			if _, _, err := pBat.Run(); err != nil {
+				b.Fatal(err)
+			}
+			tBat += time.Since(start)
+			runtime.GC()
+		}
+		if tBat > 0 {
+			b.ReportMetric(float64(tNI)/float64(tBat), "speedup/op")
+		}
+	})
 }

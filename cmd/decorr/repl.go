@@ -47,7 +47,7 @@ func repl(eng *decorr.Engine, s decorr.Strategy) {
 				return
 			case trimmed == "\\h" || trimmed == "\\help":
 				fmt.Println(`meta commands:
-  \strategy ni|nimemo|kim|dayal|gw|magic|optmagic|auto
+  \strategy ni|nimemo|nibatch|kim|dayal|gw|magic|optmagic|auto
   \explain   toggle plan printing
   \analyze   toggle per-box profiles
   \timing    toggle wall-clock reporting

@@ -88,7 +88,7 @@ func TestStrategyFlagTable(t *testing.T) {
 			t.Error("empty strategy name")
 		}
 	}
-	for _, want := range []string{"ni", "nimemo", "kim", "dayal", "gw", "magic", "optmagic"} {
+	for _, want := range []string{"ni", "nimemo", "nibatch", "kim", "dayal", "gw", "magic", "optmagic"} {
 		if _, ok := strategies[want]; !ok {
 			t.Errorf("strategy %q missing from the CLI table", want)
 		}

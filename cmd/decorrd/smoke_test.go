@@ -366,7 +366,7 @@ func dialWire(t *testing.T, addr string) net.Conn {
 // The smoke test reuses main's building blocks; keep the flag-validation
 // helpers honest too.
 func TestParseStrategyTable(t *testing.T) {
-	for _, name := range []string{"ni", "nimemo", "kim", "dayal", "gw", "magic", "optmagic", "auto"} {
+	for _, name := range []string{"ni", "nimemo", "nibatch", "kim", "dayal", "gw", "magic", "optmagic", "auto"} {
 		if _, ok := server.ParseStrategy(name); !ok {
 			t.Errorf("strategy %q missing from the server table", name)
 		}

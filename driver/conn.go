@@ -17,7 +17,7 @@ import (
 // locking. broken latches transport failures: once the stream state is
 // unknown the conn reports itself invalid and the pool discards it.
 type conn struct {
-	nc     interface {
+	nc interface {
 		Read([]byte) (int, error)
 		Write([]byte) (int, error)
 		Close() error

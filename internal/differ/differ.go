@@ -30,13 +30,15 @@ type Variant struct {
 }
 
 // Variants lists every configuration the harness checks: the five paper
-// strategies, the memoized baseline, Auto, the §4.4 decorrelation knobs,
+// strategies, the memoized and runtime-batched baselines, Auto, the §4.4
+// decorrelation knobs,
 // the §5.3 CSE ablation, magic sets, a cleanup rule toggle that disables
 // predicate pushdown and projection pruning, and the rowmode pair that
 // pits the row-at-a-time executor against the vectorized oracle.
 func Variants() []Variant {
 	return []Variant{
 		{Name: "nimemo", Strategy: engine.NIMemo},
+		{Name: "nibatch", Strategy: engine.NIBatch},
 		{Name: "kim", Strategy: engine.Kim, Tolerant: true},
 		{Name: "dayal", Strategy: engine.Dayal, Tolerant: true},
 		{Name: "gw", Strategy: engine.GanskiWong, Tolerant: true},

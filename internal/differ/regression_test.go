@@ -22,9 +22,13 @@ package differ_test
 //     invalid graph. Fixed by gating optFeed on row-contributing kinds.
 
 import (
+	"math"
 	"testing"
 
 	"decorr/internal/differ"
+	"decorr/internal/schema"
+	"decorr/internal/sqltypes"
+	"decorr/internal/storage"
 )
 
 func TestDifferRegression_magic_empdept_16000090(t *testing.T) {
@@ -114,4 +118,89 @@ func TestDifferRegression_optmagic_tpcd_59000219(t *testing.T) {
 		differ.DBSpec{Schema: "tpcd", Seed: 59000219, Size: 8},
 		"optmagic",
 		`select o.p_brand from parts o where o.p_retailprice <> 0.5 and (o.p_container < 'MED BOX' or o.p_retailprice is null) and o.p_retailprice in (select i1.l_suppkey from lineitem i1 where i1.l_quantity is not null and i1.l_partkey = o.p_partkey)`)
+}
+
+// The binding-key canonicalization pins. The memoized and batched NI
+// executors share subquery results between outer tuples whose correlation
+// bindings encode to the same sqltypes key, so the key's equality notion
+// must be exactly the grouping notion the comparisons use: NULL and the
+// empty string must stay distinct keys, while numerically equal values of
+// different kinds (1 vs 1.0, -0.0 vs 0.0) may share one — sharing is only
+// sound because comparison equality agrees. Each test hand-builds the
+// witness data the generated schemas cannot express and checks both
+// result-sharing variants against the per-tuple NI oracle.
+
+func bindingKeyStringDB() *storage.DB {
+	db := storage.NewDB()
+	outr := db.Create(schema.NewTable("outr",
+		schema.Column{Name: "id", Type: schema.TInt},
+		schema.Column{Name: "s", Type: schema.TString}))
+	for i, v := range []sqltypes.Value{
+		sqltypes.Null, sqltypes.NewString(""), sqltypes.NewString("x"),
+		sqltypes.NewString(""), sqltypes.Null,
+	} {
+		if err := outr.Insert(storage.Row{sqltypes.NewInt(int64(i)), v}); err != nil {
+			panic(err)
+		}
+	}
+	innr := db.Create(schema.NewTable("innr",
+		schema.Column{Name: "s", Type: schema.TString},
+		schema.Column{Name: "v", Type: schema.TInt}))
+	for i, v := range []sqltypes.Value{
+		sqltypes.NewString(""), sqltypes.NewString("x"), sqltypes.NewString("x"), sqltypes.Null,
+	} {
+		if err := innr.Insert(storage.Row{v, sqltypes.NewInt(int64(10 + i))}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+func bindingKeyNumericDB() *storage.DB {
+	db := storage.NewDB()
+	outr := db.Create(schema.NewTable("outr",
+		schema.Column{Name: "id", Type: schema.TInt},
+		schema.Column{Name: "k", Type: schema.TFloat}))
+	// Mixed kinds in one correlation column: int 1 vs float 1.0 and
+	// -0.0 vs 0.0 vs int 0 must behave exactly as comparison equality does.
+	for i, v := range []sqltypes.Value{
+		sqltypes.NewInt(1), sqltypes.NewFloat(1.0),
+		sqltypes.NewFloat(math.Copysign(0, -1)), sqltypes.NewFloat(0.0), sqltypes.NewInt(0),
+		sqltypes.NewFloat(2.5), sqltypes.Null,
+	} {
+		if err := outr.Insert(storage.Row{sqltypes.NewInt(int64(i)), v}); err != nil {
+			panic(err)
+		}
+	}
+	innr := db.Create(schema.NewTable("innr",
+		schema.Column{Name: "k", Type: schema.TFloat}))
+	for _, v := range []sqltypes.Value{
+		sqltypes.NewFloat(1.0), sqltypes.NewInt(0), sqltypes.NewFloat(2.5), sqltypes.Null,
+	} {
+		if err := innr.Insert(storage.Row{v}); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+func TestDifferRegression_bindingkey_null_vs_empty(t *testing.T) {
+	const sql = `select o.id, (select count(*) from innr i where i.s = o.s) from outr o`
+	for _, variant := range []string{"nimemo", "nibatch"} {
+		differ.CheckSQLOnDB(t, bindingKeyStringDB(), "bindingkey-strings", variant, sql)
+	}
+}
+
+func TestDifferRegression_bindingkey_null_vs_empty_exists(t *testing.T) {
+	const sql = `select o.id from outr o where exists (select * from innr i where i.s = o.s)`
+	for _, variant := range []string{"nimemo", "nibatch"} {
+		differ.CheckSQLOnDB(t, bindingKeyStringDB(), "bindingkey-strings", variant, sql)
+	}
+}
+
+func TestDifferRegression_bindingkey_int_float_zero(t *testing.T) {
+	const sql = `select o.id, (select count(*) from innr i where i.k = o.k) from outr o`
+	for _, variant := range []string{"nimemo", "nibatch"} {
+		differ.CheckSQLOnDB(t, bindingKeyNumericDB(), "bindingkey-numeric", variant, sql)
+	}
 }

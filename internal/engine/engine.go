@@ -30,7 +30,7 @@ import (
 
 // Strategy selects how (whether) a correlated query is decorrelated before
 // execution — the five algorithms of the paper's §5.1 plus the memoized
-// nested-iteration baseline.
+// and runtime-batched nested-iteration baselines.
 type Strategy int
 
 const (
@@ -55,8 +55,21 @@ const (
 	OptMagic
 	// Auto optimizes the query twice — once as written, once magic
 	// decorrelated — estimates both plans, and keeps the cheaper (§7:
-	// "The better of the two optimized plans is chosen").
+	// "The better of the two optimized plans is chosen"). When the NI
+	// plan wins and still contains correlated subqueries, Auto executes
+	// it with runtime batching (NIBatch) — the mid-point between full
+	// nested iteration and full rewrite.
 	Auto
+	// NIBatch is nested iteration with runtime subquery batching: the
+	// graph runs as bound (no rewrite), but correlated subqueries
+	// evaluate set-at-a-time over the distinct outer bindings — once per
+	// distinct binding in general, exactly once as a decorrelated
+	// partition/probe when the correlation is root-level equalities only.
+	// Rows, ordering, and typed errors are identical to NI; the fan-out
+	// collapse shows up in Stats.BatchExecutions. Appended after Auto so
+	// existing strategy fingerprints (plan-cache keys, wire codes) keep
+	// their values.
+	NIBatch
 )
 
 // String names the strategy as in the paper's figures.
@@ -78,12 +91,14 @@ func (s Strategy) String() string {
 		return "OptMag"
 	case Auto:
 		return "Auto"
+	case NIBatch:
+		return "NIBatch"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
 // Strategies lists all strategies in presentation order.
-var Strategies = []Strategy{NI, NIMemo, Kim, Dayal, GanskiWong, Magic, OptMagic, Auto}
+var Strategies = []Strategy{NI, NIMemo, NIBatch, Kim, Dayal, GanskiWong, Magic, OptMagic, Auto}
 
 // Engine prepares and runs queries against one database.
 type Engine struct {
@@ -476,8 +491,9 @@ func (e *Engine) prepareStages(sql string, q ast.QueryExpr, s Strategy, traced b
 	}
 	decorStart := time.Now()
 	switch s {
-	case NI, NIMemo:
-		// Nested iteration runs the graph as bound.
+	case NI, NIMemo, NIBatch:
+		// Nested iteration runs the graph as bound; NIMemo and NIBatch
+		// differ only in executor options.
 	case Kim:
 		if err := classic.ApplyKim(g); err != nil {
 			return nil, err
@@ -504,10 +520,10 @@ func (e *Engine) prepareStages(sql string, q ast.QueryExpr, s Strategy, traced b
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", s)
 	}
-	if s != NI && s != NIMemo {
+	if s != NI && s != NIMemo && s != NIBatch {
 		// stage.decorrelate covers every strategy rewrite (classic methods
-		// included); NI/NIMemo do no rewrite and would only pollute the
-		// low buckets.
+		// included); the nested-iteration family does no rewrite and would
+		// only pollute the low buckets.
 		histDecorrelate.Observe(time.Since(decorStart).Nanoseconds())
 	}
 	if err := e.cleanup(g, "cleanup-post"); err != nil {
@@ -576,6 +592,7 @@ func (e *Engine) prepareAuto(sql string, q ast.QueryExpr, traced bool) (*Prepare
 		}
 		// Decorrelation failing is not fatal for Auto; fall back to NI.
 		ni.Strategy = Auto
+		autoBatchNI(ni)
 		return ni, nil
 	}
 	best := ni
@@ -583,7 +600,42 @@ func (e *Engine) prepareAuto(sql string, q ast.QueryExpr, traced bool) (*Prepare
 		best = mag
 	}
 	best.Strategy = Auto
+	if best == ni {
+		autoBatchNI(best)
+	}
 	return best, nil
+}
+
+// autoBatchNI upgrades an Auto-selected NI plan to runtime batching when
+// the graph still contains sibling-correlated subqueries — the mid-point
+// between full nested iteration and full rewrite. The batched executor
+// produces bit-identical rows and falls back to plain per-tuple NI for
+// shapes it cannot serve, so the upgrade never changes results; it only
+// collapses the per-outer-row fan-out the cost model picked NI despite.
+func autoBatchNI(p *Prepared) {
+	if hasBatchableCorrelation(p.Graph) {
+		p.Chosen = NIBatch
+	}
+}
+
+// hasBatchableCorrelation reports whether any scalar/existential/universal
+// quantifier's input is correlated to sibling quantifiers of its own box —
+// exactly the executor's nested-iteration fan-out condition (laterals
+// excluded: their evaluation is order-sensitive and never batched).
+func hasBatchableCorrelation(g *qgm.Graph) bool {
+	for _, b := range qgm.Boxes(g.Root) {
+		for _, q := range b.Quants {
+			if q.Kind == qgm.QForEach {
+				continue
+			}
+			for _, r := range qgm.FreeRefs(q.Input) {
+				if r.Q.Owner == q.Owner && !r.Q.Kind.IsSubquery() {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // orderer exposes the executor's static nested-iteration join order to the
@@ -657,7 +709,8 @@ func (p *Prepared) RunParamsContext(ctx context.Context, params []sqltypes.Value
 	}()
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
-		MemoizeCorrelated: p.Strategy == NIMemo,
+		MemoizeCorrelated: p.Chosen == NIMemo,
+		BatchCorrelated:   p.Chosen == NIBatch,
 		Workers:           p.engine.Workers,
 		Tracer:            p.engine.Tracer,
 		Params:            params,
@@ -709,7 +762,8 @@ func (p *Prepared) ExplainAnalyzeContext(ctx context.Context) (out string, err e
 	}()
 	ex := exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
-		MemoizeCorrelated: p.Strategy == NIMemo,
+		MemoizeCorrelated: p.Chosen == NIMemo,
+		BatchCorrelated:   p.Chosen == NIBatch,
 		Workers:           p.engine.Workers,
 		Tracer:            p.engine.Tracer,
 		Ctx:               ctx,

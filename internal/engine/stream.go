@@ -79,7 +79,8 @@ func (p *Prepared) StreamWithOpts(ctx context.Context, params []sqltypes.Value, 
 	}
 	s.ex = exec.New(p.engine.DB, exec.Options{
 		MaterializeCSE:    p.engine.MaterializeCSE,
-		MemoizeCorrelated: p.Strategy == NIMemo,
+		MemoizeCorrelated: p.Chosen == NIMemo,
+		BatchCorrelated:   p.Chosen == NIBatch,
 		Workers:           workers,
 		Tracer:            p.engine.Tracer,
 		Params:            params,

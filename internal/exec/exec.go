@@ -28,6 +28,15 @@ type Options struct {
 	// MemoizeCorrelated caches correlated subquery results per binding —
 	// the NI-with-memo variant used as an extra baseline.
 	MemoizeCorrelated bool
+	// BatchCorrelated evaluates correlated subqueries set-at-a-time — the
+	// NIBatch strategy. Where nested iteration would re-evaluate one
+	// correlated subtree per outer tuple, the executor collects the
+	// distinct correlation bindings of the whole outer stream and runs the
+	// subtree once per distinct binding — or, when the correlation is
+	// root-level equalities only, exactly once as a decorrelated
+	// partition/probe (see batch_subquery.go). Rows, ordering, Stats
+	// determinism, and typed errors match NI at every worker count.
+	BatchCorrelated bool
 	// Workers bounds intra-query parallelism: the number of goroutines
 	// (including the caller) the morsel scheduler may use for one Run.
 	// Zero or negative selects runtime.GOMAXPROCS(0); one forces the
@@ -86,10 +95,15 @@ type Exec struct {
 
 	freeRefs map[*qgm.Box][]qgm.RefKey
 	refCount map[*qgm.Box]int
-	cse      map[*qgm.Box][]storage.Row
-	cseVecs  map[*qgm.Box]*cseVecEntry
-	memo     map[*qgm.Box]map[string][]storage.Row
-	bindings map[*qgm.Box]map[string]bool
+	// volatileBox marks boxes whose subtree reads a synthetic (sys.*) or
+	// storageless relation; their results are never shared across
+	// bindings. Written only by analyze (before any fan-out) and
+	// read-only afterwards, like freeRefs.
+	volatileBox map[*qgm.Box]bool
+	cse         map[*qgm.Box][]storage.Row
+	cseVecs     map[*qgm.Box]*cseVecEntry
+	memo        map[*qgm.Box]map[string][]storage.Row
+	bindings    map[*qgm.Box]map[string]bool
 
 	estMu    sync.Mutex
 	est      map[*qgm.Box]float64
@@ -103,7 +117,6 @@ type Exec struct {
 	colOK  bool
 	colSel map[*qgm.Box]bool
 	colGrp map[*qgm.Box]bool
-
 }
 
 // idSel caches one shared identity selection vector (0,1,2,...) for the
@@ -149,20 +162,21 @@ func New(db *storage.DB, opts Options) *Exec {
 		w = 1
 	}
 	return &Exec{
-		db:       db,
-		opts:     opts,
-		workers:  w,
-		sem:      make(chan struct{}, w-1),
-		freeRefs: map[*qgm.Box][]qgm.RefKey{},
-		refCount: map[*qgm.Box]int{},
-		cse:      map[*qgm.Box][]storage.Row{},
-		cseVecs:  map[*qgm.Box]*cseVecEntry{},
-		memo:     map[*qgm.Box]map[string][]storage.Row{},
-		bindings: map[*qgm.Box]map[string]bool{},
-		est:      map[*qgm.Box]float64{},
-		colOK:    !opts.DisableColumnar && os.Getenv("DECORR_ROWMODE") == "",
-		colSel:   map[*qgm.Box]bool{},
-		colGrp:   map[*qgm.Box]bool{},
+		db:          db,
+		opts:        opts,
+		workers:     w,
+		sem:         make(chan struct{}, w-1),
+		freeRefs:    map[*qgm.Box][]qgm.RefKey{},
+		refCount:    map[*qgm.Box]int{},
+		volatileBox: map[*qgm.Box]bool{},
+		cse:         map[*qgm.Box][]storage.Row{},
+		cseVecs:     map[*qgm.Box]*cseVecEntry{},
+		memo:        map[*qgm.Box]map[string][]storage.Row{},
+		bindings:    map[*qgm.Box]map[string]bool{},
+		est:         map[*qgm.Box]float64{},
+		colOK:       !opts.DisableColumnar && os.Getenv("DECORR_ROWMODE") == "",
+		colSel:      map[*qgm.Box]bool{},
+		colGrp:      map[*qgm.Box]bool{},
 	}
 }
 
@@ -171,6 +185,8 @@ func statsDelta(before, after Stats) Stats {
 		SubqueryInvocations: after.SubqueryInvocations - before.SubqueryInvocations,
 		DistinctInvocations: after.DistinctInvocations - before.DistinctInvocations,
 		MemoHits:            after.MemoHits - before.MemoHits,
+		BatchedSubqueries:   after.BatchedSubqueries - before.BatchedSubqueries,
+		BatchExecutions:     after.BatchExecutions - before.BatchExecutions,
 		BoxEvals:            after.BoxEvals - before.BoxEvals,
 		RowsScanned:         after.RowsScanned - before.RowsScanned,
 		IndexLookups:        after.IndexLookups - before.IndexLookups,
@@ -194,6 +210,8 @@ func publishStats(d Stats) {
 	trace.Metrics.Counter("exec.hash_builds").Add(d.HashBuilds)
 	trace.Metrics.Counter("exec.cse_recomputes").Add(d.CSERecomputes)
 	trace.Metrics.Counter("exec.memo_hits").Add(d.MemoHits)
+	trace.Metrics.Counter("exec.batched_subqueries").Add(d.BatchedSubqueries)
+	trace.Metrics.Counter("exec.batch_executions").Add(d.BatchExecutions)
 	trace.Metrics.Gauge("exec.last_work").Set(d.Work())
 }
 
@@ -275,6 +293,11 @@ func (ex *Exec) analyze(root *qgm.Box) {
 	for _, b := range boxes {
 		if _, ok := ex.freeRefs[b]; !ok {
 			ex.freeRefs[b] = dedupRefs(qgm.FreeRefs(b))
+		}
+	}
+	for _, b := range boxes {
+		if _, ok := ex.volatileBox[b]; !ok {
+			computeVolatile(ex.db, b, ex.volatileBox)
 		}
 	}
 	ex.refCount = map[*qgm.Box]int{}
@@ -374,7 +397,7 @@ func (ex *Exec) evalSubqueryInput(b *qgm.Box, env *Env) ([]storage.Row, error) {
 		bump(&ex.Stats.DistinctInvocations, 1)
 	}
 	ex.mu.Unlock()
-	if ex.opts.MemoizeCorrelated {
+	if ex.opts.MemoizeCorrelated && !ex.subtreeVolatile(b) {
 		ex.mu.Lock()
 		m := ex.memo[b]
 		if m == nil {

@@ -31,7 +31,8 @@ type Limits struct {
 	MaxIntermediateRows int64
 	// MaxTrackedBytes caps the approximate bytes held in the executor's
 	// materializations: hash-join and subquery hash builds, NI-memo
-	// entries, and CSE caches. Exceeding it is ErrMemBudget.
+	// entries, CSE caches, and the batch path's bindings relation and
+	// partitioned results. Exceeding it is ErrMemBudget.
 	MaxTrackedBytes int64
 }
 
@@ -246,6 +247,16 @@ func (ex *Exec) govBytes(rows []storage.Row) error {
 		return nil
 	}
 	return ex.gov.addBytes(rowsBytes(rows))
+}
+
+// govAddBytes charges n pre-computed tracked bytes — the batch path's
+// bindings relation, whose size is the encoded key lengths rather than a
+// row set.
+func (ex *Exec) govAddBytes(n int64) error {
+	if ex.gov == nil {
+		return nil
+	}
+	return ex.gov.addBytes(n)
 }
 
 // rowsBytes approximates the in-memory size of a row set: a fixed

@@ -53,6 +53,17 @@ func (ex *Exec) evalSelect(b *qgm.Box, env *Env) ([]storage.Row, error) {
 // result is the fully bound, fully filtered tuple stream awaiting
 // projection.
 func (ex *Exec) selectTuples(b *qgm.Box, env *Env) ([]*Env, error) {
+	return ex.selectTuplesSkip(b, env, nil)
+}
+
+// selectTuplesSkip is selectTuples with a predicate skip set: the batched
+// subquery path strips the correlated equalities (identified by pointer
+// identity) from the root and re-applies their filtering as a
+// partition/probe step. A skipped predicate never enters the plan, so it
+// cannot drive index or hash-join placement either — the set-oriented
+// execution deliberately trades those per-binding access paths for one
+// shared pass.
+func (ex *Exec) selectTuplesSkip(b *qgm.Box, env *Env, skip map[qgm.Expr]bool) ([]*Env, error) {
 	own := map[*qgm.Quantifier]bool{}
 	for _, q := range b.Quants {
 		own[q] = true
@@ -60,6 +71,9 @@ func (ex *Exec) selectTuples(b *qgm.Box, env *Env) ([]*Env, error) {
 
 	preds := make([]*selPred, 0, len(b.Preds))
 	for _, p := range b.Preds {
+		if skip[p] {
+			continue
+		}
 		pi := &selPred{expr: p, deps: map[*qgm.Quantifier]bool{}}
 		for q := range qgm.QuantSet(p) {
 			if !own[q] {
@@ -236,7 +250,30 @@ func (ex *Exec) bindScalar(q *qgm.Quantifier, deps map[*qgm.Quantifier]bool, tup
 		}
 		return out, nil
 	}
-	// Correlated: one subquery evaluation per outer tuple, fanned out.
+	// Correlated. Under BatchCorrelated the whole outer stream evaluates
+	// set-at-a-time; the at-most-one-row check applies per tuple to its
+	// probed rows, so cardinality errors surface exactly as in the
+	// per-tuple loop below.
+	if per, ok, err := ex.batchSubqueryRows(q, tuples, env); err != nil {
+		return nil, err
+	} else if ok {
+		chunks, err := parallelChunks(ex, len(tuples), subqMorsel, func(lo, hi int) ([]*Env, error) {
+			out := make([]*Env, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				row, err := scalarRow(per[i], width)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Bind(tuples[i], q, row))
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return concat(chunks), nil
+	}
+	// One subquery evaluation per outer tuple, fanned out.
 	return parallelMap(ex, tuples, subqMorsel, func(t *Env) (*Env, error) {
 		rows, err := ex.evalSubqueryInput(q.Input, t)
 		if err != nil {

@@ -22,6 +22,15 @@ type Stats struct {
 	// MemoHits counts correlated evaluations served from the NI-memo
 	// cache (only with Options.MemoizeCorrelated).
 	MemoHits int64
+	// BatchedSubqueries counts correlated evaluations served by the
+	// set-at-a-time batch path instead of per-tuple iteration (only with
+	// Options.BatchCorrelated). Each one is also a SubqueryInvocation.
+	BatchedSubqueries int64
+	// BatchExecutions counts subtree executions the batch path performed:
+	// one per batch on the single-execution path, one per distinct
+	// binding on the per-binding fallback. The fan-out collapse is the
+	// ratio BatchedSubqueries / BatchExecutions.
+	BatchExecutions int64
 	// BoxEvals counts box evaluations of any kind.
 	BoxEvals int64
 	// RowsScanned counts base-table rows produced by full scans.
@@ -56,6 +65,8 @@ func (s *Stats) AtomicClone() Stats {
 		SubqueryInvocations: atomic.LoadInt64(&s.SubqueryInvocations),
 		DistinctInvocations: atomic.LoadInt64(&s.DistinctInvocations),
 		MemoHits:            atomic.LoadInt64(&s.MemoHits),
+		BatchedSubqueries:   atomic.LoadInt64(&s.BatchedSubqueries),
+		BatchExecutions:     atomic.LoadInt64(&s.BatchExecutions),
 		BoxEvals:            atomic.LoadInt64(&s.BoxEvals),
 		RowsScanned:         atomic.LoadInt64(&s.RowsScanned),
 		IndexLookups:        atomic.LoadInt64(&s.IndexLookups),
@@ -71,6 +82,8 @@ func (s *Stats) Add(o Stats) {
 	s.SubqueryInvocations += o.SubqueryInvocations
 	s.DistinctInvocations += o.DistinctInvocations
 	s.MemoHits += o.MemoHits
+	s.BatchedSubqueries += o.BatchedSubqueries
+	s.BatchExecutions += o.BatchExecutions
 	s.BoxEvals += o.BoxEvals
 	s.RowsScanned += o.RowsScanned
 	s.IndexLookups += o.IndexLookups
@@ -94,6 +107,9 @@ func (s Stats) String() string {
 		s.RowsJoined, s.RowsGrouped, s.BoxEvals, s.HashBuilds, s.CSERecomputes)
 	if s.MemoHits > 0 {
 		fmt.Fprintf(&b, " memo-hits=%d", s.MemoHits)
+	}
+	if s.BatchedSubqueries > 0 {
+		fmt.Fprintf(&b, " batched=%d batch-execs=%d", s.BatchedSubqueries, s.BatchExecutions)
 	}
 	return b.String()
 }

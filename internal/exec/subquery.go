@@ -23,8 +23,34 @@ func (ex *Exec) bindSubqueryCheck(li *lateQuant, tuples []*Env, env *Env) ([]*En
 		}
 	}
 	if inputLocal {
-		// Correlated to sibling quantifiers: evaluate per tuple. This is
-		// the nested-iteration hot loop, fanned out over outer bindings.
+		// Correlated to sibling quantifiers. Under BatchCorrelated the
+		// whole outer stream evaluates set-at-a-time; the quantifier
+		// condition is order-insensitive over each tuple's materialized
+		// rows, so probing the batched results per tuple is exactly the
+		// per-tuple evaluation below.
+		if per, ok, err := ex.batchSubqueryRows(q, tuples, env); err != nil {
+			return nil, err
+		} else if ok {
+			kept, err := parallelChunks(ex, len(tuples), subqMorsel, func(lo, hi int) ([]*Env, error) {
+				var out []*Env
+				for i := lo; i < hi; i++ {
+					pass, err := ex.quantCond(q, li.ties, per[i], tuples[i])
+					if err != nil {
+						return nil, err
+					}
+					if pass {
+						out = append(out, tuples[i])
+					}
+				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return concat(kept), nil
+		}
+		// Evaluate per tuple: the nested-iteration hot loop, fanned out
+		// over outer bindings.
 		return parallelFilter(ex, tuples, subqMorsel, func(t *Env) (bool, error) {
 			rows, err := ex.evalSubqueryInput(q.Input, t)
 			if err != nil {

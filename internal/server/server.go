@@ -250,13 +250,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // strategyNames maps handshake strategy options to engine strategies,
 // matching the CLI's -strategy vocabulary plus "auto".
 var strategyNames = map[string]engine.Strategy{
-	"ni": engine.NI, "nimemo": engine.NIMemo, "kim": engine.Kim,
-	"dayal": engine.Dayal, "gw": engine.GanskiWong,
+	"ni": engine.NI, "nimemo": engine.NIMemo, "nibatch": engine.NIBatch,
+	"kim": engine.Kim, "dayal": engine.Dayal, "gw": engine.GanskiWong,
 	"magic": engine.Magic, "optmagic": engine.OptMagic, "auto": engine.Auto,
 }
 
 // ParseStrategy resolves a strategy name from the handshake/DSN
-// vocabulary (ni, nimemo, kim, dayal, gw, magic, optmagic, auto).
+// vocabulary (ni, nimemo, nibatch, kim, dayal, gw, magic, optmagic, auto).
 func ParseStrategy(name string) (engine.Strategy, bool) {
 	s, ok := strategyNames[strings.ToLower(name)]
 	return s, ok

@@ -83,8 +83,8 @@ type enc struct {
 	buf []byte
 }
 
-func (e *enc) u8(b byte)    { e.buf = append(e.buf, b) }
-func (e *enc) bool(b bool)  { e.buf = append(e.buf, boolByte(b)) }
+func (e *enc) u8(b byte)   { e.buf = append(e.buf, b) }
+func (e *enc) bool(b bool) { e.buf = append(e.buf, boolByte(b)) }
 func (e *enc) uvarint(v uint64) {
 	e.buf = binary.AppendUvarint(e.buf, v)
 }
