@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke fault-smoke obs-smoke server-smoke
+.PHONY: check vet build test bench bench-smoke fmt fuzz-smoke fault-smoke obs-smoke server-smoke chaos-smoke
 
 # check is the CI gate: static analysis, a full build, and the test suite
 # under the race detector.
@@ -58,6 +58,18 @@ obs-smoke:
 server-smoke:
 	BENCH_SERVER_JSON=$(CURDIR)/BENCH_server.json $(GO) test -run TestServerSmoke -v -count=1 -timeout 300s ./cmd/decorrd
 	@echo "wrote BENCH_server.json ($$(wc -c < BENCH_server.json) bytes)"
+
+# chaos-smoke extends the fault-injection contract to the wire: a real
+# decorrd subprocess runs with seeded faults at every protocol frame
+# (torn writes, abandoned reads, latency) while concurrent database/sql
+# clients hammer it and a SIGTERM drains it mid-run. Every client must
+# end with correct rows (bag-compared against a fault-free run) or a
+# cleanly classifiable typed error — no wrong answers, hangs, or
+# crashes — and a million-row stream must survive a graceful drain to
+# its last row (TestChaosSmoke). Outcome counts land in BENCH_chaos.json.
+chaos-smoke:
+	BENCH_CHAOS_JSON=$(CURDIR)/BENCH_chaos.json $(GO) test -run TestChaosSmoke -v -count=1 -timeout 300s ./cmd/decorrd
+	@echo "wrote BENCH_chaos.json ($$(wc -c < BENCH_chaos.json) bytes)"
 
 # fuzz-smoke runs the differential correctness harness deterministically:
 # a fixed seed, 200 generated queries, every strategy and knob combination

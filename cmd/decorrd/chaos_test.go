@@ -1,0 +1,427 @@
+package main
+
+import (
+	"context"
+	"database/sql"
+	sqldriver "database/sql/driver"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	decdrv "decorr/driver"
+	"decorr/internal/engine"
+	"decorr/internal/tpcd"
+	"decorr/internal/trace"
+	"decorr/internal/wire"
+)
+
+// TestChaosSmoke is the `make chaos-smoke` target: the serving layer's
+// end-to-end robustness contract under network faults and shutdown.
+//
+// wire-faults starts a real decorrd subprocess with seeded fault
+// injection at every protocol frame read and write (torn frames,
+// abandoned reads, injected latency), hammers it with concurrent
+// database/sql clients, and SIGTERMs it mid-run. Every client-visible
+// outcome must be either the exact correct result (bag-compared against
+// a fault-free in-process run of the same seeded dataset) or an error
+// cleanly classifiable with errors.Is/As — never a wrong answer, an
+// unexplained failure, or a hang. The process must exit 0.
+//
+// drain-stream pins the graceful-drain guarantee without chaos: a
+// million-row stream is mid-flight when SIGTERM arrives; new work must
+// be refused with a retryable CodeUnavailable the driver backs off on,
+// the in-flight stream must complete to the last row, and the process
+// must then exit 0.
+//
+// With BENCH_CHAOS_JSON set (the Makefile sets it), the run's outcome
+// counts are written there as machine-readable results.
+func TestChaosSmoke(t *testing.T) {
+	var res chaosResult
+	res.Short = testing.Short()
+	t.Run("wire-faults", func(t *testing.T) { chaosWireFaults(t, &res) })
+	t.Run("drain-stream", func(t *testing.T) { chaosDrainStream(t, &res) })
+	if path := os.Getenv("BENCH_CHAOS_JSON"); path != "" && !t.Failed() {
+		writeChaosBench(t, path, res)
+	}
+}
+
+// chaosQuery is one workload entry: SQL plus its fault-free reference
+// bag.
+type chaosQuery struct {
+	sql  string
+	want []string
+}
+
+func chaosWireFaults(t *testing.T, res *chaosResult) {
+	const (
+		nEmp    = 5000
+		clients = 6
+		opsEach = 30
+	)
+
+	// Fault-free reference bags from an in-process engine over the exact
+	// dataset decorrd will serve (same generator parameters and seed).
+	eng := engine.New(tpcd.EmpDeptSized(40, nEmp, 6, 42))
+	queries := []chaosQuery{
+		{sql: tpcd.ExampleQuery},
+		{sql: "select name, building from emp where building = 'B1'"},
+		{sql: "select name, budget from dept where budget > 100"},
+		{sql: "select count(*) from emp"},
+	}
+	for i := range queries {
+		rows, _, err := eng.Query(queries[i].sql, engine.Auto)
+		if err != nil {
+			t.Fatalf("reference run of %q: %v", queries[i].sql, err)
+		}
+		bag := make([]string, len(rows))
+		for j, r := range rows {
+			s := ""
+			for k, v := range r {
+				if k > 0 {
+					s += "|"
+				}
+				s += v.String()
+			}
+			bag[j] = s
+		}
+		sort.Strings(bag)
+		queries[i].want = bag
+	}
+
+	p := startDecorrdProc(t, nEmp,
+		"-max-sessions", "128",
+		"-drain", "60s",
+		"-chaos-seed", "7",
+		"-chaos-read-err-every", "40",
+		"-chaos-write-err-every", "40",
+		"-chaos-latency-every", "25",
+		"-chaos-latency", "2ms",
+	)
+
+	var (
+		mu           sync.Mutex
+		categories   = map[string]int{}
+		unclassified []string
+		wrong        []string
+		opsDone      atomic.Int64
+		okOps        atomic.Int64
+		termOnce     sync.Once
+	)
+	record := func(cat, detail string) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch cat {
+		case "":
+			unclassified = append(unclassified, detail)
+		case "WRONG":
+			wrong = append(wrong, detail)
+		default:
+			categories[cat]++
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			dsn := fmt.Sprintf("decorr://%s?fetch=512&retries=6&retry_seed=%d&dial_timeout=2s", p.addr, worker+1)
+			db, err := sql.Open("decorr", dsn)
+			if err != nil {
+				record("", fmt.Sprintf("open: %v", err))
+				return
+			}
+			defer db.Close()
+			for op := 0; op < opsEach; op++ {
+				q := queries[(worker*opsEach+op)%len(queries)]
+				runChaosOp(db, q, record, &okOps)
+				// Halfway through the total workload, begin a graceful
+				// drain under full fault load.
+				if opsDone.Add(1) == int64(clients*opsEach/2) {
+					termOnce.Do(func() { p.signal(syscall.SIGTERM) })
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	termOnce.Do(func() { p.signal(syscall.SIGTERM) }) // in case ops raced the halfway mark
+
+	if err := p.waitExit(t, 90*time.Second); err != nil {
+		t.Errorf("decorrd exit under chaos+drain = %v, want status 0", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	t.Logf("chaos outcomes: %d ok, clean errors %v", okOps.Load(), categories)
+	if len(wrong) > 0 {
+		t.Errorf("WRONG ANSWERS under faults (%d):\n%s", len(wrong), wrong[0])
+	}
+	if len(unclassified) > 0 {
+		t.Errorf("unclassifiable errors (%d), e.g.:\n%s", len(unclassified), unclassified[0])
+	}
+	if okOps.Load() == 0 {
+		t.Error("no operation ever succeeded under the configured fault rates")
+	}
+	res.Ops = int64(clients * opsEach)
+	res.OkOps = okOps.Load()
+	res.CleanErrors = map[string]int{}
+	for k, v := range categories {
+		res.CleanErrors[k] = v
+	}
+	res.WrongAnswers = len(wrong)
+	res.Unclassified = len(unclassified)
+}
+
+// runChaosOp runs one query and either verifies its rows against the
+// reference bag or classifies its error.
+func runChaosOp(db *sql.DB, q chaosQuery, record func(cat, detail string), okOps *atomic.Int64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rows, err := db.QueryContext(ctx, q.sql)
+	if err != nil {
+		record(classifyChaosErr(err), fmt.Sprintf("query %q: %v", q.sql, err))
+		return
+	}
+	cols, err := rows.Columns()
+	if err != nil {
+		rows.Close()
+		record(classifyChaosErr(err), fmt.Sprintf("columns: %v", err))
+		return
+	}
+	var got []string
+	for rows.Next() {
+		vals := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			rows.Close()
+			record(classifyChaosErr(err), fmt.Sprintf("scan: %v", err))
+			return
+		}
+		s := ""
+		for i, v := range vals {
+			if i > 0 {
+				s += "|"
+			}
+			s += fmt.Sprintf("%v", v)
+		}
+		got = append(got, s)
+	}
+	err = rows.Err()
+	rows.Close()
+	if err != nil {
+		record(classifyChaosErr(err), fmt.Sprintf("stream %q: %v", q.sql, err))
+		return
+	}
+	sort.Strings(got)
+	if len(got) != len(q.want) {
+		record("WRONG", fmt.Sprintf("%q: %d rows, want %d", q.sql, len(got), len(q.want)))
+		return
+	}
+	for i := range got {
+		if got[i] != q.want[i] {
+			record("WRONG", fmt.Sprintf("%q row %d: %q != %q", q.sql, i, got[i], q.want[i]))
+			return
+		}
+	}
+	okOps.Add(1)
+}
+
+// classifyChaosErr buckets an error by the typed identity a client is
+// entitled to rely on. An empty string means unclassifiable — a test
+// failure.
+func classifyChaosErr(err error) string {
+	var werr *wire.Error
+	switch {
+	case errors.As(err, &werr):
+		// Typed server error; includes the exec sentinels via wire.Error.Is.
+		return fmt.Sprintf("wire-code-%d", werr.Code)
+	case errors.Is(err, decdrv.ErrTransport):
+		return "transport"
+	case errors.Is(err, sqldriver.ErrBadConn), errors.Is(err, sql.ErrConnDone):
+		return "badconn"
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.EOF):
+		return "eof"
+	case errors.Is(err, syscall.ECONNREFUSED), errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE):
+		return "conn"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "ctx"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return "net"
+	}
+	return ""
+}
+
+func chaosDrainStream(t *testing.T, res *chaosResult) {
+	nEmp := 1_000_000
+	if testing.Short() {
+		nEmp = 100_000
+	}
+	p := startDecorrdProc(t, nEmp, "-drain", "120s")
+
+	db, err := sql.Open("decorr", fmt.Sprintf("decorr://%s?fetch=4096&retries=6&retry_seed=9&dial_timeout=2s", p.addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	rows, err := db.Query("select name from emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var n int64
+	for n < 1000 && rows.Next() {
+		n++
+	}
+	if n < 1000 {
+		t.Fatalf("stream ended after %d rows: %v", n, rows.Err())
+	}
+
+	// Establish a wire-level session with an open mid-stream cursor
+	// before the drain. Such a session provably survives the drain to
+	// serve its fetches, so it observes the refusal of new work
+	// deterministically — a raw pre-accepted connection would race the
+	// listener close in the kernel's accept backlog.
+	wc := dialWire(t, p.addr)
+	defer wc.Close()
+	wc.SetDeadline(time.Now().Add(60 * time.Second))
+	if err := wire.Write(wc, &wire.Execute{SQL: "select name from emp"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := wire.Read(wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execOK, ok := reply.(*wire.ExecuteOK)
+	if !ok {
+		t.Fatalf("Execute reply %T: %v", reply, reply)
+	}
+	if err := wire.Write(wc, &wire.Fetch{CursorID: execOK.CursorID, MaxRows: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err = wire.Read(wc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.(*wire.Batch); !ok {
+		t.Fatalf("Fetch reply %T: %v", reply, reply)
+	}
+
+	if err := p.signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The listener closing is the observable "drain has begun" edge.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		nc, err := net.DialTimeout("tcp", p.addr, time.Second)
+		if err != nil {
+			break
+		}
+		nc.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting 10s after SIGTERM")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// New work on the surviving session is refused with the retryable
+	// drain code — the typed signal a client backs off on — while its
+	// open cursor keeps streaming.
+	if err := wire.Write(wc, &wire.Execute{SQL: "select count(*) from emp"}); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err = wire.Read(wc); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := reply.(*wire.Error); !ok || e.Code != wire.CodeUnavailable || !e.IsRetryable() || e.RetryAfterMs == 0 {
+		t.Errorf("Execute during drain replied %T %v, want retryable CodeUnavailable with a retry-after hint", reply, reply)
+	}
+	// Release the session's cursor so it cannot hold the drain open.
+	if err := wire.Write(wc, &wire.CloseCursor{CursorID: execOK.CursorID}); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err = wire.Read(wc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.(*wire.CloseOK); !ok {
+		t.Fatalf("CloseCursor reply %T: %v", reply, reply)
+	}
+	wc.Close()
+
+	// A new pool connection cannot be dialed during drain: the driver
+	// backs off and retries (visible in its retry counter) before the
+	// failure surfaces as a clean, classifiable error.
+	retriesBefore := trace.Metrics.Counter("driver.retries").Value()
+	_, qerr := db.Query("select name from dept")
+	if qerr == nil {
+		t.Error("new query during drain unexpectedly succeeded")
+	} else if classifyChaosErr(qerr) == "" {
+		t.Errorf("drain-time query error is unclassifiable: %v", qerr)
+	}
+	if got := trace.Metrics.Counter("driver.retries").Value(); got <= retriesBefore {
+		t.Errorf("driver.retries did not move during drain (%d -> %d)", retriesBefore, got)
+	}
+
+	// The in-flight stream completes to the last row while the server
+	// drains around it.
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("stream under drain failed after %d rows: %v", n, err)
+	}
+	rows.Close()
+	if n != int64(nEmp) {
+		t.Fatalf("stream under drain returned %d rows, want %d", n, nEmp)
+	}
+	elapsed := time.Since(start)
+
+	// With its last cursor closed, the drain completes and the process
+	// exits cleanly.
+	if err := p.waitExit(t, 60*time.Second); err != nil {
+		t.Errorf("decorrd exit after drain = %v, want status 0", err)
+	}
+	res.DrainRows = n
+	res.DrainSeconds = elapsed.Seconds()
+	t.Logf("drained %d rows in %s with a graceful shutdown mid-stream", n, elapsed.Round(time.Millisecond))
+}
+
+type chaosResult struct {
+	Ops          int64          `json:"ops"`
+	OkOps        int64          `json:"ok_ops"`
+	CleanErrors  map[string]int `json:"clean_errors"`
+	WrongAnswers int            `json:"wrong_answers"`
+	Unclassified int            `json:"unclassified_errors"`
+	DrainRows    int64          `json:"drain_rows"`
+	DrainSeconds float64        `json:"drain_seconds"`
+	Short        bool           `json:"short"`
+}
+
+func writeChaosBench(t *testing.T, path string, r chaosResult) {
+	t.Helper()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	t.Logf("wrote %s", path)
+}

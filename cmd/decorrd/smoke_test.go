@@ -256,17 +256,53 @@ func TestServerSmoke(t *testing.T) {
 // live set, so Status-frame peaks measure residency, not GC slack.
 func startDecorrd(t *testing.T, nEmp int) (addr string) {
 	t.Helper()
+	return startDecorrdProc(t, nEmp).addr
+}
+
+// decorrdProc is a running decorrd subprocess: its bound address, its
+// process handle (for signals), and its exit status.
+type decorrdProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	exited chan error // buffered; receives cmd.Wait() exactly once
+}
+
+// signal delivers sig to the subprocess (SIGTERM begins a graceful
+// drain; a second one forces the hard close).
+func (p *decorrdProc) signal(sig os.Signal) error { return p.cmd.Process.Signal(sig) }
+
+// waitExit blocks until the subprocess exits or the timeout fires,
+// returning its Wait error (nil = exit status 0).
+func (p *decorrdProc) waitExit(t *testing.T, timeout time.Duration) error {
+	t.Helper()
+	select {
+	case err := <-p.exited:
+		p.exited <- err // re-arm for the Cleanup reader
+		return err
+	case <-time.After(timeout):
+		t.Fatalf("decorrd did not exit within %s", timeout)
+		return nil
+	}
+}
+
+// startDecorrdProc builds and starts decorrd with the standard dataset
+// flags plus extraArgs, waits for the startup line, and returns the
+// process handle.
+func startDecorrdProc(t *testing.T, nEmp int, extraArgs ...string) *decorrdProc {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "decorrd")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-dataset", "empdept",
 		"-emp", strconv.Itoa(nEmp),
 		"-seed", "42",
-	)
+	}
+	args = append(args, extraArgs...)
+	cmd := exec.Command(bin, args...)
 	cmd.Env = append(os.Environ(), "GOGC=40")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -275,8 +311,12 @@ func startDecorrd(t *testing.T, nEmp int) (addr string) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	exited := make(chan error, 1)
-	go func() { exited <- cmd.Wait() }()
+	exited := make(chan error, 2)
+	go func() {
+		err := cmd.Wait()
+		exited <- err
+		exited <- err
+	}()
 	t.Cleanup(func() {
 		cmd.Process.Kill()
 		<-exited
@@ -297,6 +337,7 @@ func startDecorrd(t *testing.T, nEmp int) (addr string) {
 			}
 		}
 	}()
+	var addr string
 	select {
 	case line := <-lines:
 		fields := strings.Fields(line)
@@ -308,13 +349,12 @@ func startDecorrd(t *testing.T, nEmp int) (addr string) {
 		if addr == "" {
 			t.Fatalf("no address in startup line %q", line)
 		}
-		return addr
 	case err := <-exited:
 		t.Fatalf("decorrd exited before serving: %v", err)
 	case <-time.After(60 * time.Second):
 		t.Fatal("decorrd did not start within 60s")
 	}
-	return ""
+	return &decorrdProc{cmd: cmd, addr: addr, exited: exited}
 }
 
 type benchResult struct {

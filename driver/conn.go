@@ -5,6 +5,8 @@ import (
 	"database/sql/driver"
 	"errors"
 	"fmt"
+	"io"
+	"syscall"
 	"time"
 
 	"decorr/internal/sqltypes"
@@ -23,24 +25,51 @@ type conn struct {
 		Close() error
 	}
 	cfg    config
+	rng    *rng
 	broken bool
+}
+
+// countWriter counts bytes handed to the connection, so rpc can tell
+// whether any of the request reached the wire before a failure.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // rpc runs one request/reply exchange. Transport errors mark the conn
 // broken; a *wire.Error reply is returned as the operation's error with
 // the connection still usable.
+//
+// The error discipline is the heart of the retry contract:
+//
+//   - driver.ErrBadConn only when NO byte of the request reached the
+//     connection — the server provably never saw it, so database/sql's
+//     transparent retry on another conn cannot execute it twice.
+//   - *TransportError (errors.Is ErrTransport) once any request byte
+//     was written, or when the reply read fails: the server may have
+//     executed the statement, so the error must surface to the caller.
 func (c *conn) rpc(req wire.Message) (wire.Message, error) {
 	if c.broken {
 		return nil, driver.ErrBadConn
 	}
-	if err := wire.Write(c.nc, req); err != nil {
+	cw := &countWriter{w: c.nc}
+	if err := wire.Write(cw, req); err != nil {
 		c.broken = true
-		return nil, driver.ErrBadConn
+		if cw.n == 0 {
+			return nil, driver.ErrBadConn
+		}
+		return nil, &TransportError{Op: "write", Err: err}
 	}
 	reply, err := wire.Read(c.nc)
 	if err != nil {
 		c.broken = true
-		return nil, driver.ErrBadConn
+		return nil, &TransportError{Op: "read", Err: err}
 	}
 	if werr, ok := reply.(*wire.Error); ok {
 		if werr.Code == wire.CodeProtocol {
@@ -52,8 +81,79 @@ func (c *conn) rpc(req wire.Message) (wire.Message, error) {
 	return reply, nil
 }
 
+// rpcRetry runs an exchange for requests that start new work (Prepare,
+// Execute, Exec), absorbing the server's retryable rejections:
+//
+//   - A drain rejection (CodeUnavailable, retryable) means this session
+//     will never accept new work again. The request was provably not
+//     executed, so the conn is surrendered as driver.ErrBadConn and
+//     database/sql transparently moves to another connection — whose
+//     dial the connector backs off for.
+//   - An overload shed (CodeOverloaded, retryable) is transient for
+//     this same session: back off (respecting the server's hint) and
+//     retry here, up to the configured retry budget.
+func (c *conn) rpcRetry(ctx context.Context, req wire.Message) (wire.Message, error) {
+	for attempt := 0; ; attempt++ {
+		reply, err := c.rpc(req)
+		var werr *wire.Error
+		if err == nil || !errors.As(err, &werr) || !werr.IsRetryable() {
+			return reply, err
+		}
+		if werr.Code == wire.CodeUnavailable {
+			c.broken = true
+			return nil, driver.ErrBadConn
+		}
+		if attempt >= c.cfg.retries {
+			return nil, werr
+		}
+		cRetries.Inc()
+		if serr := sleepBackoff(ctx, c.rng, attempt, werr.RetryAfter()); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
 // IsValid implements driver.Validator: broken connections leave the pool.
 func (c *conn) IsValid() bool { return !c.broken }
+
+// ResetSession implements driver.SessionResetter: before the pool hands
+// an idle conn to a new request, probe the socket. A server that
+// drained or died while the conn sat idle has already closed it; the
+// kernel would still accept our next request write locally, and only
+// the reply read would fail — a mid-request TransportError the caller
+// must handle. Catching the close here instead turns it into
+// driver.ErrBadConn, which database/sql absorbs by dialing afresh.
+func (c *conn) ResetSession(ctx context.Context) error {
+	if c.broken || !connAlive(c.nc) {
+		c.broken = true
+		return driver.ErrBadConn
+	}
+	return nil
+}
+
+// connAlive peeks at an idle connection with a non-blocking read. The
+// protocol never pushes unsolicited frames, so a healthy idle conn has
+// nothing to read (EAGAIN); readable data or EOF both mean the conn is
+// useless. Connections that expose no raw syscall access (test pipes)
+// are assumed alive.
+func connAlive(nc any) bool {
+	sc, ok := nc.(syscall.Conn)
+	if !ok {
+		return true
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	alive := false
+	var b [1]byte
+	rerr := rc.Read(func(fd uintptr) bool {
+		n, err := syscall.Read(int(fd), b[:])
+		alive = n < 0 && (err == syscall.EAGAIN || err == syscall.EWOULDBLOCK)
+		return true // never wait for readability
+	})
+	return rerr == nil && alive
+}
 
 // Close implements driver.Conn.
 func (c *conn) Close() error { return c.nc.Close() }
@@ -64,10 +164,15 @@ func (c *conn) Begin() (driver.Tx, error) {
 	return nil, errors.New("decorr: transactions are not supported")
 }
 
-// Ping implements driver.Pinger.
+// Ping implements driver.Pinger. A ping has no server-side effect, so
+// even a mid-request transport failure is safe to report as ErrBadConn
+// — database/sql then discards the conn and pings a fresh one.
 func (c *conn) Ping(ctx context.Context) error {
 	reply, err := c.rpc(&wire.Ping{})
 	if err != nil {
+		if errors.Is(err, ErrTransport) {
+			return driver.ErrBadConn
+		}
 		return err
 	}
 	if _, ok := reply.(*wire.Pong); !ok {
@@ -87,7 +192,7 @@ func (c *conn) PrepareContext(ctx context.Context, query string) (driver.Stmt, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	reply, err := c.rpc(&wire.Prepare{SQL: query})
+	reply, err := c.rpcRetry(ctx, &wire.Prepare{SQL: query})
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +229,7 @@ func (c *conn) execute(ctx context.Context, req *wire.Execute) (driver.Rows, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	reply, err := c.rpc(req)
+	reply, err := c.rpcRetry(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +248,7 @@ func (c *conn) exec(ctx context.Context, req *wire.Exec) (driver.Result, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	reply, err := c.rpc(req)
+	reply, err := c.rpcRetry(ctx, req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,32 @@
+package driver
+
+import "errors"
+
+// ErrTransport is the sentinel for mid-request transport failures:
+// errors.Is(err, ErrTransport) holds when the connection died after the
+// driver started writing a request (or while reading its reply), so the
+// server may or may not have executed the statement. The driver
+// deliberately does NOT surface these as driver.ErrBadConn — that would
+// make database/sql retry transparently and risk executing the
+// statement twice. Callers that know their statement is idempotent can
+// classify with this sentinel and retry themselves.
+var ErrTransport = errors.New("decorr: transport failure")
+
+// TransportError wraps the underlying I/O failure of a mid-request
+// transport error with the protocol operation that hit it.
+type TransportError struct {
+	// Op is the protocol operation: "write" (request may be partially
+	// sent) or "read" (request sent, reply lost).
+	Op  string
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return "decorr: transport failure during " + e.Op + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying I/O error for errors.Is/As chains.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Is matches the ErrTransport sentinel.
+func (e *TransportError) Is(target error) bool { return target == ErrTransport }

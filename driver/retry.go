@@ -1,0 +1,90 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"decorr/internal/trace"
+	"decorr/internal/wire"
+)
+
+// Retry/backoff policy. Dials and retryable server rejections (drain,
+// overload) are retried with seeded-jitter exponential backoff: the
+// jitter decorrelates a thundering herd of clients reconnecting to a
+// restarted server, and the seed (retry_seed DSN option) makes a chaos
+// run's exact retry timing reproducible.
+const (
+	// DefaultRetries is how many times a dial or retryable rejection is
+	// retried before the error surfaces (retries DSN option).
+	DefaultRetries = 4
+	// DefaultDialTimeout bounds each dial-plus-handshake attempt
+	// (dial_timeout DSN option).
+	DefaultDialTimeout = 5 * time.Second
+
+	retryBase = 25 * time.Millisecond
+	retryCap  = time.Second
+)
+
+// cRetries counts every backoff-and-retry the driver performs, published
+// in trace.Metrics (sys.metrics, Prometheus) as driver.retries.
+var cRetries = trace.Metrics.Counter("driver.retries")
+
+// connectSeq perturbs the per-connection RNG stream so concurrent dials
+// from one process do not share a jitter sequence (which would
+// re-synchronize the herd the jitter exists to spread).
+var connectSeq atomic.Uint64
+
+// rng is a splitmix64 stream: deterministic from its seed, no locks, no
+// global state — retry timing replays exactly under a fixed retry_seed.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// backoffDelay computes attempt's wait: exponential growth from
+// retryBase capped at retryCap, jittered into [d/2, d], floored at the
+// server's retry-after hint when it gave one.
+func backoffDelay(r *rng, attempt int, hint time.Duration) time.Duration {
+	d := retryCap
+	if attempt < 6 { // 25ms << 6 already exceeds the 1s cap
+		d = retryBase << attempt
+	}
+	if d > retryCap {
+		d = retryCap
+	}
+	d = d/2 + time.Duration(r.next()%uint64(d/2+1))
+	if d < hint {
+		d = hint
+	}
+	return d
+}
+
+// sleepBackoff waits out attempt's backoff, bailing early on ctx.
+func sleepBackoff(ctx context.Context, r *rng, attempt int, hint time.Duration) error {
+	t := time.NewTimer(backoffDelay(r, attempt, hint))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterHint extracts the server's backoff hint, if err carries one.
+func retryAfterHint(err error) time.Duration {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we.RetryAfter()
+	}
+	return 0
+}

@@ -1,0 +1,347 @@
+package driver
+
+import (
+	"context"
+	"database/sql/driver"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decorr/internal/wire"
+)
+
+// scriptConn is an in-memory conn whose reads replay scripted reply
+// frames and whose writes can be made to fail after n bytes.
+type scriptConn struct {
+	replies   []wire.Message // consumed one per wire.Read
+	replyBuf  []byte
+	failAfter int64 // write bytes accepted before failing; -1 = never
+	written   int64
+	readErr   error
+}
+
+func (c *scriptConn) Read(p []byte) (int, error) {
+	if c.readErr != nil {
+		return 0, c.readErr
+	}
+	if len(c.replyBuf) == 0 {
+		if len(c.replies) == 0 {
+			return 0, io.EOF
+		}
+		var buf writerBuf
+		if err := wire.Write(&buf, c.replies[0]); err != nil {
+			return 0, err
+		}
+		c.replies = c.replies[1:]
+		c.replyBuf = buf.b
+	}
+	n := copy(p, c.replyBuf)
+	c.replyBuf = c.replyBuf[n:]
+	return n, nil
+}
+
+func (c *scriptConn) Write(p []byte) (int, error) {
+	if c.failAfter >= 0 && c.written+int64(len(p)) > c.failAfter {
+		accept := c.failAfter - c.written
+		if accept < 0 {
+			accept = 0
+		}
+		c.written += accept
+		return int(accept), errors.New("scripted write failure")
+	}
+	c.written += int64(len(p))
+	return len(p), nil
+}
+
+func (c *scriptConn) Close() error { return nil }
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func testConn(sc *scriptConn) *conn {
+	return &conn{nc: sc, cfg: config{retries: 2}, rng: newRNG(7)}
+}
+
+// ErrBadConn discipline: a write that put zero bytes on the wire may be
+// retried transparently (the server never saw it); once any byte went
+// out, the failure must surface as ErrTransport instead.
+func TestRPCBadConnOnlyWhenNothingWritten(t *testing.T) {
+	c := testConn(&scriptConn{failAfter: 0})
+	if _, err := c.rpc(&wire.Ping{}); !errors.Is(err, driver.ErrBadConn) {
+		t.Fatalf("unsent request: err = %v, want ErrBadConn", err)
+	}
+	if c.IsValid() {
+		t.Fatal("conn still valid after a transport failure")
+	}
+
+	c = testConn(&scriptConn{failAfter: 3}) // header is 5 bytes: partial write
+	_, err := c.rpc(&wire.Ping{})
+	if errors.Is(err, driver.ErrBadConn) {
+		t.Fatalf("partially sent request surfaced as ErrBadConn: %v", err)
+	}
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("partially sent request: err = %v, want ErrTransport", err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Op != "write" {
+		t.Fatalf("err = %#v, want *TransportError{Op: write}", err)
+	}
+
+	c = testConn(&scriptConn{failAfter: -1, readErr: io.ErrUnexpectedEOF})
+	_, err = c.rpc(&wire.Ping{})
+	if errors.Is(err, driver.ErrBadConn) || !errors.Is(err, ErrTransport) {
+		t.Fatalf("lost reply: err = %v, want ErrTransport (not ErrBadConn)", err)
+	}
+	if !errors.As(err, &te) || te.Op != "read" {
+		t.Fatalf("err = %#v, want *TransportError{Op: read}", err)
+	}
+}
+
+// Overload sheds are retried on the same connection, honoring the retry
+// budget; a drain refusal surrenders the conn as ErrBadConn.
+func TestRPCRetryOverloadedAndDrain(t *testing.T) {
+	overloaded := &wire.Error{Code: wire.CodeOverloaded, Msg: "busy", Retryable: true, RetryAfterMs: 1}
+	c := testConn(&scriptConn{failAfter: -1, replies: []wire.Message{overloaded, overloaded, &wire.Pong{}}})
+	reply, err := c.rpcRetry(context.Background(), &wire.Ping{})
+	if err != nil {
+		t.Fatalf("rpcRetry past two sheds = %v", err)
+	}
+	if _, ok := reply.(*wire.Pong); !ok {
+		t.Fatalf("reply = %T, want Pong", reply)
+	}
+
+	// Budget exhausted: the shed error surfaces.
+	c = testConn(&scriptConn{failAfter: -1, replies: []wire.Message{overloaded, overloaded, overloaded, overloaded}})
+	_, err = c.rpcRetry(context.Background(), &wire.Ping{})
+	var werr *wire.Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeOverloaded {
+		t.Fatalf("exhausted retries: err = %v, want CodeOverloaded", err)
+	}
+
+	// Drain refusal: ErrBadConn immediately (provably not executed, and
+	// this session will never accept work again).
+	drain := &wire.Error{Code: wire.CodeUnavailable, Msg: "draining", Retryable: true, RetryAfterMs: 1}
+	c = testConn(&scriptConn{failAfter: -1, replies: []wire.Message{drain}})
+	if _, err := c.rpcRetry(context.Background(), &wire.Ping{}); !errors.Is(err, driver.ErrBadConn) {
+		t.Fatalf("drain refusal: err = %v, want ErrBadConn", err)
+	}
+	if c.IsValid() {
+		t.Fatal("conn still valid after a drain refusal")
+	}
+
+	// A canceled context stops the backoff loop.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c = testConn(&scriptConn{failAfter: -1, replies: []wire.Message{overloaded, &wire.Pong{}}})
+	if _, err := c.rpcRetry(ctx, &wire.Ping{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled backoff: err = %v, want context.Canceled", err)
+	}
+}
+
+// A mid-request transport failure on Ping maps to ErrBadConn — pings
+// have no server-side effect, so the pool may probe another conn.
+func TestPingTransportFailureIsBadConn(t *testing.T) {
+	c := testConn(&scriptConn{failAfter: -1, readErr: io.EOF})
+	if err := c.Ping(context.Background()); !errors.Is(err, driver.ErrBadConn) {
+		t.Fatalf("ping over dead conn = %v, want ErrBadConn", err)
+	}
+}
+
+// Connector.Connect retries retryable handshake rejections with backoff
+// and gives up on non-retryable ones immediately.
+func TestConnectRetriesRetryableRejections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var dials atomic.Int64
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := dials.Add(1)
+			go func(nc net.Conn, n int64) {
+				defer nc.Close()
+				if _, err := wire.Read(nc); err != nil {
+					return
+				}
+				if n <= 2 {
+					wire.Write(nc, &wire.Error{Code: wire.CodeUnavailable, Msg: "draining", Retryable: true, RetryAfterMs: 1})
+					return
+				}
+				wire.Write(nc, &wire.HelloOK{Version: wire.Version, ServerName: "t"})
+				// Keep the session open briefly so the client's probe sees
+				// a healthy conn.
+				time.Sleep(200 * time.Millisecond)
+			}(nc, n)
+		}
+	}()
+
+	cfg, err := parseDSN(ln.Addr().String() + "?retries=4&retry_seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := (&connector{cfg: cfg}).Connect(context.Background())
+	if err != nil {
+		t.Fatalf("Connect past two drain refusals = %v", err)
+	}
+	cn.Close()
+	if got := dials.Load(); got != 3 {
+		t.Fatalf("dial count = %d, want 3", got)
+	}
+
+	retried := cRetries.Value()
+	if retried == 0 {
+		t.Fatal("driver.retries counter never moved")
+	}
+}
+
+// A non-retryable handshake rejection (version mismatch style) must not
+// be retried.
+func TestConnectDoesNotRetryNonRetryable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var dials atomic.Int64
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			dials.Add(1)
+			go func(nc net.Conn) {
+				defer nc.Close()
+				if _, err := wire.Read(nc); err != nil {
+					return
+				}
+				wire.Write(nc, &wire.Error{Code: wire.CodeProtocol, Msg: "no"})
+			}(nc)
+		}
+	}()
+	cfg, err := parseDSN(ln.Addr().String() + "?retries=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = (&connector{cfg: cfg}).Connect(context.Background())
+	var werr *wire.Error
+	if !errors.As(err, &werr) || werr.Code != wire.CodeProtocol {
+		t.Fatalf("Connect = %v, want the protocol rejection", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("non-retryable rejection dialed %d times", got)
+	}
+}
+
+// The resilience DSN options parse, validate, and default.
+func TestDSNResilienceOptions(t *testing.T) {
+	cfg, err := parseDSN("h:1?dial_timeout=250ms&retries=7&retry_seed=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.dialTimeout != 250*time.Millisecond || cfg.retries != 7 || cfg.retrySeed != 99 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	cfg, err = parseDSN("h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.dialTimeout != DefaultDialTimeout || cfg.retries != DefaultRetries {
+		t.Fatalf("defaults: cfg = %+v", cfg)
+	}
+	if cfg.retrySeed == 0 {
+		t.Fatal("default retry_seed is zero, want an address-derived seed")
+	}
+	other, _ := parseDSN("h:2")
+	if other.retrySeed == cfg.retrySeed {
+		t.Fatal("distinct addresses share a retry seed")
+	}
+	for _, bad := range []string{"h:1?dial_timeout=x", "h:1?retries=-1", "h:1?retry_seed=abc"} {
+		if _, err := parseDSN(bad); err == nil {
+			t.Fatalf("parseDSN(%q) accepted a bad value", bad)
+		}
+	}
+}
+
+// Backoff is deterministic under a seed, grows with attempts, respects
+// the cap, and never drops below the server's hint.
+func TestBackoffDelay(t *testing.T) {
+	a := newRNG(42)
+	b := newRNG(42)
+	for i := 0; i < 10; i++ {
+		da, db := backoffDelay(a, i, 0), backoffDelay(b, i, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed produced %v and %v", i, da, db)
+		}
+		base := retryBase << i
+		if base > retryCap || base <= 0 {
+			base = retryCap
+		}
+		if da < base/2 || da > base {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, da, base/2, base)
+		}
+	}
+	if d := backoffDelay(newRNG(1), 0, 500*time.Millisecond); d < 500*time.Millisecond {
+		t.Fatalf("delay %v ignored the 500ms server hint", d)
+	}
+}
+
+// An idle pooled conn whose server has gone away must be discarded by
+// ResetSession (as ErrBadConn) instead of surfacing a mid-request
+// transport error to the next query.
+func TestResetSessionDetectsDeadServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := wire.Read(nc); err == nil {
+			wire.Write(nc, &wire.HelloOK{Version: wire.Version, ServerName: "t"})
+		}
+		accepted <- nc
+	}()
+	cfg, err := parseDSN(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := dial(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	srvConn := <-accepted
+
+	if err := cn.ResetSession(context.Background()); err != nil {
+		t.Fatalf("ResetSession on a live conn = %v", err)
+	}
+	srvConn.Close()
+	// Give the FIN a moment to arrive.
+	deadline := time.Now().Add(5 * time.Second)
+	for cn.ResetSession(context.Background()) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("ResetSession never noticed the server closing the conn")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !errors.Is(cn.ResetSession(context.Background()), driver.ErrBadConn) {
+		t.Fatal("dead idle conn did not report ErrBadConn")
+	}
+}

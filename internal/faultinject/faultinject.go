@@ -31,6 +31,14 @@ const (
 	StorageScan Point = "storage.scan"
 	HashBuild   Point = "exec.hash-build"
 	MorselClaim Point = "exec.morsel-claim"
+	// WireRead and WireWrite extend the contract to the serving layer:
+	// they cover every protocol frame read and write (package wire). An
+	// injected error at WireWrite tears the frame mid-write; at WireRead
+	// it abandons the read. In both cases the session closes the
+	// connection, so the peer observes exactly what a network reset or
+	// a torn TCP stream produces. Latency rules model a slow network.
+	WireRead  Point = "wire.read"
+	WireWrite Point = "wire.write"
 )
 
 // ErrInjected marks every error produced by the registry. Harnesses

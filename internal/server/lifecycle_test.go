@@ -1,0 +1,425 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"decorr/internal/engine"
+	"decorr/internal/tpcd"
+	"decorr/internal/trace"
+	"decorr/internal/wire"
+)
+
+// retryableUnavailable asserts err is the retryable drain/capacity
+// rejection with a backoff hint.
+func retryableUnavailable(t *testing.T, err error) {
+	t.Helper()
+	var werr *wire.Error
+	if !errors.As(err, &werr) {
+		t.Fatalf("err = %v, want *wire.Error", err)
+	}
+	if werr.Code != wire.CodeUnavailable || !werr.IsRetryable() {
+		t.Fatalf("err = %+v, want retryable CodeUnavailable", werr)
+	}
+	if werr.RetryAfterMs == 0 {
+		t.Fatalf("drain rejection carries no retry-after hint: %+v", werr)
+	}
+}
+
+// Graceful drain end to end: with a stream mid-flight, Shutdown must
+// refuse new sessions and new work with a retryable error, let the
+// in-flight cursor run to completion, and only then return.
+func TestShutdownDrainsInflightStream(t *testing.T) {
+	srv, addr := startServer(t, Config{}, 20000)
+	want, _, err := srv.cfg.Engine.Query("select name from emp", engine.NI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialClient(t, addr)
+	ex, ok := c.rpc(t, &wire.Execute{SQL: "select name from emp"}).(*wire.ExecuteOK)
+	if !ok {
+		t.Fatal("Execute failed")
+	}
+	first, ok := c.rpc(t, &wire.Fetch{CursorID: ex.CursorID, MaxRows: 100}).(*wire.Batch)
+	if !ok {
+		t.Fatal("first fetch did not return a batch")
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	waitFor(t, srv.Draining, "server never started draining")
+
+	// New sessions are refused with the retryable drain code.
+	_, err = tryDial(addr)
+	if err == nil {
+		// The listener may take a beat to close; a raced dial must still
+		// be refused at admission.
+		t.Fatal("new session admitted during drain")
+	}
+	if !isConnRefused(err) {
+		retryableUnavailable(t, err)
+	}
+
+	// New work on the draining session is refused the same way, and the
+	// session survives the refusal.
+	if werr, ok := c.rpc(t, &wire.Execute{SQL: "select name from dept"}).(*wire.Error); !ok {
+		t.Fatal("Execute during drain did not error")
+	} else {
+		retryableUnavailable(t, werr)
+	}
+
+	// Status still answers and reports the drain.
+	if st, ok := c.rpc(t, &wire.Status{}).(*wire.StatusOK); !ok || !st.Draining {
+		t.Fatalf("StatusOK = %+v ok=%v, want Draining", st, ok)
+	}
+
+	// The in-flight cursor completes with every row.
+	rows, done, werr := c.drain(t, ex.CursorID, 0)
+	if werr != nil {
+		t.Fatalf("drain-time fetch failed: %v", werr)
+	}
+	total := len(first.Rows) + len(rows)
+	if total != len(want) || done.RowsOut != uint64(len(want)) {
+		t.Fatalf("stream under drain returned %d rows, want %d", total, len(want))
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown = %v after the stream completed", err)
+	}
+	// The drained session's connection is closed once its cursor is done.
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.Read(c.conn); err == nil {
+		t.Fatal("connection stayed open after drain completed")
+	}
+}
+
+// Sessions with no open cursor must not hold up a drain.
+func TestShutdownReleasesIdleSessions(t *testing.T) {
+	srv, addr := startServer(t, Config{}, 50)
+	c := dialClient(t, addr)
+	_ = c
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with only idle sessions = %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("idle drain took %v", d)
+	}
+}
+
+// When the drain deadline expires with a cursor still open, Shutdown
+// falls back to the hard close: it returns ctx.Err() and the stalled
+// session's connection is cut.
+func TestShutdownDeadlineFallsBackToClose(t *testing.T) {
+	srv, addr := startServer(t, Config{}, 20000)
+	c := dialClient(t, addr)
+	ex, ok := c.rpc(t, &wire.Execute{SQL: "select name from emp"}).(*wire.ExecuteOK)
+	if !ok {
+		t.Fatal("Execute failed")
+	}
+	if _, ok := c.rpc(t, &wire.Fetch{CursorID: ex.CursorID, MaxRows: 10}).(*wire.Batch); !ok {
+		t.Fatal("first fetch did not return a batch")
+	}
+	// The client now stalls: it never fetches again.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown past its deadline = %v, want DeadlineExceeded", err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.Read(c.conn); err == nil {
+		t.Fatal("stalled session survived the hard-close fallback")
+	}
+}
+
+// A peer that connects and never completes a handshake must be dropped
+// when HandshakeTimeout expires, freeing its goroutine and slot.
+func TestHandshakeDeadline(t *testing.T) {
+	drops := trace.Metrics.Counter("server.deadline_drops").Value()
+	_, addr := startServer(t, Config{HandshakeTimeout: 100 * time.Millisecond}, 50)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing. The server must cut the connection.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.Read(conn); err == nil {
+		t.Fatal("silent pre-Hello peer was never dropped")
+	}
+	if got := trace.Metrics.Counter("server.deadline_drops").Value(); got <= drops {
+		t.Fatalf("deadline_drops did not increase (%d -> %d)", drops, got)
+	}
+}
+
+// An established session idle past ReadTimeout is dropped.
+func TestReadIdleTimeout(t *testing.T) {
+	_, addr := startServer(t, Config{ReadTimeout: 100 * time.Millisecond}, 50)
+	c := dialClient(t, addr)
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.Read(c.conn); err == nil {
+		t.Fatal("idle session survived ReadTimeout")
+	}
+}
+
+// Overload shedding: past MaxActiveQueries, new sessions and new
+// queries are refused with a retryable CodeOverloaded carrying a
+// retry-after hint, and the rejection clears when load does.
+func TestOverloadShed(t *testing.T) {
+	sheds := trace.Metrics.Counter("server.sheds").Value()
+	_, addr := startServer(t, Config{MaxActiveQueries: 1}, 20000)
+	victim := dialClient(t, addr)
+	bystander := dialClient(t, addr)
+	ex, ok := victim.rpc(t, &wire.Execute{SQL: "select name from emp"}).(*wire.ExecuteOK)
+	if !ok {
+		t.Fatal("Execute failed")
+	}
+	if _, ok := victim.rpc(t, &wire.Fetch{CursorID: ex.CursorID, MaxRows: 10}).(*wire.Batch); !ok {
+		t.Fatal("first fetch did not return a batch")
+	}
+
+	// The bystander's new query is shed, and its session survives.
+	werr, ok := bystander.rpc(t, &wire.Execute{SQL: "select name from dept"}).(*wire.Error)
+	if !ok {
+		t.Fatal("Execute past the active-query cap did not error")
+	}
+	if werr.Code != wire.CodeOverloaded || !werr.IsRetryable() || werr.RetryAfterMs == 0 {
+		t.Fatalf("shed error = %+v, want retryable CodeOverloaded with a hint", werr)
+	}
+	if _, ok := bystander.rpc(t, &wire.Ping{}).(*wire.Pong); !ok {
+		t.Fatal("session did not survive being shed")
+	}
+
+	// New sessions are shed at the handshake too.
+	_, err := tryDial(addr)
+	var dialErr *wire.Error
+	if !errors.As(err, &dialErr) || dialErr.Code != wire.CodeOverloaded {
+		t.Fatalf("handshake past the cap: err=%v, want CodeOverloaded", err)
+	}
+	if got := trace.Metrics.Counter("server.sheds").Value(); got <= sheds {
+		t.Fatalf("server.sheds did not increase (%d -> %d)", sheds, got)
+	}
+
+	// Draining the victim's stream clears the overload; the bystander's
+	// retry eventually succeeds, as its backoff-and-retry would.
+	if _, _, werr := victim.drain(t, ex.CursorID, 0); werr != nil {
+		t.Fatalf("victim stream failed: %v", werr)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reply := bystander.rpc(t, &wire.Execute{SQL: "select name from dept"})
+		if ex2, ok := reply.(*wire.ExecuteOK); ok {
+			if _, _, werr := bystander.drain(t, ex2.CursorID, 0); werr != nil {
+				t.Fatalf("post-overload stream failed: %v", werr)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("overload never cleared: %v", reply)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// flakyListener fails its first n Accepts with a transient error.
+type flakyListener struct {
+	net.Listener
+	remaining atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.remaining.Add(-1) >= 0 {
+		return nil, &net.OpError{Op: "accept", Net: "tcp", Err: syscall.ECONNABORTED}
+	}
+	return l.Listener.Accept()
+}
+
+// Transient accept errors must not kill Serve: after a burst of
+// ECONNABORTED, clients still connect.
+func TestServeRetriesTransientAcceptErrors(t *testing.T) {
+	retries := trace.Metrics.Counter("server.accept_retries").Value()
+	e := engine.New(tpcd.EmpDeptSized(40, 50, 6, 11))
+	e.MountSystemCatalog()
+	srv := New(Config{Engine: e})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &flakyListener{Listener: inner}
+	ln.remaining.Store(3)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := tryDial(inner.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after transient accept errors: %v", err)
+	}
+	defer c.conn.Close()
+	if _, ok := c.rpc(t, &wire.Ping{}).(*wire.Pong); !ok {
+		t.Fatal("session after accept retries is not serving")
+	}
+	if got := trace.Metrics.Counter("server.accept_retries").Value(); got <= retries {
+		t.Fatalf("server.accept_retries did not increase (%d -> %d)", retries, got)
+	}
+}
+
+// A persistent (non-transient) accept error must surface from Serve
+// rather than spin forever.
+type brokenListener struct {
+	net.Listener
+}
+
+var errListenerBroken = errors.New("listener permanently broken")
+
+func (l *brokenListener) Accept() (net.Conn, error) { return nil, errListenerBroken }
+
+func TestServeReturnsPersistentAcceptError(t *testing.T) {
+	e := engine.New(tpcd.EmpDeptSized(40, 50, 6, 11))
+	srv := New(Config{Engine: e})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(&brokenListener{Listener: inner}) }()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, errListenerBroken) {
+			t.Fatalf("Serve = %v, want the listener's error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve kept spinning on a persistent accept error")
+	}
+}
+
+// Shutdown racing admissions, in-flight streams, and a concurrent
+// second Shutdown: every client must end with a completed stream, a
+// retryable refusal, or a connection error — and the process must not
+// race or deadlock (run under -race).
+func TestShutdownRaceHammer(t *testing.T) {
+	srv, addr := startServer(t, Config{MaxSessions: 32}, 5000)
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Int64
+		refused   atomic.Int64
+		cut       atomic.Int64
+	)
+	start := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 20; j++ {
+				c, err := tryDial(addr)
+				if err != nil {
+					refused.Add(1)
+					continue
+				}
+				outcome := runOneStream(c.conn)
+				c.conn.Close()
+				switch outcome {
+				case "ok":
+					completed.Add(1)
+				case "refused":
+					refused.Add(1)
+				default:
+					cut.Add(1)
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond)
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		done1 <- srv.Shutdown(ctx)
+	}()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		done2 <- srv.Shutdown(ctx)
+	}()
+	wg.Wait()
+	if err := <-done1; err != nil {
+		t.Fatalf("Shutdown #1 = %v", err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatalf("Shutdown #2 = %v", err)
+	}
+	t.Logf("hammer outcomes: %d completed, %d refused, %d cut",
+		completed.Load(), refused.Load(), cut.Load())
+	if completed.Load() == 0 {
+		t.Fatal("no client ever completed a stream")
+	}
+}
+
+// runOneStream runs one execute+drain exchange without *testing.T
+// fatals, classifying the outcome for the hammer.
+func runOneStream(conn net.Conn) string {
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := wire.Write(conn, &wire.Execute{SQL: "select name from emp where building = 'B1'"}); err != nil {
+		return "cut"
+	}
+	reply, err := wire.Read(conn)
+	if err != nil {
+		return "cut"
+	}
+	switch m := reply.(type) {
+	case *wire.Error:
+		if m.IsRetryable() {
+			return "refused"
+		}
+		return "cut"
+	case *wire.ExecuteOK:
+		for {
+			if err := wire.Write(conn, &wire.Fetch{CursorID: m.CursorID}); err != nil {
+				return "cut"
+			}
+			r, err := wire.Read(conn)
+			if err != nil {
+				return "cut"
+			}
+			switch r.(type) {
+			case *wire.Batch:
+			case *wire.Done:
+				return "ok"
+			default:
+				return "cut"
+			}
+		}
+	default:
+		return "cut"
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func isConnRefused(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
+}

@@ -3,7 +3,10 @@ package server
 import (
 	"bufio"
 	"context"
+	"io"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"decorr/internal/engine"
 	"decorr/internal/storage"
@@ -12,9 +15,10 @@ import (
 
 // session is one connection's state: its prepared statements, its open
 // cursors, and its execution overrides from the handshake. All fields
-// are owned by the connection goroutine; only disconnect (called by
-// Server.Close) runs on another goroutine, and it touches nothing but
-// the context cancel and the connection.
+// are owned by the connection goroutine; only disconnect and drain
+// (called by Server.Close/Shutdown) run on another goroutine, and they
+// touch nothing but the context cancel, the draining flag, and the
+// connection's deadline/close — all safe cross-goroutine.
 type session struct {
 	srv      *Server
 	conn     net.Conn
@@ -22,6 +26,11 @@ type session struct {
 	cancel   context.CancelFunc
 	strategy engine.Strategy
 	workers  int
+
+	// draining tells the loop a graceful shutdown began: new work is
+	// refused with a retryable CodeUnavailable, open cursors keep
+	// serving fetches, and the session ends once no cursor remains.
+	draining atomic.Bool
 
 	stmts      map[uint64]*engine.Prepared
 	cursors    map[uint64]*cursor
@@ -46,6 +55,16 @@ func (s *session) disconnect() {
 	s.conn.Close()
 }
 
+// drain flips the session into drain mode from outside its goroutine.
+// The immediate read deadline unblocks a loop parked in its frame read
+// without closing the connection, so the loop can observe the flag:
+// with no open cursor it ends the session; with cursors it keeps
+// serving fetches until the stream completes.
+func (s *session) drain() {
+	s.draining.Store(true)
+	s.conn.SetReadDeadline(time.Now())
+}
+
 // shutdown releases the session's resources on the connection goroutine.
 func (s *session) shutdown() {
 	s.cancel()
@@ -56,20 +75,68 @@ func (s *session) shutdown() {
 	}
 }
 
-// loop runs the request/reply exchange until the connection drops or a
-// protocol violation makes the peer's state untrustworthy.
+// countingReader counts consumed bytes so the loop can tell a clean
+// between-frames timeout (retryable: the stream is still in sync) from
+// a mid-frame one (fatal: resuming would misparse the stream).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// loop runs the request/reply exchange until the connection drops, a
+// deadline expires, a protocol violation makes the peer's state
+// untrustworthy, or a drain completes.
 func (s *session) loop() {
+	cr := &countingReader{r: s.conn}
 	w := bufio.NewWriter(s.conn)
 	for {
-		msg, err := wire.Read(s.conn)
+		if s.draining.Load() && len(s.cursors) == 0 {
+			return
+		}
+		s.armReadDeadline()
+		before := cr.n
+		msg, err := wire.Read(cr)
 		if err != nil {
+			if isTimeout(err) && cr.n == before {
+				// Nothing consumed: the frame stream is still in sync. If
+				// this was the drain nudge (or a drain-time idle expiry)
+				// and cursors are still streaming, keep serving them; the
+				// top-of-loop check ends the session once they close.
+				if s.draining.Load() && len(s.cursors) > 0 {
+					continue
+				}
+				if s.draining.Load() {
+					return
+				}
+				// Idle peer past ReadTimeout: reclaim the slot.
+				s.srv.cDeadlineDrops.Inc()
+				return
+			}
+			if isTimeout(err) {
+				// Mid-frame expiry: the peer stalled while sending a
+				// request. Resuming would misparse the stream, so drop.
+				s.srv.cDeadlineDrops.Inc()
+			}
 			return // disconnect (or a frame too broken to answer)
 		}
 		reply, fatal := s.handle(msg)
+		s.armWriteDeadline()
 		if err := wire.Write(w, reply); err != nil {
+			if isTimeout(err) {
+				s.srv.cDeadlineDrops.Inc()
+			}
 			return
 		}
 		if err := w.Flush(); err != nil {
+			if isTimeout(err) {
+				s.srv.cDeadlineDrops.Inc()
+			}
 			return
 		}
 		if fatal {
@@ -78,18 +145,66 @@ func (s *session) loop() {
 	}
 }
 
+// armReadDeadline bounds the wait for the next request frame. During
+// drain a short poll deadline wins over everything, so the loop keeps
+// re-checking the cursor set and a session whose last cursor just
+// closed (or that raced the drain nudge) exits promptly instead of
+// lingering until the client's next frame. Otherwise ReadTimeout
+// applies when configured, and the deadline is cleared when not.
+func (s *session) armReadDeadline() {
+	if s.draining.Load() {
+		s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		return
+	}
+	if d := s.srv.cfg.ReadTimeout; d > 0 {
+		s.conn.SetReadDeadline(time.Now().Add(d))
+		return
+	}
+	s.conn.SetReadDeadline(time.Time{})
+}
+
+// armWriteDeadline bounds the reply write, so a peer that stops reading
+// cannot pin the session goroutine once the kernel buffers fill.
+func (s *session) armWriteDeadline() {
+	if d := s.srv.cfg.WriteTimeout; d > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(d))
+	} else {
+		s.conn.SetWriteDeadline(time.Time{})
+	}
+}
+
 // handle dispatches one request to its reply. fatal reports that the
 // connection must close after the reply (protocol violations only —
 // query failures are ordinary replies and the session continues).
+//
+// During drain, requests that would start new work (Prepare, Execute,
+// Exec) are refused with a retryable CodeUnavailable; everything that
+// finishes or observes existing work (Fetch, Cancel, the closes,
+// Status, Ping) still runs, so in-flight streams complete cleanly.
 func (s *session) handle(msg wire.Message) (reply wire.Message, fatal bool) {
 	switch m := msg.(type) {
 	case *wire.Prepare:
+		if s.draining.Load() {
+			return s.srv.unavailablef("server draining"), false
+		}
 		return s.handlePrepare(m), false
 	case *wire.Execute:
+		if s.draining.Load() {
+			return s.srv.unavailablef("server draining"), false
+		}
+		if err := s.srv.shedErr(); err != nil {
+			return err, false
+		}
 		return s.handleExecute(m), false
 	case *wire.Fetch:
 		return s.handleFetch(m)
 	case *wire.Exec:
+		if s.draining.Load() {
+			return s.srv.unavailablef("server draining"), false
+		}
+		if err := s.srv.shedErr(); err != nil {
+			return err, false
+		}
 		return s.handleExec(m), false
 	case *wire.Cancel:
 		return &wire.KillOK{Found: s.srv.cfg.Engine.Kill(m.QueryID)}, false

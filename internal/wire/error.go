@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"decorr/internal/exec"
 )
@@ -31,8 +32,16 @@ const (
 	// message, unknown statement or cursor handle. The server closes the
 	// connection after sending it.
 	CodeProtocol ErrorCode = 7
-	// CodeUnavailable reports admission rejection (too many sessions).
+	// CodeUnavailable reports admission rejection: too many sessions, or
+	// the server is draining toward shutdown. The request was not
+	// executed, so a retry (against this server later, or another one)
+	// is always safe.
 	CodeUnavailable ErrorCode = 8
+	// CodeOverloaded reports load shedding: the server is past its
+	// active-query or heap watermark and refused to start new work. Like
+	// CodeUnavailable, nothing was executed and a retry is safe; the
+	// error carries the server's backoff hint.
+	CodeOverloaded ErrorCode = 9
 )
 
 // Error is the wire form of a server-side failure. It implements error
@@ -41,6 +50,13 @@ const (
 type Error struct {
 	Code ErrorCode
 	Msg  string
+	// Retryable marks rejections where the request was provably not
+	// executed (admission during drain, overload sheds), so the client
+	// may retry without risking duplicate work.
+	Retryable bool
+	// RetryAfterMs is the server's backoff hint for retryable errors,
+	// in milliseconds. Zero means the client picks its own backoff.
+	RetryAfterMs uint32
 }
 
 func (e *Error) Error() string { return e.Msg }
@@ -62,6 +78,20 @@ func (e *Error) Is(target error) bool {
 		return target == exec.ErrPanic
 	}
 	return false
+}
+
+// IsRetryable reports whether a retry of the rejected request is safe
+// and may succeed. The Retryable flag is authoritative when set; the
+// code-based fallback keeps the classification working against peers
+// that predate the flag.
+func (e *Error) IsRetryable() bool {
+	return e.Retryable || e.Code == CodeUnavailable || e.Code == CodeOverloaded
+}
+
+// RetryAfter is the server's backoff hint as a duration (zero when the
+// server sent none).
+func (e *Error) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterMs) * time.Millisecond
 }
 
 // RemoteError is the name client code sees; *Error is what crosses the

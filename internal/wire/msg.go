@@ -160,6 +160,9 @@ type StatusOK struct {
 	Sessions      uint32
 	OpenCursors   uint32
 	ActiveQueries uint32
+	// Draining reports that the server has begun a graceful shutdown:
+	// in-flight work is completing, new sessions are refused.
+	Draining bool
 }
 
 // Ping is a liveness probe; Pong answers it.
@@ -273,6 +276,7 @@ func (m *StatusOK) encode(e *enc) {
 	e.uvarint(uint64(m.Sessions))
 	e.uvarint(uint64(m.OpenCursors))
 	e.uvarint(uint64(m.ActiveQueries))
+	e.bool(m.Draining)
 }
 
 func (*Ping) encode(*enc) {}
@@ -282,6 +286,8 @@ func (*Pong) encode(*enc) {}
 func (m *Error) encode(e *enc) {
 	e.uvarint(uint64(m.Code))
 	e.str(m.Msg)
+	e.bool(m.Retryable)
+	e.uvarint(uint64(m.RetryAfterMs))
 }
 
 // encodeStats lays out the counters as varints in struct-field order.
@@ -373,13 +379,15 @@ func Read(r io.Reader) (Message, error) {
 			Sessions:      uint32(d.uvarint()),
 			OpenCursors:   uint32(d.uvarint()),
 			ActiveQueries: uint32(d.uvarint()),
+			Draining:      d.bool(),
 		}
 	case typePing:
 		m = &Ping{}
 	case typePong:
 		m = &Pong{}
 	case typeError:
-		m = &Error{Code: ErrorCode(d.uvarint()), Msg: d.str()}
+		m = &Error{Code: ErrorCode(d.uvarint()), Msg: d.str(),
+			Retryable: d.bool(), RetryAfterMs: uint32(d.uvarint())}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type 0x%02x", t)
 	}

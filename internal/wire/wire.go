@@ -34,6 +34,7 @@ import (
 	"io"
 	"math"
 
+	"decorr/internal/faultinject"
 	"decorr/internal/sqltypes"
 	"decorr/internal/storage"
 )
@@ -45,6 +46,13 @@ import (
 const MaxFrame = 16 << 20
 
 // writeFrame emits one frame: length prefix, type byte, payload.
+//
+// faultinject.WireWrite is checked (latency, injected error) before the
+// frame goes out. An injected error tears the frame: a valid header and
+// a truncated body are emitted before the error returns, so the peer
+// sees exactly what a connection dying mid-write produces — the caller
+// must treat the error as fatal to the connection and close it, which
+// turns the peer's blocked body read into io.ErrUnexpectedEOF.
 func writeFrame(w io.Writer, t byte, payload []byte) error {
 	n := len(payload) + 1
 	if n > MaxFrame {
@@ -53,6 +61,13 @@ func writeFrame(w io.Writer, t byte, payload []byte) error {
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(n))
 	hdr[4] = t
+	if err := faultinject.Check(faultinject.WireWrite); err != nil {
+		w.Write(hdr[:])
+		if len(payload) > 1 {
+			w.Write(payload[:len(payload)/2])
+		}
+		return err
+	}
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -61,7 +76,15 @@ func writeFrame(w io.Writer, t byte, payload []byte) error {
 }
 
 // readFrame reads one frame, returning its type byte and payload.
+//
+// faultinject.WireRead is checked (latency, injected error) before the
+// header read. An injected error abandons the read with the connection
+// state unknown; the caller closes the connection, so the peer observes
+// a reset or EOF — the "connection died mid-request" failure mode.
 func readFrame(r io.Reader) (byte, []byte, error) {
+	if err := faultinject.Check(faultinject.WireRead); err != nil {
+		return 0, nil, err
+	}
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err

@@ -10,8 +10,10 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"decorr/internal/exec"
+	"decorr/internal/faultinject"
 	"decorr/internal/sqltypes"
 	"decorr/internal/storage"
 )
@@ -67,9 +69,12 @@ func TestMessageRoundtrip(t *testing.T) {
 		&CloseOK{},
 		&Status{},
 		&StatusOK{HeapAlloc: 1 << 30, TotalAlloc: 1 << 33, NumGoroutine: 12, Sessions: 2, OpenCursors: 1, ActiveQueries: 1},
+		&StatusOK{HeapAlloc: 1, Draining: true},
 		&Ping{},
 		&Pong{},
 		&Error{Code: CodeRowBudget, Msg: "exec: row budget exceeded"},
+		&Error{Code: CodeUnavailable, Msg: "server draining", Retryable: true, RetryAfterMs: 250},
+		&Error{Code: CodeOverloaded, Msg: "12 active queries over the 8 cap", Retryable: true, RetryAfterMs: 100},
 	}
 	for _, m := range msgs {
 		got := roundtrip(t, m)
@@ -212,5 +217,86 @@ func TestRemoteErrorSentinels(t *testing.T) {
 	orig := &Error{Code: CodeUnavailable, Msg: "too many sessions"}
 	if got := ToError(fmt.Errorf("wrapped: %w", orig)); got.Code != CodeUnavailable {
 		t.Errorf("ToError reclassified a wire error: %+v", got)
+	}
+}
+
+// Retryability: the flag is authoritative, the code fallback covers
+// peers that predate it, and nothing else is retryable.
+func TestErrorRetryability(t *testing.T) {
+	cases := []struct {
+		err  *Error
+		want bool
+	}{
+		{&Error{Code: CodeUnavailable, Retryable: true, RetryAfterMs: 250}, true},
+		{&Error{Code: CodeUnavailable}, true}, // legacy peer: code implies retryable
+		{&Error{Code: CodeOverloaded}, true},
+		{&Error{Code: CodeInternal, Retryable: true}, true}, // flag wins
+		{&Error{Code: CodeInternal}, false},
+		{&Error{Code: CodeProtocol}, false},
+		{&Error{Code: CodeCanceled}, false},
+		{&Error{Code: CodeRowBudget}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.err.IsRetryable(); got != tc.want {
+			t.Errorf("IsRetryable(%+v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+	e := &Error{RetryAfterMs: 250}
+	if e.RetryAfter() != 250*time.Millisecond {
+		t.Errorf("RetryAfter() = %v", e.RetryAfter())
+	}
+}
+
+// Wire-level fault injection: an injected write error tears the frame
+// (valid header, truncated body) so the peer's read fails cleanly with
+// io.ErrUnexpectedEOF once the connection closes, and an injected read
+// error abandons the read with ErrInjected. Neither can hang a peer.
+func TestWireFaultInjection(t *testing.T) {
+	defer faultinject.Disable()
+
+	// Every write faults: the frame is torn.
+	faultinject.Enable(faultinject.Plan{Seed: 1, Rules: map[faultinject.Point]faultinject.Rule{
+		faultinject.WireWrite: {ErrEvery: 1},
+	}})
+	var buf bytes.Buffer
+	err := Write(&buf, &Prepare{SQL: "select name from dept"})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn write error = %v", err)
+	}
+	full := len("select name from dept") + 2 // uvarint len + type byte ≈ lower bound
+	if buf.Len() == 0 || buf.Len() >= full+5 {
+		t.Fatalf("torn frame wrote %d bytes (full frame would be > %d)", buf.Len(), full)
+	}
+	faultinject.Disable()
+	// The torn bytes parse as a truncated frame, not a wrong message.
+	if _, err := Read(&buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading a torn frame: %v", err)
+	}
+
+	// Every read faults: the read is abandoned before consuming bytes.
+	faultinject.Enable(faultinject.Plan{Seed: 1, Rules: map[faultinject.Point]faultinject.Rule{
+		faultinject.WireRead: {ErrEvery: 1},
+	}})
+	buf.Reset()
+	faultinject.Disable()
+	if err := Write(&buf, &Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.Plan{Seed: 1, Rules: map[faultinject.Point]faultinject.Rule{
+		faultinject.WireRead: {ErrEvery: 1},
+	}})
+	n := buf.Len()
+	if _, err := Read(&buf); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected read error = %v", err)
+	}
+	if buf.Len() != n {
+		t.Fatalf("injected read consumed %d bytes", n-buf.Len())
+	}
+	faultinject.Disable()
+	// With the plan gone the same bytes decode normally.
+	if m, err := Read(&buf); err != nil {
+		t.Fatal(err)
+	} else if _, ok := m.(*Ping); !ok {
+		t.Fatalf("decoded %T after disable", m)
 	}
 }
